@@ -1,0 +1,187 @@
+package repro
+
+// Benchmark harness: one testing.B target per experiment in DESIGN.md's
+// per-experiment index (run `go test -bench=Exp` to regenerate every
+// validation table in quick mode), plus microbenchmarks for the
+// operations Lemma 4 and Theorem 1.3 bound.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/haft"
+	"repro/internal/harness"
+)
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := harness.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := exp.Run(harness.Options{Quick: true, Seed: int64(i)})
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkExpHaft(b *testing.B)     { benchExperiment(b, "EXP-HAFT") }
+func BenchmarkExpDegree(b *testing.B)   { benchExperiment(b, "EXP-DEGREE") }
+func BenchmarkExpStretch(b *testing.B)  { benchExperiment(b, "EXP-STRETCH") }
+func BenchmarkExpCost(b *testing.B)     { benchExperiment(b, "EXP-COST") }
+func BenchmarkExpLower(b *testing.B)    { benchExperiment(b, "EXP-LOWER") }
+func BenchmarkExpCompare(b *testing.B)  { benchExperiment(b, "EXP-COMPARE") }
+func BenchmarkExpChurn(b *testing.B)    { benchExperiment(b, "EXP-CHURN") }
+func BenchmarkExpLocality(b *testing.B) { benchExperiment(b, "EXP-LOCALITY") }
+func BenchmarkExpRTDepth(b *testing.B)  { benchExperiment(b, "EXP-RTDEPTH") }
+func BenchmarkExpAblate(b *testing.B)   { benchExperiment(b, "EXP-ABLATE") }
+func BenchmarkExpSpan(b *testing.B)     { benchExperiment(b, "EXP-SPAN") }
+
+// BenchmarkDeleteRepair measures the reference engine's repair after a
+// hub deletion of degree d = n-1 (the paper's worst single repair).
+func BenchmarkDeleteRepair(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("star-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := core.NewEngine(graph.Star(n))
+				b.StartTimer()
+				if err := e.Delete(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDeleteSequence measures sustained random deletions on a
+// sparse random graph (repairs hitting existing RTs).
+func BenchmarkDeleteSequence(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("gnp-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rng := rand.New(rand.NewSource(int64(i)))
+				e := core.NewEngine(graph.GNP(n, 4.0/float64(n), rng))
+				order := rng.Perm(n)
+				b.StartTimer()
+				for _, v := range order[:n/2] {
+					if err := e.Delete(graph.NodeID(v)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedRepair measures the full message-level protocol
+// for one hub deletion, the scenario of Lemma 4.
+func BenchmarkDistributedRepair(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("star-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := dist.NewSimulation(graph.Star(n))
+				b.StartTimer()
+				if err := s.Delete(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHaftBuild measures canonical haft construction (Lemma 1).
+func BenchmarkHaftBuild(b *testing.B) {
+	for _, l := range []int{15, 255, 4095, 65535} {
+		b.Run(fmt.Sprintf("l-%d", l), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if haft.Build(l, nil) == nil {
+					b.Fatal("nil haft")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHaftMerge measures strip+merge of two hafts, the core repair
+// primitive.
+func BenchmarkHaftMerge(b *testing.B) {
+	for _, l := range []int{15, 255, 4095} {
+		b.Run(fmt.Sprintf("l-%d", l), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := haft.Build(l, nil)
+				c := haft.Build(l+1, nil)
+				b.StartTimer()
+				root, _ := haft.MergeAll([]*haft.Node{a, c}, nil)
+				if root == nil {
+					b.Fatal("nil merge")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPIChurn measures end-to-end churn through the facade.
+func BenchmarkPublicAPIChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var edges []Edge
+		rng := rand.New(rand.NewSource(int64(i)))
+		for j := 1; j < 64; j++ {
+			edges = append(edges, Edge{U: NodeID(rng.Intn(j)), V: NodeID(j)})
+		}
+		net, err := New(edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		next := NodeID(1000)
+		for step := 0; step < 32; step++ {
+			nodes := net.Nodes()
+			if rng.Float64() < 0.3 {
+				if err := net.Insert(next, []NodeID{nodes[rng.Intn(len(nodes))]}); err != nil {
+					b.Fatal(err)
+				}
+				next++
+			} else {
+				if err := net.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkStretchAudit measures the exact stretch audit (the expensive
+// measurement, not the data structure itself).
+func BenchmarkStretchAudit(b *testing.B) {
+	e := core.NewEngine(graph.Star(256))
+	if err := e.Delete(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := e.CheckStretch()
+		if !r.Satisfied() {
+			b.Fatal("bound violated")
+		}
+	}
+}

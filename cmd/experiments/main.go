@@ -1,0 +1,87 @@
+// Command experiments regenerates every experiment in DESIGN.md's
+// per-experiment index — the tables validating Theorems 1 and 2 and
+// Lemmas 1 and 4 of the Forgiving Graph paper.
+//
+// Usage:
+//
+//	experiments [-run ID[,ID...]] [-quick] [-seed N] [-csv DIR] [-list]
+//
+// With no -run flag every experiment runs in order. -csv writes one CSV
+// per table next to the rendered output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick  = flag.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
+		seed   = flag.Int64("seed", 42, "random seed for every sweep")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-13s %s\n              claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var selected []harness.Experiment
+	if *runIDs == "" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := harness.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("creating csv dir: %w", err)
+		}
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("    claim: %s\n\n", e.Claim)
+		tables := e.Run(opts)
+		for i, tb := range tables {
+			fmt.Println(tb.Render())
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s-%d.csv", strings.ToLower(e.ID), i)
+				path := filepath.Join(*csvDir, name)
+				if err := os.WriteFile(path, []byte(tb.CSV()), 0o644); err != nil {
+					return fmt.Errorf("writing %s: %w", path, err)
+				}
+				fmt.Printf("(csv: %s)\n\n", path)
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

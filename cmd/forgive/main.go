@@ -1,0 +1,168 @@
+// Command forgive runs a single self-healing simulation: one topology,
+// one adversary, one healer, with periodic measurements of the paper's
+// success metrics (stretch, degree amplification, connectivity).
+//
+// Usage:
+//
+//	forgive [-topology NAME] [-n N] [-healer NAME] [-adversary NAME]
+//	        [-steps K] [-insert-p P] [-seed S] [-measure-every M]
+//	        [-sample S] [-trace-out FILE] [-trace-in FILE]
+//
+// With -trace-in the topology/adversary flags are ignored and the given
+// attack trace is replayed against the chosen healer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/ftree"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/heal"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+
+	"math/rand"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "forgive: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func healerFactories() map[string]heal.Factory {
+	m := map[string]heal.Factory{
+		"forgiving-graph": harness.ForgivingFactory(),
+		"forgiving-tree": {
+			Name: "forgiving-tree",
+			New:  func(g *graph.Graph) heal.Healer { return ftree.New(g) },
+		},
+	}
+	for _, f := range baseline.Factories() {
+		m[f.Name] = f
+	}
+	return m
+}
+
+func run() error {
+	var (
+		topology = flag.String("topology", "gnp", "initial topology: "+strings.Join(graph.GeneratorNames(), ", "))
+		n        = flag.Int("n", 64, "initial node count")
+		healerNm = flag.String("healer", "forgiving-graph", "healer: forgiving-graph, forgiving-tree, no-heal, cycle-heal, adopt-heal")
+		advName  = flag.String("adversary", "maxdeg", "deletion strategy: "+strings.Join(adversary.Names(), ", "))
+		steps    = flag.Int("steps", 32, "adversarial steps")
+		insertP  = flag.Float64("insert-p", 0, "probability each step is an insertion (churn)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		every    = flag.Int("measure-every", 8, "measure after every this many steps")
+		sample   = flag.Int("sample", 0, "BFS sources sampled for stretch (0 = exact)")
+		traceOut = flag.String("trace-out", "", "write the attack trace as JSON")
+		traceIn  = flag.String("trace-in", "", "replay an attack trace instead of generating one")
+	)
+	flag.Parse()
+
+	factories := healerFactories()
+	factory, ok := factories[*healerNm]
+	if !ok {
+		return fmt.Errorf("unknown healer %q", *healerNm)
+	}
+
+	if *traceIn != "" {
+		return replay(*traceIn, factory, *sample)
+	}
+
+	gen, err := graph.Generator(*topology)
+	if err != nil {
+		return err
+	}
+	del, err := adversary.ByName(*advName)
+	if err != nil {
+		return err
+	}
+	var adv adversary.Adversary = del
+	if *insertP > 0 {
+		adv = adversary.Churn{Delete: del, InsertP: *insertP, AttachK: 2, Preferential: true}
+	}
+
+	g0 := gen(*n, rand.New(rand.NewSource(*seed)))
+	fmt.Printf("topology=%s n=%d healer=%s adversary=%s steps=%d seed=%d\n\n",
+		*topology, g0.NumNodes(), factory.Name, adv.Name(), *steps, *seed)
+
+	r := harness.NewRunner(g0, factory, adv, *seed)
+	tb := metrics.Table{
+		Title: "time series",
+		Columns: []string{"step", "alive", "n ever", "max stretch", "bound",
+			"within", "max deg ratio", "largest comp"},
+	}
+	for done := 0; done < *steps; done += *every {
+		k := *every
+		if done+k > *steps {
+			k = *steps - done
+		}
+		if err := r.RunSteps(k); err != nil {
+			return err
+		}
+		addPoint(&tb, r.Measure(*sample))
+		if len(r.H.LiveNodes()) == 0 {
+			break
+		}
+	}
+	fmt.Println(tb.Render())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.T.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d ops)\n", *traceOut, len(r.T.Ops))
+	}
+	return nil
+}
+
+func addPoint(tb *metrics.Table, p harness.Point) {
+	maxStretch := metrics.F(p.Stretch.Max)
+	if p.Stretch.Disconnected > 0 {
+		maxStretch = "inf"
+	}
+	bound := metrics.Bound(p.NEver)
+	tb.AddRow(
+		metrics.D(p.Steps), metrics.D(p.Alive), metrics.D(p.NEver),
+		maxStretch, metrics.F(bound),
+		fmt.Sprintf("%v", p.Stretch.Max <= bound+1e-9),
+		metrics.F(p.Degree.Max), metrics.F(p.LCC),
+	)
+}
+
+func replay(path string, factory heal.Factory, sample int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	h, err := tr.Apply(factory)
+	if err != nil {
+		return err
+	}
+	net, gp, live := h.Network(), h.GPrime(), h.LiveNodes()
+	st := metrics.Stretch(net, gp, live, sample, rand.New(rand.NewSource(1)))
+	deg := metrics.Degrees(net, gp, live)
+	fmt.Printf("replayed %q (%d ops) against %s\n", tr.Label, len(tr.Ops), factory.Name)
+	fmt.Printf("alive=%d nEver=%d maxStretch=%v bound=%v maxDegRatio=%v largestComp=%v\n",
+		len(live), gp.NumNodes(), st.Max, metrics.Bound(gp.NumNodes()), deg.Max,
+		metrics.LargestComponentFrac(net))
+	return nil
+}

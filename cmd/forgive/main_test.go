@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+func TestHealerFactoriesComplete(t *testing.T) {
+	m := healerFactories()
+	for _, want := range []string{
+		"forgiving-graph", "forgiving-tree", "no-heal", "cycle-heal", "adopt-heal",
+	} {
+		f, ok := m[want]
+		if !ok {
+			t.Fatalf("missing healer %q", want)
+		}
+		h := f.New(graph.Path(3))
+		if h.Name() != want {
+			t.Fatalf("factory %q builds %q", want, h.Name())
+		}
+	}
+}
+
+func TestAddPoint(t *testing.T) {
+	tb := metrics.Table{Columns: []string{"step", "alive", "n ever", "max stretch",
+		"bound", "within", "max deg ratio", "largest comp"}}
+	addPoint(&tb, harness.Point{
+		Steps: 3, Alive: 5, NEver: 8,
+		Stretch: metrics.StretchResult{Max: 2},
+		Degree:  metrics.DegreeResult{Max: 1.5},
+		LCC:     1,
+	})
+	if len(tb.Rows) != 1 {
+		t.Fatal("no row added")
+	}
+	row := tb.Rows[0]
+	if row[0] != "3" || row[3] != "2" || row[5] != "true" {
+		t.Fatalf("row = %v", row)
+	}
+	// Disconnection renders as inf.
+	addPoint(&tb, harness.Point{
+		NEver:   8,
+		Stretch: metrics.StretchResult{Max: 99, Disconnected: 2},
+	})
+	if tb.Rows[1][3] != "inf" {
+		t.Fatalf("disconnected row = %v", tb.Rows[1])
+	}
+}

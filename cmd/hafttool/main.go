@@ -1,0 +1,220 @@
+// Command hafttool inspects half-full trees and replays the paper's
+// worked figures as ASCII art.
+//
+// Usage:
+//
+//	hafttool -build L          render haft(L) with its primary roots
+//	hafttool -merge 5,2,1      merge hafts of the given sizes (Figure 5)
+//	hafttool -demo fig2        deletion of a hub → Reconstruction Tree
+//	hafttool -demo fig3        haft(7) and its complete-tree decomposition
+//	hafttool -demo fig5        binary-addition merge 5+2+1 = 8
+//	hafttool -demo fig8        RT shatter and bottom-up re-merge
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/haft"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "hafttool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		build = flag.Int("build", 0, "render the canonical haft over L leaves")
+		merge = flag.String("merge", "", "merge hafts of comma-separated sizes")
+		demo  = flag.String("demo", "", "replay a paper figure: fig2, fig3, fig5, fig8")
+	)
+	flag.Parse()
+
+	switch {
+	case *build > 0:
+		return renderBuild(*build)
+	case *merge != "":
+		return renderMerge(*merge)
+	case *demo != "":
+		return renderDemo(*demo)
+	default:
+		flag.Usage()
+		return fmt.Errorf("choose one of -build, -merge, -demo")
+	}
+}
+
+func leafLabel(n *haft.Node) string {
+	if n.IsLeaf {
+		return fmt.Sprintf("%v", n.Payload)
+	}
+	return fmt.Sprintf("•(%d leaves, h=%d)", n.LeafCount, n.Height)
+}
+
+func renderBuild(l int) error {
+	h := haft.Build(l, func(i int) any { return fmt.Sprintf("v%d", i) })
+	fmt.Printf("haft(%d): depth=%d = ceil(log2 %d)=%d, %d internal nodes\n\n",
+		l, haft.Depth(h), l, ceilLog2(l), len(haft.Internal(h)))
+	fmt.Println(haft.Render(h, leafLabel))
+	roots := haft.PrimaryRoots(h)
+	fmt.Printf("primary roots (%d = popcount(%d)):\n", len(roots), l)
+	for _, r := range roots {
+		fmt.Printf("  complete tree with %d leaves: %s\n", haft.CountLeaves(r), haft.LeafString(r))
+	}
+	return nil
+}
+
+func renderMerge(spec string) error {
+	var sizes []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, v)
+	}
+	var pieces []*haft.Node
+	next := 0
+	total := 0
+	for _, l := range sizes {
+		h := haft.Build(l, func(i int) any { return fmt.Sprintf("v%d", next+i) })
+		next += l
+		total += l
+		fmt.Printf("input haft(%d):\n%s\n", l, haft.Render(h, leafLabel))
+		roots, discarded := haft.Strip(h)
+		fmt.Printf("strip: %d complete trees, %d joiners discarded\n\n", len(roots), len(discarded))
+		pieces = append(pieces, roots...)
+	}
+	merged := haft.Merge(pieces, nil)
+	fmt.Printf("merged haft(%d) — binary addition of the sizes:\n%s",
+		total, haft.Render(merged, leafLabel))
+	return nil
+}
+
+func renderDemo(name string) error {
+	switch name {
+	case "fig2":
+		return demoFig2()
+	case "fig3":
+		return renderBuild(7)
+	case "fig5":
+		return renderMerge("5,2,1")
+	case "fig6":
+		return demoFig6()
+	case "fig8":
+		return demoFig8()
+	default:
+		return fmt.Errorf("unknown demo %q", name)
+	}
+}
+
+// demoFig6 reproduces Figure 6's view: the virtual nodes (real leaf
+// avatars and helper nodes) with the processors simulating them.
+func demoFig6() error {
+	fmt.Println("Figure 6: virtual nodes and the processors simulating them")
+	fmt.Println("(9-node star with hub 0; the hub dies, then a survivor dies)")
+	g0 := graph.Star(9)
+	e := core.NewEngine(g0)
+	if err := e.Delete(0); err != nil {
+		return err
+	}
+	fmt.Println("\nafter deleting the hub:")
+	fmt.Print(e.RenderRTs())
+	if err := e.Delete(3); err != nil {
+		return err
+	}
+	fmt.Println("\nafter also deleting node 3 (its leaf avatar and helper vanish):")
+	fmt.Print(e.RenderRTs())
+	fmt.Println("\nL(v,x)@p = leaf avatar of G' edge (v,x) simulated by processor p;")
+	fmt.Println("H(v,x)@p = helper node in the same slot; rep = the representative leaf.")
+	return e.CheckInvariants()
+}
+
+// demoFig2 reproduces Figure 2: a deleted hub v with neighbors a..h is
+// replaced by its Reconstruction Tree.
+func demoFig2() error {
+	fmt.Println("Figure 2: node v (hub of a..h) is deleted and replaced by RT(v)")
+	edges := make([]repro.Edge, 8)
+	for i := range edges {
+		edges[i] = repro.Edge{U: 100, V: repro.NodeID(i)}
+	}
+	net, err := repro.New(edges)
+	if err != nil {
+		return err
+	}
+	if err := net.Delete(100); err != nil {
+		return err
+	}
+	fmt.Println("\nactual network after the repair (homomorphic image of RT(v)):")
+	for _, e := range net.Edges() {
+		fmt.Printf("  %c -- %c\n", 'a'+rune(e.U), 'a'+rune(e.V))
+	}
+	rs := net.LastRepair()
+	fmt.Printf("\nRT(v): %d leaves, depth %d (= ceil(log2 8)), %d helper nodes\n",
+		rs.RTLeaves, rs.RTDepth, rs.NewHelpers)
+	sr := net.StretchReport()
+	fmt.Printf("max stretch %.2f (bound log2(9) = %.2f)\n", sr.Max, sr.Bound)
+	return nil
+}
+
+// demoFig8 reproduces the Figure 7/8 story: a node simulating helpers
+// dies, its RT shatters into fragments, and the fragments strip and
+// re-merge bottom-up.
+func demoFig8() error {
+	fmt.Println("Figures 7-8: deletion inside an existing RT — shatter, strip, re-merge")
+	g0 := graph.Star(8)
+	net, err := repro.New(toEdges(g0))
+	if err != nil {
+		return err
+	}
+	if err := net.Delete(0); err != nil {
+		return err
+	}
+	first := net.LastRepair()
+	fmt.Printf("\nstep 1: delete the hub → RT over %d leaves, %d helpers created\n",
+		first.RTLeaves, first.NewHelpers)
+	if err := net.Delete(2); err != nil {
+		return err
+	}
+	rs := net.LastRepair()
+	fmt.Printf("step 2: delete node 2 (a leaf that also simulates a helper)\n")
+	fmt.Printf("  virtual nodes removed:   %d (its leaf avatar + its helper)\n", rs.RemovedNodes)
+	fmt.Printf("  fragments merged:        %d\n", rs.Components)
+	fmt.Printf("  helpers discarded (red): %d\n", rs.DiscardedHelpers)
+	fmt.Printf("  helpers created:         %d\n", rs.NewHelpers)
+	fmt.Printf("  new RT: %d leaves, depth %d\n", rs.RTLeaves, rs.RTDepth)
+	fmt.Println("\nactual network now:")
+	for _, e := range net.Edges() {
+		fmt.Printf("  %d -- %d\n", e.U, e.V)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		return err
+	}
+	fmt.Println("\nall invariants hold.")
+	return nil
+}
+
+func toEdges(g *graph.Graph) []repro.Edge {
+	var out []repro.Edge
+	for _, e := range g.Edges() {
+		out = append(out, repro.Edge{U: repro.NodeID(e.U), V: repro.NodeID(e.V)})
+	}
+	return out
+}
+
+func ceilLog2(l int) int {
+	if l <= 1 {
+		return 0
+	}
+	return bits.Len(uint(l - 1))
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/haft"
+)
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, tt := range tests {
+		if got := ceilLog2(tt.in); got != tt.want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLeafLabel(t *testing.T) {
+	leaf := haft.NewLeaf("x")
+	if got := leafLabel(leaf); got != "x" {
+		t.Fatalf("leaf label = %q", got)
+	}
+	h := haft.Build(4, nil)
+	if got := leafLabel(h); got != "•(4 leaves, h=2)" {
+		t.Fatalf("internal label = %q", got)
+	}
+}
+
+func TestRenderBuildAndMerge(t *testing.T) {
+	if err := renderBuild(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := renderMerge("5,2,1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := renderMerge("5,,x"); err == nil {
+		t.Fatal("bad merge spec accepted")
+	}
+	if err := renderMerge("0"); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestDemos(t *testing.T) {
+	for _, demo := range []string{"fig2", "fig3", "fig5", "fig6", "fig8"} {
+		if err := renderDemo(demo); err != nil {
+			t.Fatalf("demo %s: %v", demo, err)
+		}
+	}
+	if err := renderDemo("fig99"); err == nil {
+		t.Fatal("unknown demo accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Command soak runs a long randomized churn campaign against the
+// Forgiving Graph — both the reference engine and the distributed
+// protocol — revalidating every structural invariant continuously and
+// reporting distributions of the paper's quantities at the end. It is
+// the tool for shaking out rare interleavings beyond what unit tests
+// sample.
+//
+// Usage:
+//
+//	soak [-n N] [-topology NAME] [-steps K] [-seed S] [-insert-p P]
+//	     [-check-every C] [-dist] [-parallel]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 128, "initial node count")
+		topology = flag.String("topology", "powerlaw", "initial topology")
+		steps    = flag.Int("steps", 2000, "churn steps")
+		seed     = flag.Int64("seed", time.Now().UnixNano(), "random seed (default: time)")
+		insertP  = flag.Float64("insert-p", 0.45, "insertion probability per step")
+		checkEvy = flag.Int("check-every", 25, "full invariant re-validation interval")
+		useDist  = flag.Bool("dist", false, "soak the distributed protocol instead of the engine")
+		parallel = flag.Bool("parallel", false, "with -dist: goroutine-per-processor delivery")
+	)
+	flag.Parse()
+
+	gen, err := graph.Generator(*topology)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	g0 := gen(*n, rng)
+	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v\n",
+		*topology, g0.NumNodes(), *steps, *seed, *useDist, *parallel)
+
+	var (
+		target soakTarget
+	)
+	if *useDist {
+		s := dist.NewSimulation(g0)
+		s.SetParallel(*parallel)
+		target = distTarget{s}
+	} else {
+		target = engineTarget{core.NewEngine(g0)}
+	}
+
+	churn := adversary.Churn{
+		InsertP:      *insertP,
+		AttachK:      2,
+		Preferential: true,
+		Delete:       adversary.RandomDelete{},
+	}
+	nextID := graph.NodeID(1 << 20)
+	alloc := func() graph.NodeID { nextID++; return nextID }
+
+	repairMsgs := metrics.NewHistogram(0, 400, 20)
+	degRatios := metrics.NewHistogram(0, 4.25, 17)
+	start := time.Now()
+	deletions := 0
+	for step := 1; step <= *steps; step++ {
+		op, ok := churn.Next(target, rng, alloc)
+		if !ok {
+			fmt.Printf("network empty after %d steps\n", step)
+			break
+		}
+		if op.Insert {
+			if err := target.Insert(op.V, op.Nbrs); err != nil {
+				return fmt.Errorf("step %d: %v: %w", step, op, err)
+			}
+		} else {
+			if err := target.Delete(op.V); err != nil {
+				return fmt.Errorf("step %d: %v: %w", step, op, err)
+			}
+			deletions++
+			repairMsgs.Observe(float64(target.LastRepairMessages()))
+		}
+		if step%*checkEvy == 0 {
+			if err := target.Validate(); err != nil {
+				return fmt.Errorf("step %d: INVARIANT VIOLATION: %w", step, err)
+			}
+			net := target.Network()
+			gp := target.GPrime()
+			live := target.LiveNodes()
+			deg := metrics.Degrees(net, gp, live)
+			degRatios.Observe(deg.Max)
+			if deg.Max > 4 {
+				return fmt.Errorf("step %d: degree ratio %v > 4", step, deg.Max)
+			}
+		}
+	}
+	if err := target.Validate(); err != nil {
+		return fmt.Errorf("final validation: %w", err)
+	}
+
+	fmt.Printf("\n%d steps (%d deletions) in %v — all invariants held\n\n",
+		*steps, deletions, time.Since(start).Round(time.Millisecond))
+	if *useDist {
+		fmt.Println("repair messages per deletion:")
+		fmt.Println(repairMsgs.Render(40))
+	}
+	fmt.Println("max degree ratio at checkpoints:")
+	fmt.Println(degRatios.Render(40))
+	return nil
+}
+
+// soakTarget abstracts the two implementations for the soak loop; it
+// also satisfies adversary.View.
+type soakTarget interface {
+	adversary.View
+	Insert(v graph.NodeID, nbrs []graph.NodeID) error
+	Delete(v graph.NodeID) error
+	Validate() error
+	LastRepairMessages() int
+}
+
+type engineTarget struct{ e *core.Engine }
+
+func (t engineTarget) LiveNodes() []graph.NodeID { return t.e.LiveNodes() }
+func (t engineTarget) Network() *graph.Graph     { return t.e.Physical() }
+func (t engineTarget) GPrime() *graph.Graph      { return t.e.GPrime() }
+func (t engineTarget) Insert(v graph.NodeID, nbrs []graph.NodeID) error {
+	return t.e.Insert(v, nbrs)
+}
+func (t engineTarget) Delete(v graph.NodeID) error { return t.e.Delete(v) }
+func (t engineTarget) Validate() error             { return t.e.CheckInvariants() }
+func (t engineTarget) LastRepairMessages() int     { return 0 }
+
+type distTarget struct{ s *dist.Simulation }
+
+func (t distTarget) LiveNodes() []graph.NodeID { return t.s.LiveNodes() }
+func (t distTarget) Network() *graph.Graph     { return t.s.Physical() }
+func (t distTarget) GPrime() *graph.Graph      { return t.s.GPrime() }
+func (t distTarget) Insert(v graph.NodeID, nbrs []graph.NodeID) error {
+	return t.s.Insert(v, nbrs)
+}
+func (t distTarget) Delete(v graph.NodeID) error { return t.s.Delete(v) }
+func (t distTarget) Validate() error             { return t.s.Verify() }
+func (t distTarget) LastRepairMessages() int     { return t.s.LastRecovery().Messages }

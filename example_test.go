@@ -1,0 +1,68 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The basic lifecycle: build a network, survive a deletion, audit the
+// guarantees.
+func ExampleNetwork() {
+	net, err := repro.New([]repro.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The adversary deletes the hub; the Forgiving Graph replaces it
+	// with a Reconstruction Tree over the survivors.
+	if err := net.Delete(0); err != nil {
+		panic(err)
+	}
+	fmt.Println("alive:", net.NumAlive())
+	fmt.Println("connected 1-3:", net.Distance(1, 3) > 0)
+	fmt.Println("invariants:", net.CheckInvariants() == nil)
+	// Output:
+	// alive: 4
+	// connected 1-3: true
+	// invariants: true
+}
+
+// Repair statistics expose the Reconstruction Tree the paper describes.
+func ExampleNetwork_LastRepair() {
+	net, err := repro.New([]repro.Edge{
+		{U: 9, V: 1}, {U: 9, V: 2}, {U: 9, V: 3}, {U: 9, V: 4},
+		{U: 9, V: 5}, {U: 9, V: 6}, {U: 9, V: 7}, {U: 9, V: 8},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := net.Delete(9); err != nil {
+		panic(err)
+	}
+	rs := net.LastRepair()
+	fmt.Printf("RT over %d leaves, depth %d, %d helpers\n",
+		rs.RTLeaves, rs.RTDepth, rs.NewHelpers)
+	// Output:
+	// RT over 8 leaves, depth 3, 7 helpers
+}
+
+// StretchReport audits Theorem 1.2 on demand.
+func ExampleNetwork_StretchReport() {
+	net, err := repro.New([]repro.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := net.Delete(2); err != nil {
+		panic(err)
+	}
+	r := net.StretchReport()
+	fmt.Println("within bound:", r.Satisfied)
+	fmt.Println("pairs measured:", r.Pairs)
+	// Output:
+	// within bound: true
+	// pairs measured: 6
+}

@@ -1,0 +1,98 @@
+// P2P churn: the paper's motivating scenario. A peer-to-peer overlay
+// suffers continuous adversarial churn — peers join with arbitrary
+// connections and an omniscient attacker keeps deleting the
+// highest-degree peer — while the Forgiving Graph keeps the overlay
+// connected with provably low stretch.
+//
+// Run with: go run ./examples/p2pchurn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2009)) // PODC 2009
+
+	// Bootstrap: 50 peers joining one by one, each knowing 1-3 peers.
+	var edges []repro.Edge
+	for i := 1; i < 50; i++ {
+		k := rng.Intn(3) + 1
+		seen := map[int]bool{}
+		for j := 0; j < k; j++ {
+			t := rng.Intn(i)
+			if !seen[t] {
+				seen[t] = true
+				edges = append(edges, repro.Edge{U: repro.NodeID(i), V: repro.NodeID(t)})
+			}
+		}
+	}
+	net, err := repro.New(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped overlay: %d peers\n\n", net.NumAlive())
+
+	nextID := repro.NodeID(1000)
+	fmt.Println("step  alive  everSeen  maxStretch  bound  maxDegRatio")
+	for step := 1; step <= 120; step++ {
+		peers := net.Nodes()
+		if rng.Float64() < 0.45 {
+			// A new peer joins, attaching to up to 2 random peers.
+			k := rng.Intn(2) + 1
+			if k > len(peers) {
+				k = len(peers)
+			}
+			nbrs := make([]repro.NodeID, 0, k)
+			for _, idx := range rng.Perm(len(peers))[:k] {
+				nbrs = append(nbrs, peers[idx])
+			}
+			if err := net.Insert(nextID, nbrs); err != nil {
+				log.Fatal(err)
+			}
+			nextID++
+		} else {
+			// The omniscient adversary kills the busiest peer.
+			victim, best := peers[0], -1
+			for _, p := range peers {
+				if d := net.Degree(p); d > best {
+					victim, best = p, d
+				}
+			}
+			if err := net.Delete(victim); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if step%20 == 0 {
+			sr := net.StretchReport()
+			dr := net.DegreeReport()
+			fmt.Printf("%4d  %5d  %8d  %10.2f  %5.2f  %11.2f\n",
+				step, net.NumAlive(), net.NumEver(), sr.Max, sr.Bound, dr.MaxRatio)
+			if !sr.Satisfied {
+				log.Fatalf("stretch bound violated at step %d", step)
+			}
+		}
+	}
+
+	// Final connectivity check: any two live peers can still reach
+	// each other if they could in the insertions-only graph.
+	peers := net.Nodes()
+	unreachable := 0
+	for i := 0; i < 200; i++ {
+		u := peers[rng.Intn(len(peers))]
+		v := peers[rng.Intn(len(peers))]
+		if net.DistancePrime(u, v) >= 0 && net.Distance(u, v) < 0 {
+			unreachable++
+		}
+	}
+	fmt.Printf("\nafter 120 churn events: %d peers alive, %d unreachable pairs (want 0)\n",
+		net.NumAlive(), unreachable)
+	if err := net.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("overlay healthy: all invariants hold.")
+}

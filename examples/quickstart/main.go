@@ -1,0 +1,56 @@
+// Quickstart: build a small network, let an adversary delete a node,
+// and watch the Forgiving Graph keep distances and degrees in check.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A tiny overlay: a hub (0) with a ring around it.
+	edges := []repro.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}, {U: 0, V: 5},
+		{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 1},
+	}
+	net, err := repro.New(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial network: %d nodes, %d edges\n", net.NumAlive(), len(net.Edges()))
+
+	// The adversary kills the hub.
+	if err := net.Delete(0); err != nil {
+		log.Fatal(err)
+	}
+	rs := net.LastRepair()
+	fmt.Printf("deleted the hub: repair merged %d pieces into a Reconstruction Tree "+
+		"over %d leaves (depth %d), creating %d helper nodes\n",
+		rs.Components, rs.RTLeaves, rs.RTDepth, rs.NewHelpers)
+
+	// Distances stay close to what they'd be with no deletion at all.
+	fmt.Printf("dist(1,3): now %d, insertions-only graph %d\n",
+		net.Distance(1, 3), net.DistancePrime(1, 3))
+
+	// A newcomer joins, connected to two survivors.
+	if err := net.Insert(10, []repro.NodeID{1, 4}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node 10 joined; network now has %d nodes\n", net.NumAlive())
+
+	// Audit the paper's two guarantees.
+	sr := net.StretchReport()
+	fmt.Printf("stretch:  max %.2f over %d pairs (bound log2(%d) = %.2f) — satisfied: %v\n",
+		sr.Max, sr.Pairs, net.NumEver(), sr.Bound, sr.Satisfied)
+	dr := net.DegreeReport()
+	fmt.Printf("degree:   max amplification %.2fx over the insertions-only graph\n", dr.MaxRatio)
+
+	if err := net.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all structural invariants hold.")
+}

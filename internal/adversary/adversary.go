@@ -1,0 +1,325 @@
+// Package adversary implements the omniscient adversary of the paper's
+// model: at each step it deletes an arbitrary node or inserts a node
+// with arbitrary connections, knowing the full topology and the
+// algorithm. The strategies here range from oblivious (random) to the
+// targeted attacks the lower bound and the related-work discussion are
+// about (hub killing, helper hunting, center attacks).
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// NodeID identifies a processor.
+type NodeID = graph.NodeID
+
+// Op is one adversarial action.
+type Op struct {
+	Insert bool     `json:"insert,omitempty"`
+	V      NodeID   `json:"v"`
+	Nbrs   []NodeID `json:"nbrs,omitempty"`
+}
+
+func (o Op) String() string {
+	if o.Insert {
+		return fmt.Sprintf("insert %d -> %v", o.V, o.Nbrs)
+	}
+	return fmt.Sprintf("delete %d", o.V)
+}
+
+// View is the adversary's omniscient read access to the network under
+// attack.
+type View interface {
+	// LiveNodes lists live nodes ascending.
+	LiveNodes() []NodeID
+	// Network returns the current actual network.
+	Network() *graph.Graph
+	// GPrime returns the insertions-only graph.
+	GPrime() *graph.Graph
+}
+
+// Adversary produces the next attack given the current state. ok=false
+// means the adversary has no move (e.g. the network is empty).
+type Adversary interface {
+	Name() string
+	Next(v View, rng *rand.Rand, nextID func() NodeID) (op Op, ok bool)
+}
+
+// RandomDelete deletes a uniformly random live node.
+type RandomDelete struct{}
+
+// Name implements Adversary.
+func (RandomDelete) Name() string { return "random-delete" }
+
+// Next implements Adversary.
+func (RandomDelete) Next(v View, rng *rand.Rand, _ func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	return Op{V: live[rng.Intn(len(live))]}, true
+}
+
+// MaxDegreeDelete always kills the highest-degree node of the *actual*
+// network — it hunts both hubs and busy helper simulators.
+type MaxDegreeDelete struct{}
+
+// Name implements Adversary.
+func (MaxDegreeDelete) Name() string { return "max-degree-delete" }
+
+// Next implements Adversary.
+func (MaxDegreeDelete) Next(v View, _ *rand.Rand, _ func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	net := v.Network()
+	best, bestDeg := live[0], -1
+	for _, u := range live {
+		if d := net.Degree(u); d > bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return Op{V: best}, true
+}
+
+// MinDegreeDelete kills the lowest-degree live node, eroding the
+// network's fringe.
+type MinDegreeDelete struct{}
+
+// Name implements Adversary.
+func (MinDegreeDelete) Name() string { return "min-degree-delete" }
+
+// Next implements Adversary.
+func (MinDegreeDelete) Next(v View, _ *rand.Rand, _ func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	net := v.Network()
+	best, bestDeg := live[0], int(^uint(0)>>1)
+	for _, u := range live {
+		if d := net.Degree(u); d < bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return Op{V: best}, true
+}
+
+// RTTargetDelete kills the live node with the most deleted G′ neighbors
+// — the node simulating the most helper roles, maximizing RT shatter.
+type RTTargetDelete struct{}
+
+// Name implements Adversary.
+func (RTTargetDelete) Name() string { return "rt-target-delete" }
+
+// Next implements Adversary.
+func (RTTargetDelete) Next(v View, _ *rand.Rand, _ func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	liveSet := make(map[NodeID]struct{}, len(live))
+	for _, u := range live {
+		liveSet[u] = struct{}{}
+	}
+	gp := v.GPrime()
+	best, bestDead := live[0], -1
+	for _, u := range live {
+		dead := 0
+		gp.EachNeighbor(u, func(w NodeID) {
+			if _, ok := liveSet[w]; !ok {
+				dead++
+			}
+		})
+		if dead > bestDead {
+			best, bestDead = u, dead
+		}
+	}
+	return Op{V: best}, true
+}
+
+// CenterDelete kills the node of minimum eccentricity in the largest
+// component — the center attack that maximizes path damage.
+type CenterDelete struct{}
+
+// Name implements Adversary.
+func (CenterDelete) Name() string { return "center-delete" }
+
+// Next implements Adversary.
+func (CenterDelete) Next(v View, _ *rand.Rand, _ func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	net := v.Network()
+	best := live[0]
+	bestEcc, bestReach := int(^uint(0)>>1), -1
+	for _, u := range live {
+		ecc, reached := net.Eccentricity(u)
+		// Prefer nodes that reach more (in the big component), then
+		// smaller eccentricity.
+		if reached > bestReach || (reached == bestReach && ecc < bestEcc) {
+			best, bestEcc, bestReach = u, ecc, reached
+		}
+	}
+	return Op{V: best}, true
+}
+
+// CutVertexDelete kills an articulation point of the current network
+// when one exists (preferring the one of highest degree), falling back
+// to max-degree deletion otherwise. Against a non-healing network this
+// disconnects at every opportunity; against the Forgiving Graph it
+// forces maximal Reconstruction-Tree work.
+type CutVertexDelete struct{}
+
+// Name implements Adversary.
+func (CutVertexDelete) Name() string { return "cut-vertex-delete" }
+
+// Next implements Adversary.
+func (CutVertexDelete) Next(v View, rng *rand.Rand, next func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	net := v.Network()
+	cuts := net.ArticulationPoints()
+	if len(cuts) == 0 {
+		return MaxDegreeDelete{}.Next(v, rng, next)
+	}
+	best, bestDeg := cuts[0], -1
+	for _, u := range cuts {
+		if d := net.Degree(u); d > bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return Op{V: best}, true
+}
+
+// Churn interleaves insertions with an inner deletion strategy.
+type Churn struct {
+	// Delete supplies the deletion moves (defaults to RandomDelete).
+	Delete Adversary
+	// InsertP is the probability of inserting instead of deleting.
+	InsertP float64
+	// AttachK is how many neighbors a new node connects to (clamped to
+	// the live population; at least 1).
+	AttachK int
+	// Preferential attaches proportionally to current degree instead
+	// of uniformly.
+	Preferential bool
+}
+
+// Name implements Adversary.
+func (c Churn) Name() string {
+	inner := "random-delete"
+	if c.Delete != nil {
+		inner = c.Delete.Name()
+	}
+	kind := "uniform"
+	if c.Preferential {
+		kind = "preferential"
+	}
+	return fmt.Sprintf("churn(p=%.2f,k=%d,%s,%s)", c.InsertP, c.AttachK, kind, inner)
+}
+
+// Next implements Adversary.
+func (c Churn) Next(v View, rng *rand.Rand, nextID func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	if rng.Float64() >= c.InsertP {
+		del := c.Delete
+		if del == nil {
+			del = RandomDelete{}
+		}
+		return del.Next(v, rng, nextID)
+	}
+	k := c.AttachK
+	if k < 1 {
+		k = 1
+	}
+	if k > len(live) {
+		k = len(live)
+	}
+	var nbrs []NodeID
+	if c.Preferential {
+		net := v.Network()
+		var stubs []NodeID
+		for _, u := range live {
+			for i := 0; i <= net.Degree(u); i++ { // +1 smooths zero degrees
+				stubs = append(stubs, u)
+			}
+		}
+		chosen := make(map[NodeID]struct{}, k)
+		for len(chosen) < k {
+			chosen[stubs[rng.Intn(len(stubs))]] = struct{}{}
+		}
+		for u := range chosen {
+			nbrs = append(nbrs, u)
+		}
+		sortNodeIDs(nbrs)
+	} else {
+		for _, idx := range rng.Perm(len(live))[:k] {
+			nbrs = append(nbrs, live[idx])
+		}
+		sortNodeIDs(nbrs)
+	}
+	return Op{Insert: true, V: nextID(), Nbrs: nbrs}, true
+}
+
+// Scripted replays a fixed operation sequence.
+type Scripted struct {
+	Ops []Op
+	pos int
+}
+
+// Name implements Adversary.
+func (s *Scripted) Name() string { return "scripted" }
+
+// Next implements Adversary.
+func (s *Scripted) Next(View, *rand.Rand, func() NodeID) (Op, bool) {
+	if s.pos >= len(s.Ops) {
+		return Op{}, false
+	}
+	op := s.Ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+// ByName resolves the deletion adversaries used by the CLI tools.
+func ByName(name string) (Adversary, error) {
+	switch name {
+	case "random":
+		return RandomDelete{}, nil
+	case "maxdeg":
+		return MaxDegreeDelete{}, nil
+	case "mindeg":
+		return MinDegreeDelete{}, nil
+	case "rt-target":
+		return RTTargetDelete{}, nil
+	case "center":
+		return CenterDelete{}, nil
+	case "cutvertex":
+		return CutVertexDelete{}, nil
+	default:
+		return nil, fmt.Errorf("adversary: unknown strategy %q (want random, maxdeg, mindeg, rt-target, center, or cutvertex)", name)
+	}
+}
+
+// Names lists the strategies ByName accepts.
+func Names() []string {
+	return []string{"random", "maxdeg", "mindeg", "rt-target", "center", "cutvertex"}
+}
+
+func sortNodeIDs(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fakeView is a static View for adversary unit tests.
+type fakeView struct {
+	net *graph.Graph
+	gp  *graph.Graph
+}
+
+func (f fakeView) LiveNodes() []NodeID   { return f.net.Nodes() }
+func (f fakeView) Network() *graph.Graph { return f.net.Clone() }
+func (f fakeView) GPrime() *graph.Graph  { return f.gp.Clone() }
+
+func viewOf(net *graph.Graph) fakeView { return fakeView{net: net, gp: net.Clone()} }
+
+func TestRandomDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := viewOf(graph.Path(5))
+	op, ok := RandomDelete{}.Next(v, rng, nil)
+	if !ok || op.Insert {
+		t.Fatalf("op = %v ok = %v", op, ok)
+	}
+	if !v.net.HasNode(op.V) {
+		t.Fatalf("picked dead node %d", op.V)
+	}
+	// Empty network: no move.
+	if _, ok := (RandomDelete{}).Next(viewOf(graph.New()), rng, nil); ok {
+		t.Fatal("move on empty network")
+	}
+}
+
+func TestMaxDegreeDelete(t *testing.T) {
+	op, ok := MaxDegreeDelete{}.Next(viewOf(graph.Star(7)), nil, nil)
+	if !ok || op.V != 0 {
+		t.Fatalf("expected hub 0, got %v", op)
+	}
+}
+
+func TestMinDegreeDelete(t *testing.T) {
+	op, ok := MinDegreeDelete{}.Next(viewOf(graph.Star(7)), nil, nil)
+	if !ok || op.V == 0 {
+		t.Fatalf("expected a leaf, got %v", op)
+	}
+}
+
+func TestRTTargetDelete(t *testing.T) {
+	// G' is a path 0-1-2-3; only 1 and 3 are live. Node 1 has two dead
+	// G' neighbors (0 and 2); node 3 has one (2).
+	gp := graph.Path(4)
+	net := graph.New()
+	net.AddEdge(1, 3)
+	op, ok := RTTargetDelete{}.Next(fakeView{net: net, gp: gp}, nil, nil)
+	if !ok || op.V != 1 {
+		t.Fatalf("expected 1 (most dead neighbors), got %v", op)
+	}
+}
+
+func TestCutVertexDelete(t *testing.T) {
+	// Two triangles joined by a bridge: 2 and 3 are the cut vertices;
+	// both have degree 3, ties resolve to the first (smallest).
+	g := graph.New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	g.AddEdge(2, 3)
+	op, ok := CutVertexDelete{}.Next(viewOf(g), nil, nil)
+	if !ok || op.V != 2 {
+		t.Fatalf("expected cut vertex 2, got %v", op)
+	}
+	// Biconnected network: falls back to max degree.
+	op, ok = CutVertexDelete{}.Next(viewOf(graph.Complete(4)), nil, nil)
+	if !ok || op.Insert {
+		t.Fatalf("fallback failed: %v", op)
+	}
+	if _, ok := (CutVertexDelete{}).Next(viewOf(graph.New()), nil, nil); ok {
+		t.Fatal("move on empty network")
+	}
+}
+
+func TestCenterDelete(t *testing.T) {
+	op, ok := CenterDelete{}.Next(viewOf(graph.Path(7)), nil, nil)
+	if !ok || op.V != 3 {
+		t.Fatalf("expected path center 3, got %v", op)
+	}
+}
+
+func TestChurnMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := Churn{InsertP: 0.5, AttachK: 2}
+	next := NodeID(100)
+	alloc := func() NodeID { next++; return next }
+	inserts, deletes := 0, 0
+	v := viewOf(graph.Cycle(8))
+	for i := 0; i < 200; i++ {
+		op, ok := c.Next(v, rng, alloc)
+		if !ok {
+			t.Fatal("no move")
+		}
+		if op.Insert {
+			inserts++
+			if len(op.Nbrs) != 2 {
+				t.Fatalf("attach count = %d, want 2", len(op.Nbrs))
+			}
+			seen := map[NodeID]bool{}
+			for _, x := range op.Nbrs {
+				if seen[x] {
+					t.Fatal("duplicate attach target")
+				}
+				seen[x] = true
+				if !v.net.HasNode(x) {
+					t.Fatalf("attach to dead node %d", x)
+				}
+			}
+		} else {
+			deletes++
+		}
+	}
+	if inserts < 60 || deletes < 60 {
+		t.Fatalf("mix skewed: %d inserts, %d deletes", inserts, deletes)
+	}
+}
+
+func TestChurnPreferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := Churn{InsertP: 1.0, AttachK: 1, Preferential: true}
+	v := viewOf(graph.Star(20))
+	next := NodeID(100)
+	alloc := func() NodeID { next++; return next }
+	hub := 0
+	for i := 0; i < 300; i++ {
+		op, _ := c.Next(v, rng, alloc)
+		if op.Nbrs[0] == 0 {
+			hub++
+		}
+	}
+	// The hub holds half the degree mass; uniform would pick it ~5%.
+	if hub < 60 {
+		t.Fatalf("hub picked %d/300 times; preferential attachment looks uniform", hub)
+	}
+}
+
+func TestChurnInnerDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := Churn{InsertP: 0, Delete: MaxDegreeDelete{}}
+	op, ok := c.Next(viewOf(graph.Star(5)), rng, func() NodeID { return 99 })
+	if !ok || op.Insert || op.V != 0 {
+		t.Fatalf("inner delete not used: %v", op)
+	}
+}
+
+func TestScripted(t *testing.T) {
+	s := &Scripted{Ops: []Op{{V: 3}, {Insert: true, V: 9, Nbrs: []NodeID{1}}}}
+	a, ok := s.Next(nil, nil, nil)
+	if !ok || a.V != 3 {
+		t.Fatalf("first op = %v", a)
+	}
+	b, ok := s.Next(nil, nil, nil)
+	if !ok || !b.Insert {
+		t.Fatalf("second op = %v", b)
+	}
+	if _, ok := s.Next(nil, nil, nil); ok {
+		t.Fatal("script did not end")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		adv, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if adv.Name() == "" {
+			t.Fatalf("adversary %q has empty name", name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if got := (Op{V: 5}).String(); got != "delete 5" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Op{Insert: true, V: 5, Nbrs: []NodeID{1}}).String(); got != "insert 5 -> [1]" {
+		t.Fatalf("String = %q", got)
+	}
+}

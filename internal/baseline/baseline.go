@@ -1,0 +1,123 @@
+// Package baseline provides the naive self-healing strategies the paper
+// argues against. They bracket the degree/stretch tradeoff of Theorem 2:
+//
+//   - NoHeal performs no repair: degree never grows (α = 1) but the
+//     network disconnects, i.e. stretch is unbounded (β = ∞).
+//   - CycleHeal strings the deleted node's neighbors into a cycle:
+//     cheap, constant degree increase per incident deletion, but
+//     distances through a repair grow linearly in the degree of the
+//     deleted node, so β = Θ(d) rather than O(log n).
+//   - AdoptHeal (the "surrogate" strategy of Saia–Trehan 2008) lets the
+//     smallest surviving neighbor adopt all of the deleted node's
+//     edges: β ≤ 2 per level, but α = Θ(n) on a star — the degree
+//     blow-up Theorem 2 says is unavoidable if stretch must stay this
+//     low.
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/heal"
+)
+
+// NodeID identifies a processor.
+type NodeID = heal.NodeID
+
+// NoHeal removes nodes without repairing anything.
+type NoHeal struct {
+	heal.Tracker
+}
+
+// NewNoHeal returns the do-nothing strategy.
+func NewNoHeal(g0 *graph.Graph) *NoHeal { return &NoHeal{Tracker: heal.NewTracker(g0)} }
+
+// Name implements heal.Healer.
+func (h *NoHeal) Name() string { return "no-heal" }
+
+// Insert implements heal.Healer.
+func (h *NoHeal) Insert(v NodeID, nbrs []NodeID) error { return h.ValidateInsert(v, nbrs) }
+
+// Delete implements heal.Healer.
+func (h *NoHeal) Delete(v NodeID) error {
+	_, err := h.ValidateDelete(v)
+	return err
+}
+
+// CycleHeal reconnects the deleted node's former neighbors in a cycle
+// (ascending by id). Each incident deletion adds at most 2 to a
+// neighbor's degree.
+type CycleHeal struct {
+	heal.Tracker
+}
+
+// NewCycleHeal returns the ring-repair strategy.
+func NewCycleHeal(g0 *graph.Graph) *CycleHeal { return &CycleHeal{Tracker: heal.NewTracker(g0)} }
+
+// Name implements heal.Healer.
+func (h *CycleHeal) Name() string { return "cycle-heal" }
+
+// Insert implements heal.Healer.
+func (h *CycleHeal) Insert(v NodeID, nbrs []NodeID) error { return h.ValidateInsert(v, nbrs) }
+
+// Delete implements heal.Healer.
+func (h *CycleHeal) Delete(v NodeID) error {
+	nbrs, err := h.ValidateDelete(v)
+	if err != nil {
+		return err
+	}
+	if len(nbrs) < 2 {
+		return nil
+	}
+	for i := range nbrs {
+		h.Cur.AddEdge(nbrs[i], nbrs[(i+1)%len(nbrs)])
+		if len(nbrs) == 2 {
+			break // a 2-cycle is a single edge
+		}
+	}
+	return nil
+}
+
+// AdoptHeal promotes the smallest former neighbor to surrogate: it
+// inherits an edge to every other former neighbor.
+type AdoptHeal struct {
+	heal.Tracker
+}
+
+// NewAdoptHeal returns the surrogate-repair strategy.
+func NewAdoptHeal(g0 *graph.Graph) *AdoptHeal { return &AdoptHeal{Tracker: heal.NewTracker(g0)} }
+
+// Name implements heal.Healer.
+func (h *AdoptHeal) Name() string { return "adopt-heal" }
+
+// Insert implements heal.Healer.
+func (h *AdoptHeal) Insert(v NodeID, nbrs []NodeID) error { return h.ValidateInsert(v, nbrs) }
+
+// Delete implements heal.Healer.
+func (h *AdoptHeal) Delete(v NodeID) error {
+	nbrs, err := h.ValidateDelete(v)
+	if err != nil {
+		return err
+	}
+	if len(nbrs) < 2 {
+		return nil
+	}
+	surrogate := nbrs[0] // neighbors are ascending
+	for _, x := range nbrs[1:] {
+		h.Cur.AddEdge(surrogate, x)
+	}
+	return nil
+}
+
+// Factories lists the baseline strategies for the experiment harness.
+func Factories() []heal.Factory {
+	return []heal.Factory{
+		{Name: "no-heal", New: func(g *graph.Graph) heal.Healer { return NewNoHeal(g) }},
+		{Name: "cycle-heal", New: func(g *graph.Graph) heal.Healer { return NewCycleHeal(g) }},
+		{Name: "adopt-heal", New: func(g *graph.Graph) heal.Healer { return NewAdoptHeal(g) }},
+	}
+}
+
+var (
+	_ heal.Healer = (*NoHeal)(nil)
+	_ heal.Healer = (*CycleHeal)(nil)
+	_ heal.Healer = (*AdoptHeal)(nil)
+)

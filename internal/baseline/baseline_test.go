@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/heal"
+)
+
+func TestNoHealDisconnects(t *testing.T) {
+	h := NewNoHeal(graph.Star(5))
+	if err := h.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	net := h.Network()
+	if net.Connected() {
+		t.Fatal("no-heal should disconnect the star")
+	}
+	if net.NumEdges() != 0 {
+		t.Fatalf("edges = %d, want 0", net.NumEdges())
+	}
+}
+
+func TestCycleHealRing(t *testing.T) {
+	h := NewCycleHeal(graph.Star(6))
+	if err := h.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	net := h.Network()
+	if !net.Connected() {
+		t.Fatal("cycle-heal left the network disconnected")
+	}
+	// Five former leaves strung into a 5-cycle: everyone has degree 2.
+	for _, v := range h.LiveNodes() {
+		if net.Degree(v) != 2 {
+			t.Fatalf("degree(%d) = %d, want 2", v, net.Degree(v))
+		}
+	}
+	// Stretch is linear in the deleted degree: opposite nodes sit at
+	// distance 2 in G' but ⌊5/2⌋ in the ring.
+	if d := net.Distance(1, 3); d != 2 {
+		t.Fatalf("ring distance(1,3) = %d, want 2", d)
+	}
+}
+
+func TestCycleHealSmallCases(t *testing.T) {
+	// Degree-1 deletion: nothing to reconnect.
+	h := NewCycleHeal(graph.Path(2))
+	if err := h.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if h.Network().NumEdges() != 0 {
+		t.Fatal("unexpected repair edges")
+	}
+	// Degree-2 deletion: a single splice edge, not a double edge.
+	h2 := NewCycleHeal(graph.Path(3))
+	if err := h2.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := h2.Network(); !n.HasEdge(0, 2) || n.NumEdges() != 1 {
+		t.Fatalf("splice wrong: %v", n)
+	}
+}
+
+func TestAdoptHealStar(t *testing.T) {
+	h := NewAdoptHeal(graph.Star(6))
+	if err := h.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	net := h.Network()
+	if !net.Connected() {
+		t.Fatal("adopt-heal left the network disconnected")
+	}
+	// Node 1 (smallest survivor) adopts all: its degree is 4 while its
+	// G' degree is 1 — the α = Θ(n) blow-up of Theorem 2.
+	if net.Degree(1) != 4 {
+		t.Fatalf("surrogate degree = %d, want 4", net.Degree(1))
+	}
+	// But stretch stays tiny: everything is within 2 hops.
+	if net.Diameter() > 2 {
+		t.Fatalf("diameter = %d, want <= 2", net.Diameter())
+	}
+}
+
+func TestBaselineInsertDelete(t *testing.T) {
+	for _, f := range Factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			h := f.New(graph.Cycle(4))
+			if err := h.Insert(9, []NodeID{0, 2}); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Delete(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Delete(2); err == nil {
+				t.Fatal("double delete accepted")
+			}
+			if h.Alive(2) {
+				t.Fatal("2 still alive")
+			}
+			gp := h.GPrime()
+			if gp.NumNodes() != 5 || !gp.HasEdge(9, 0) {
+				t.Fatalf("gprime = %v", gp)
+			}
+			if got := len(h.LiveNodes()); got != 4 {
+				t.Fatalf("live count = %d", got)
+			}
+		})
+	}
+}
+
+func TestFactoriesNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, f := range Factories() {
+		h := f.New(graph.Path(2))
+		if h.Name() != f.Name {
+			t.Fatalf("factory %q builds healer %q", f.Name, h.Name())
+		}
+		names[f.Name] = true
+	}
+	for _, want := range []string{"no-heal", "cycle-heal", "adopt-heal"} {
+		if !names[want] {
+			t.Fatalf("missing factory %q", want)
+		}
+	}
+}
+
+var _ heal.Healer = (*NoHeal)(nil)

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/haft"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// healthyEngine returns an engine with one non-trivial RT.
+func healthyEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(graph.Star(9))
+	if err := e.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("healthy engine rejected: %v", err)
+	}
+	return e
+}
+
+func anyHelper(t *testing.T, e *Engine) (Slot, *haft.Node) {
+	t.Helper()
+	for s, h := range e.helpers {
+		return s, h
+	}
+	t.Fatal("no helpers")
+	return Slot{}, nil
+}
+
+func wantInvariantError(t *testing.T, e *Engine, fragment string) {
+	t.Helper()
+	err := e.CheckInvariants()
+	if err == nil {
+		t.Fatalf("corruption not detected (want error containing %q)", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestCheckerDetectsMissingLeafAvatar(t *testing.T) {
+	e := healthyEngine(t)
+	s := Slot{Owner: 3, Other: 0}
+	leaf := e.leaves[s]
+	haft.Detach(leaf)
+	delete(e.leaves, s)
+	wantInvariantError(t, e, "missing leaf avatar")
+}
+
+func TestCheckerDetectsOrphanLeaf(t *testing.T) {
+	e := healthyEngine(t)
+	// Register a leaf for an edge whose endpoints are both alive.
+	e.leaves[Slot{Owner: 1, Other: 2}] = haft.NewLeaf(&vnode{slot: Slot{Owner: 1, Other: 2}})
+	wantInvariantError(t, e, "not deleted")
+}
+
+func TestCheckerDetectsStolenHelperSlot(t *testing.T) {
+	e := healthyEngine(t)
+	s, h := anyHelper(t, e)
+	delete(e.helpers, s)
+	// Re-register the helper under a slot with no leaf avatar.
+	e.helpers[Slot{Owner: s.Owner, Other: 999}] = h
+	wantInvariantError(t, e, "")
+}
+
+func TestCheckerDetectsCorruptStoredFields(t *testing.T) {
+	e := healthyEngine(t)
+	_, h := anyHelper(t, e)
+	h.LeafCount += 3
+	wantInvariantError(t, e, "haft")
+}
+
+func TestCheckerDetectsBrokenHaftShape(t *testing.T) {
+	e := healthyEngine(t)
+	_, h := anyHelper(t, e)
+	// Swap children so the left child is no longer the big perfect
+	// subtree (when heights differ) or corrupt the parent pointer.
+	h.Left.Parent = h.Right
+	wantInvariantError(t, e, "")
+}
+
+func TestCheckerDetectsWrongRepresentative(t *testing.T) {
+	e := healthyEngine(t)
+	s, h := anyHelper(t, e)
+	// Point the helper's representative at its own slot leaf, which
+	// simulates this very helper inside the subtree.
+	payload(h).rep = e.leaves[s]
+	if err := e.CheckInvariants(); err == nil {
+		t.Fatal("wrong representative not detected")
+	}
+}
+
+func TestCheckerDetectsDeadOwner(t *testing.T) {
+	e := healthyEngine(t)
+	// Forge liveness: mark a leaf's owner dead without repair.
+	delete(e.alive, 5)
+	e.dead[5] = struct{}{}
+	wantInvariantError(t, e, "")
+}
+
+// The stretch argument, microscopically: every pair of leaves of every
+// live RT is within 2·⌈log₂ leaves⌉ tree hops (Lemma 1 + haft depth),
+// which is what caps the end-to-end stretch at log₂(n).
+func TestRTLeafDistancesWithinLemma1Bound(t *testing.T) {
+	e := NewEngine(graph.PreferentialAttachment(40, 3, newRand(7)))
+	order := newRand(8).Perm(40)
+	for _, vi := range order[:30] {
+		if err := e.Delete(NodeID(vi)); err != nil {
+			t.Fatal(err)
+		}
+		for _, root := range e.RTRoots() {
+			leaves := haft.Leaves(root)
+			bound := 2 * ceilLog2Test(len(leaves))
+			for i := 0; i < len(leaves); i++ {
+				for j := i + 1; j < len(leaves); j++ {
+					if d := haft.LeafDistance(leaves[i], leaves[j]); d > bound {
+						t.Fatalf("RT with %d leaves: leaf distance %d > %d",
+							len(leaves), d, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+func ceilLog2Test(x int) int {
+	n, p := 0, 1
+	for p < x {
+		p <<= 1
+		n++
+	}
+	return n
+}

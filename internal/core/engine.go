@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/haft"
+)
+
+// Engine is the reference implementation of the Forgiving Graph. It is
+// not safe for concurrent use; the model (Figure 1 of the paper) is a
+// strictly alternating adversary/repair loop.
+type Engine struct {
+	gprime *graph.Graph // G′: every node and edge ever inserted, deletions ignored
+	alive  map[NodeID]struct{}
+	dead   map[NodeID]struct{}
+
+	leaves  map[Slot]*haft.Node // live leaf avatars L(v,x)
+	helpers map[Slot]*haft.Node // live helper nodes H(v,x)
+
+	policy RepPolicy
+	// structuralStrip switches the repair to the O(fragment)-time
+	// structural strip of package haft instead of the damage-guided
+	// fast strip; tests cross-check the two (see strip.go).
+	structuralStrip bool
+
+	stats Stats
+	last  RepairStats
+}
+
+// SetStructuralStrip toggles the reference (structural) strip
+// implementation; the default is the efficient damage-guided strip.
+// Both produce identical repairs.
+func (e *Engine) SetStructuralStrip(on bool) { e.structuralStrip = on }
+
+// NewEngine returns an engine whose initial network is a copy of g0,
+// running the paper's representative policy. Per the model there is no
+// pre-processing: processors start knowing only their neighbor lists.
+func NewEngine(g0 *graph.Graph) *Engine {
+	return NewEngineWithPolicy(g0, RepPaper)
+}
+
+// NewEngineWithPolicy returns an engine using the given representative
+// policy (see RepPolicy; the ablation experiment compares them).
+func NewEngineWithPolicy(g0 *graph.Graph, policy RepPolicy) *Engine {
+	e := &Engine{
+		gprime:  g0.Clone(),
+		alive:   make(map[NodeID]struct{}, g0.NumNodes()),
+		dead:    make(map[NodeID]struct{}),
+		leaves:  make(map[Slot]*haft.Node),
+		helpers: make(map[Slot]*haft.Node),
+		policy:  policy,
+	}
+	for _, v := range g0.Nodes() {
+		e.alive[v] = struct{}{}
+	}
+	return e
+}
+
+// Alive reports whether processor v is currently in the network.
+func (e *Engine) Alive(v NodeID) bool {
+	_, ok := e.alive[v]
+	return ok
+}
+
+// NumAlive returns the number of live processors.
+func (e *Engine) NumAlive() int { return len(e.alive) }
+
+// NumEver returns n, the total number of processors ever seen (|G′|),
+// the quantity the stretch bound is stated against.
+func (e *Engine) NumEver() int { return e.gprime.NumNodes() }
+
+// GPrime returns a snapshot of G′ (original nodes plus insertions, no
+// deletions applied). The caller owns the copy.
+func (e *Engine) GPrime() *graph.Graph { return e.gprime.Clone() }
+
+// LiveNodes returns the live processors in ascending order.
+func (e *Engine) LiveNodes() []NodeID {
+	out := make([]NodeID, 0, len(e.alive))
+	for v := range e.alive {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Insert adds processor v connected to the given live neighbors, per the
+// model's adversarial insertion: the adversary may connect the new node
+// to any subset of current nodes (including none). Insertion triggers no
+// repair; the new edges join both G′ and the actual network.
+func (e *Engine) Insert(v NodeID, nbrs []NodeID) error {
+	if e.gprime.HasNode(v) {
+		return fmt.Errorf("core: insert %d: id already used (ids are never reused)", v)
+	}
+	seen := make(map[NodeID]struct{}, len(nbrs))
+	for _, x := range nbrs {
+		if x == v {
+			return fmt.Errorf("core: insert %d: self edge", v)
+		}
+		if !e.Alive(x) {
+			return fmt.Errorf("core: insert %d: neighbor %d is not a live node", v, x)
+		}
+		if _, dup := seen[x]; dup {
+			return fmt.Errorf("core: insert %d: duplicate neighbor %d", v, x)
+		}
+		seen[x] = struct{}{}
+	}
+	e.gprime.AddNode(v)
+	for _, x := range nbrs {
+		e.gprime.AddEdge(v, x)
+	}
+	e.alive[v] = struct{}{}
+	e.stats.Insertions++
+	return nil
+}
+
+// Delete removes processor v and runs the Forgiving Graph repair: v's
+// leaf avatars and simulated helpers vanish, the affected Reconstruction
+// Trees shatter into fragments, each fragment is stripped to its maximal
+// complete subtrees, and everything — together with fresh leaf avatars
+// for v's surviving direct neighbors — merges into a single new RT
+// (Section 3 and Algorithm A.3 of the paper).
+func (e *Engine) Delete(v NodeID) error {
+	if !e.Alive(v) {
+		return fmt.Errorf("core: delete %d: not a live node", v)
+	}
+	delete(e.alive, v)
+	e.dead[v] = struct{}{}
+
+	// Gather v's virtual nodes: one leaf and at most one helper per
+	// G′-edge of v.
+	var removed []*haft.Node
+	removedSet := make(map[*haft.Node]struct{})
+	for _, x := range e.gprime.Neighbors(v) {
+		s := Slot{Owner: v, Other: x}
+		if leaf, ok := e.leaves[s]; ok {
+			removed = append(removed, leaf)
+			removedSet[leaf] = struct{}{}
+			delete(e.leaves, s)
+		}
+		if h, ok := e.helpers[s]; ok {
+			removed = append(removed, h)
+			removedSet[h] = struct{}{}
+			delete(e.helpers, s)
+		}
+	}
+
+	// Unlink every edge incident to a removed node, remembering the
+	// surviving nodes that were cut loose. Survivors that lost a child
+	// seed the damaged set for the efficient strip (losing a parent
+	// leaves a subtree intact; losing a child does not).
+	survivors := make(map[*haft.Node]struct{})
+	var damagedSeeds []*haft.Node
+	for _, r := range removed {
+		if p := r.Parent; p != nil {
+			haft.Detach(r)
+			if _, gone := removedSet[p]; !gone {
+				survivors[p] = struct{}{}
+				damagedSeeds = append(damagedSeeds, p)
+			}
+		}
+		for _, c := range []*haft.Node{r.Left, r.Right} {
+			if c == nil {
+				continue
+			}
+			haft.Detach(c)
+			if _, gone := removedSet[c]; !gone {
+				survivors[c] = struct{}{}
+			}
+		}
+	}
+
+	// Fragment roots: walk up from each cut survivor. Distinct
+	// survivors in the same fragment converge to one root.
+	fragSet := make(map[*haft.Node]struct{})
+	var components []*haft.Node
+	for s := range survivors {
+		root := haft.Root(s)
+		if _, ok := fragSet[root]; !ok {
+			fragSet[root] = struct{}{}
+			components = append(components, root)
+		}
+	}
+
+	// Fresh leaf avatars for v's surviving direct neighbors: the edge
+	// (x,v) of G′ is now half-dead, so x's side becomes a leaf of the
+	// new RT.
+	for _, x := range e.gprime.Neighbors(v) {
+		if !e.Alive(x) {
+			continue
+		}
+		s := Slot{Owner: x, Other: v}
+		if _, dup := e.leaves[s]; dup {
+			panic(fmt.Sprintf("core: leaf avatar %v already exists", s))
+		}
+		leaf := haft.NewLeaf(&vnode{slot: s})
+		e.leaves[s] = leaf
+		components = append(components, leaf)
+	}
+
+	e.repair(components, markDamaged(damagedSeeds), len(removed))
+	e.stats.Deletions++
+	return nil
+}
+
+// repair strips the damaged components and merges them into one RT,
+// recording per-repair statistics.
+func (e *Engine) repair(components []*haft.Node, damaged map[*haft.Node]struct{}, removedCount int) {
+	e.last = RepairStats{RemovedNodes: removedCount, Components: len(components)}
+	if len(components) == 0 {
+		e.stats.Repairs++
+		return
+	}
+	// Deterministic component order, keyed by each fragment's leftmost
+	// leaf (O(height) to find — fragments must not be walked wholesale
+	// or the fast strip's locality is lost). Fragments with no leaves
+	// (lone red helpers) sort last; they contribute nothing anyway.
+	type keyed struct {
+		node *haft.Node
+		key  Slot
+		ok   bool
+	}
+	keys := make([]keyed, len(components))
+	for i, c := range components {
+		k, ok := leftmostLeafSlot(c)
+		keys[i] = keyed{node: c, key: k, ok: ok}
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		if keys[i].ok != keys[j].ok {
+			return keys[i].ok
+		}
+		if !keys[i].ok {
+			return false
+		}
+		return keys[i].key.less(keys[j].key)
+	})
+	for i := range keys {
+		components[i] = keys[i].node
+	}
+
+	// Strip first and retire the discarded helpers before any join: per
+	// Lemma 3.2 a processor may be asked to simulate a new helper on a
+	// slot whose old helper is being discarded in this very repair.
+	var complete []*haft.Node
+	for _, f := range components {
+		var roots, junk []*haft.Node
+		if e.structuralStrip {
+			roots, junk = haft.Strip(f)
+		} else {
+			roots, junk = stripFast(f, damaged)
+		}
+		complete = append(complete, roots...)
+		for _, d := range junk {
+			if d.IsLeaf {
+				panic("core: strip discarded a leaf avatar")
+			}
+			s := slotOf(d)
+			if e.helpers[s] != d {
+				panic(fmt.Sprintf("core: discarded helper not registered in slot %v", s))
+			}
+			delete(e.helpers, s)
+			e.last.DiscardedHelpers++
+		}
+	}
+
+	join := func(bigger, smaller *haft.Node) *haft.Node {
+		charged, passed := bigger, smaller
+		switch e.policy {
+		case RepSmaller:
+			charged, passed = smaller, bigger
+		case RepGreedy:
+			if e.amplification(procOf(repOf(smaller))) < e.amplification(procOf(repOf(bigger))) {
+				charged, passed = smaller, bigger
+			}
+		}
+		rep := repOf(charged)
+		s := slotOf(rep)
+		if _, exists := e.helpers[s]; exists {
+			panic(fmt.Sprintf("core: representative mechanism chose occupied slot %v", s))
+		}
+		h := &haft.Node{Payload: &vnode{slot: s, rep: repOf(passed)}}
+		e.helpers[s] = h
+		e.last.NewHelpers++
+		return h
+	}
+
+	root := haft.Merge(complete, join)
+	if root != nil {
+		e.last.RTLeaves = root.LeafCount
+		e.last.RTDepth = root.Height
+	}
+	e.stats.Repairs++
+	e.stats.TotalNewHelpers += e.last.NewHelpers
+	e.stats.TotalDiscarded += e.last.DiscardedHelpers
+}
+
+// leftmostLeafSlot descends to the leftmost genuine leaf of n's
+// fragment in O(height), reporting whether one exists. Preferring the
+// left child at every step matches the left-to-right orientation the
+// strip and merge preserve.
+func leftmostLeafSlot(n *haft.Node) (Slot, bool) {
+	for n != nil {
+		if n.IsLeaf {
+			return slotOf(n), true
+		}
+		if n.Left != nil {
+			n = n.Left
+			continue
+		}
+		n = n.Right
+	}
+	return Slot{}, false
+}
+
+// LastRepair returns statistics for the most recent deletion repair.
+func (e *Engine) LastRepair() RepairStats { return e.last }
+
+// TotalStats returns cumulative operation statistics.
+func (e *Engine) TotalStats() Stats { return e.stats }

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func mustDelete(t *testing.T, e *Engine, v NodeID) {
+	t.Helper()
+	if err := e.Delete(v); err != nil {
+		t.Fatalf("Delete(%d): %v", v, err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("after Delete(%d): %v", v, err)
+	}
+}
+
+func mustInsert(t *testing.T, e *Engine, v NodeID, nbrs []NodeID) {
+	t.Helper()
+	if err := e.Insert(v, nbrs); err != nil {
+		t.Fatalf("Insert(%d): %v", v, err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("after Insert(%d): %v", v, err)
+	}
+}
+
+func TestNewEngineInitialState(t *testing.T) {
+	e := NewEngine(graph.Cycle(5))
+	if e.NumAlive() != 5 || e.NumEver() != 5 {
+		t.Fatalf("alive=%d ever=%d", e.NumAlive(), e.NumEver())
+	}
+	if e.NumHelpers() != 0 || e.NumLeafAvatars() != 0 {
+		t.Fatal("fresh engine has virtual nodes")
+	}
+	if !e.Physical().Equal(graph.Cycle(5)) {
+		t.Fatal("initial physical network differs from G0")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	e := NewEngine(graph.Path(3))
+	tests := []struct {
+		name string
+		id   NodeID
+		nbrs []NodeID
+	}{
+		{"existing id", 1, nil},
+		{"self edge", 9, []NodeID{9}},
+		{"unknown neighbor", 9, []NodeID{77}},
+		{"duplicate neighbor", 9, []NodeID{0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := e.Insert(tt.id, tt.nbrs); err == nil {
+				t.Fatalf("Insert(%d,%v) accepted", tt.id, tt.nbrs)
+			}
+		})
+	}
+	// Dead ids are never reused.
+	mustDelete(t, e, 2)
+	if err := e.Insert(2, nil); err == nil {
+		t.Fatal("reused a dead id")
+	}
+	// Inserting with an edge to a dead node is rejected.
+	if err := e.Insert(9, []NodeID{2}); err == nil {
+		t.Fatal("edge to dead node accepted")
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	e := NewEngine(graph.Path(3))
+	if err := e.Delete(42); err == nil {
+		t.Fatal("deleted an unknown node")
+	}
+	mustDelete(t, e, 1)
+	if err := e.Delete(1); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+// Figure 2 of the paper: deleting the hub of a star replaces it with a
+// Reconstruction Tree over its 8 neighbors.
+func TestStarHubDeletion(t *testing.T) {
+	e := NewEngine(graph.Star(9))
+	mustDelete(t, e, 0)
+
+	if got := e.NumLeafAvatars(); got != 8 {
+		t.Fatalf("leaf avatars = %d, want 8", got)
+	}
+	// A haft over 8 leaves has exactly 7 helpers, all fresh.
+	if got := e.NumHelpers(); got != 7 {
+		t.Fatalf("helpers = %d, want 7", got)
+	}
+	rs := e.LastRepair()
+	if rs.NewHelpers != 7 || rs.DiscardedHelpers != 0 || rs.Components != 8 {
+		t.Fatalf("repair stats = %+v", rs)
+	}
+	if rs.RTLeaves != 8 || rs.RTDepth != 3 {
+		t.Fatalf("RT leaves=%d depth=%d, want 8/3", rs.RTLeaves, rs.RTDepth)
+	}
+
+	phys := e.Physical()
+	if phys.NumNodes() != 8 || !phys.Connected() {
+		t.Fatalf("physical: n=%d connected=%v", phys.NumNodes(), phys.Connected())
+	}
+	// Degree bound: every survivor had G' degree 1, so physical degree
+	// must stay ≤ 3 (the paper's factor; 4 is the hard invariant).
+	deg := e.CheckDegrees()
+	if deg.MaxRatio > 3 {
+		t.Fatalf("max degree ratio = %v > 3 on the star", deg.MaxRatio)
+	}
+	// Stretch bound: leaves were at pairwise G'-distance 2; through the
+	// depth-3 RT they are at distance ≤ 6; bound is log2(9) ≈ 3.17.
+	st := e.CheckStretch()
+	if !st.Satisfied() {
+		t.Fatalf("stretch %v exceeds bound %v (pair %d,%d)",
+			st.MaxStretch, st.Bound, st.WorstU, st.WorstV)
+	}
+	if st.MaxStretch > 3 {
+		t.Fatalf("stretch on star after one deletion = %v, want ≤ 3", st.MaxStretch)
+	}
+}
+
+// Deleting a degree-2 node splices its two neighbors together through a
+// 2-leaf RT, which collapses to a single physical edge.
+func TestPathMiddleDeletion(t *testing.T) {
+	e := NewEngine(graph.Path(3))
+	mustDelete(t, e, 1)
+	phys := e.Physical()
+	if !phys.HasEdge(0, 2) {
+		t.Fatal("neighbors not reconnected")
+	}
+	if phys.NumEdges() != 1 {
+		t.Fatalf("physical edges = %d, want 1", phys.NumEdges())
+	}
+	if e.NumHelpers() != 1 {
+		t.Fatalf("helpers = %d, want 1", e.NumHelpers())
+	}
+}
+
+// Cascade: delete the star hub, then delete a survivor that simulates a
+// helper. The RT must shatter, strip, and re-merge into a 3-leaf haft.
+func TestCascadeIntoRT(t *testing.T) {
+	e := NewEngine(graph.Star(5))
+	mustDelete(t, e, 0) // RT over {1,2,3,4}, 3 helpers
+	if e.NumHelpers() != 3 {
+		t.Fatalf("helpers after hub deletion = %d, want 3", e.NumHelpers())
+	}
+	mustDelete(t, e, 2)
+	if got := e.NumLeafAvatars(); got != 3 {
+		t.Fatalf("leaf avatars = %d, want 3", got)
+	}
+	if got := e.NumHelpers(); got != 2 {
+		t.Fatalf("helpers = %d, want 2 (haft(3) has 2 internal nodes)", got)
+	}
+	phys := e.Physical()
+	if phys.NumNodes() != 3 || !phys.Connected() {
+		t.Fatalf("physical: %v connected=%v", phys, phys.Connected())
+	}
+	st := e.CheckStretch()
+	if !st.Satisfied() {
+		t.Fatalf("stretch %v > bound %v", st.MaxStretch, st.Bound)
+	}
+}
+
+// Delete every node one by one; the engine must stay consistent down to
+// the empty network.
+func TestDeleteEverything(t *testing.T) {
+	e := NewEngine(graph.Grid(3, 3))
+	for _, v := range e.LiveNodes() {
+		mustDelete(t, e, v)
+	}
+	if e.NumAlive() != 0 || e.NumHelpers() != 0 || e.NumLeafAvatars() != 0 {
+		t.Fatalf("residue after total deletion: alive=%d helpers=%d leaves=%d",
+			e.NumAlive(), e.NumHelpers(), e.NumLeafAvatars())
+	}
+}
+
+// Deleting an isolated node is a legal no-op repair.
+func TestDeleteIsolatedNode(t *testing.T) {
+	g := graph.New()
+	g.AddNode(1)
+	g.AddNode(2)
+	e := NewEngine(g)
+	mustDelete(t, e, 1)
+	if e.NumAlive() != 1 {
+		t.Fatalf("alive = %d, want 1", e.NumAlive())
+	}
+	if rs := e.LastRepair(); rs.Components != 0 || rs.RTLeaves != 0 {
+		t.Fatalf("repair stats for isolated deletion = %+v", rs)
+	}
+}
+
+// A node whose last neighbor dies becomes the lone leaf of a trivial RT:
+// no helpers, no physical edges.
+func TestLoneLeafTrivialRT(t *testing.T) {
+	e := NewEngine(graph.Path(2))
+	mustDelete(t, e, 0)
+	if e.NumLeafAvatars() != 1 || e.NumHelpers() != 0 {
+		t.Fatalf("avatars=%d helpers=%d, want 1/0", e.NumLeafAvatars(), e.NumHelpers())
+	}
+	if got := e.Physical().NumEdges(); got != 0 {
+		t.Fatalf("physical edges = %d, want 0", got)
+	}
+}
+
+// Insertions after deletions: new nodes connect to survivors, and later
+// deletions of those survivors pull the newcomers into RTs.
+func TestInsertThenDeleteMix(t *testing.T) {
+	e := NewEngine(graph.Cycle(4))
+	mustInsert(t, e, 10, []NodeID{0, 2})
+	mustDelete(t, e, 0)
+	mustInsert(t, e, 11, []NodeID{10})
+	mustDelete(t, e, 2)
+	mustInsert(t, e, 12, []NodeID{11, 1})
+	mustDelete(t, e, 10)
+
+	phys := e.Physical()
+	if !phys.Connected() {
+		t.Fatal("network disconnected after churn")
+	}
+	st := e.CheckStretch()
+	if !st.Satisfied() {
+		t.Fatalf("stretch %v > bound %v", st.MaxStretch, st.Bound)
+	}
+	if e.NumEver() != 7 {
+		t.Fatalf("NumEver = %d, want 7", e.NumEver())
+	}
+}
+
+// An isolated insertion starts its own component; the connectivity
+// invariant must treat components independently.
+func TestIsolatedInsertion(t *testing.T) {
+	e := NewEngine(graph.Path(3))
+	mustInsert(t, e, 50, nil)
+	mustInsert(t, e, 51, []NodeID{50})
+	mustDelete(t, e, 50)
+	phys := e.Physical()
+	if phys.Distance(0, 51) != graph.Unreachable {
+		t.Fatal("separate components merged")
+	}
+}
+
+// The direct edge between two live nodes must never disappear,
+// regardless of surrounding churn.
+func TestDirectEdgesPersist(t *testing.T) {
+	e := NewEngine(graph.Complete(5))
+	mustDelete(t, e, 0)
+	mustDelete(t, e, 1)
+	phys := e.Physical()
+	for _, u := range e.LiveNodes() {
+		for _, v := range e.LiveNodes() {
+			if u < v && !phys.HasEdge(u, v) {
+				t.Fatalf("direct edge {%d,%d} lost", u, v)
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	e := NewEngine(graph.Star(4))
+	mustDelete(t, e, 0)
+	mustInsert(t, e, 9, []NodeID{1})
+	s := e.TotalStats()
+	if s.Deletions != 1 || s.Insertions != 1 || s.Repairs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TotalNewHelpers != 2 {
+		t.Fatalf("TotalNewHelpers = %d, want 2 (haft over 3 leaves)", s.TotalNewHelpers)
+	}
+}
+
+func TestVirtualDegreeBoundsPhysical(t *testing.T) {
+	e := NewEngine(graph.Star(8))
+	mustDelete(t, e, 0)
+	phys := e.Physical()
+	for _, v := range e.LiveNodes() {
+		pd := phys.Degree(v)
+		vd := e.VirtualDegree(v)
+		if pd > vd {
+			t.Fatalf("node %d: physical degree %d > virtual degree %d", v, pd, vd)
+		}
+		if vd > 4*e.DegreePrime(v) {
+			t.Fatalf("node %d: virtual degree %d > 4×%d", v, vd, e.DegreePrime(v))
+		}
+	}
+	if e.VirtualDegree(0) != 0 {
+		t.Fatal("dead node should have virtual degree 0")
+	}
+}
+
+func TestStretchReportFields(t *testing.T) {
+	e := NewEngine(graph.Star(9))
+	mustDelete(t, e, 0)
+	st := e.CheckStretch()
+	if st.Pairs != 28 { // C(8,2)
+		t.Fatalf("pairs = %d, want 28", st.Pairs)
+	}
+	if st.MaxStretch < 1 {
+		t.Fatalf("max stretch = %v, expected ≥ 1 after hub deletion", st.MaxStretch)
+	}
+	if math.IsInf(st.MaxStretch, 1) {
+		t.Fatal("infinite stretch reported on a connected repair")
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// allGraphsOn enumerates every labeled simple graph on n vertices (all
+// 2^(n(n-1)/2) edge subsets).
+func allGraphsOn(n int) []*graph.Graph {
+	type pair struct{ u, v NodeID }
+	var pairs []pair
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, pair{NodeID(u), NodeID(v)})
+		}
+	}
+	var out []*graph.Graph
+	for mask := 0; mask < 1<<len(pairs); mask++ {
+		g := graph.New()
+		for i := 0; i < n; i++ {
+			g.AddNode(NodeID(i))
+		}
+		for i, p := range pairs {
+			if mask&(1<<i) != 0 {
+				g.AddEdge(p.u, p.v)
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// permutations returns all orderings of 0..n-1.
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	sub := permutations(n - 1)
+	for _, p := range sub {
+		for pos := 0; pos <= len(p); pos++ {
+			q := make([]int, 0, n)
+			q = append(q, p[:pos]...)
+			q = append(q, n-1)
+			q = append(q, p[pos:]...)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// TestExhaustiveFourNodeGraphs runs every labeled graph on 4 vertices
+// through every deletion order, checking all invariants and the stretch
+// bound after every single step. 64 graphs × 24 orders × 4 deletions:
+// the complete corner-case space at this size.
+func TestExhaustiveFourNodeGraphs(t *testing.T) {
+	graphs := allGraphsOn(4)
+	orders := permutations(4)
+	for gi, g0 := range graphs {
+		for oi, order := range orders {
+			e := NewEngine(g0)
+			for step, vi := range order {
+				if err := e.Delete(NodeID(vi)); err != nil {
+					t.Fatalf("graph %d order %v step %d: %v", gi, order, step, err)
+				}
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatalf("graph %d order %v step %d: %v", gi, order, step, err)
+				}
+				if st := e.CheckStretch(); !st.Satisfied() {
+					t.Fatalf("graph %d order %v step %d: stretch %v > %v",
+						gi, order, step, st.MaxStretch, st.Bound)
+				}
+			}
+			_ = oi
+		}
+	}
+}
+
+// TestExhaustiveFiveNodeGraphsSampled covers the 1024 five-vertex
+// graphs with four random deletion orders each (and interleaved
+// insertions on a third of them).
+func TestExhaustiveFiveNodeGraphsSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for gi, g0 := range allGraphsOn(5) {
+		for trial := 0; trial < 4; trial++ {
+			e := NewEngine(g0)
+			order := rng.Perm(5)
+			insertAt := -1
+			if gi%3 == 0 {
+				insertAt = rng.Intn(5)
+			}
+			for step, vi := range order {
+				if step == insertAt && e.NumAlive() > 0 {
+					live := e.LiveNodes()
+					if err := e.Insert(NodeID(100+step), []NodeID{live[rng.Intn(len(live))]}); err != nil {
+						t.Fatalf("graph %d trial %d: insert: %v", gi, trial, err)
+					}
+				}
+				if err := e.Delete(NodeID(vi)); err != nil {
+					t.Fatalf("graph %d trial %d step %d: %v", gi, trial, step, err)
+				}
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatalf("graph %d trial %d order %v step %d: %v", gi, trial, order, step, err)
+				}
+			}
+			if st := e.CheckStretch(); !st.Satisfied() {
+				t.Fatalf("graph %d trial %d: stretch %v > %v", gi, trial, st.MaxStretch, st.Bound)
+			}
+		}
+	}
+}

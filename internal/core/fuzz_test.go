@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzEngineTrace interprets a byte string as an operation program over
+// a small initial clique — each byte either deletes a live node (by
+// index) or inserts a node attached to one or two live nodes — and
+// checks the full invariant suite plus the stretch bound after every
+// step. Run with `go test -fuzz FuzzEngineTrace ./internal/core`; the
+// seed corpus doubles as a unit test.
+func FuzzEngineTrace(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add([]byte{0x80, 0, 0x81, 1, 0x80, 2})
+	f.Add([]byte{5, 4, 3, 2, 1, 0})
+	f.Add([]byte{0x90, 0x91, 0x92, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) > 40 {
+			t.Skip()
+		}
+		e := NewEngine(graph.Complete(6))
+		nextID := NodeID(1000)
+		for pc, op := range program {
+			live := e.LiveNodes()
+			if len(live) == 0 {
+				break
+			}
+			if op&0x80 != 0 {
+				// Insert attached to one or two live nodes.
+				nbrs := []NodeID{live[int(op&0x3F)%len(live)]}
+				if op&0x40 != 0 {
+					other := live[(int(op&0x3F)+1)%len(live)]
+					if other != nbrs[0] {
+						nbrs = append(nbrs, other)
+					}
+				}
+				if err := e.Insert(nextID, nbrs); err != nil {
+					t.Fatalf("pc %d: insert: %v", pc, err)
+				}
+				nextID++
+			} else {
+				v := live[int(op)%len(live)]
+				if err := e.Delete(v); err != nil {
+					t.Fatalf("pc %d: delete %d: %v", pc, v, err)
+				}
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("pc %d (op %#x): %v", pc, op, err)
+			}
+		}
+		if st := e.CheckStretch(); !st.Satisfied() {
+			t.Fatalf("stretch %v > bound %v", st.MaxStretch, st.Bound)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/haft"
+)
+
+// CheckInvariants revalidates the engine's entire structural state from
+// scratch. It is deliberately independent of the incremental bookkeeping
+// in Delete/repair so that tests catch drift between the two. The checks
+// mirror the paper's lemmas:
+//
+//  1. leaf-avatar characterization: L(v,x) exists iff (v,x) ∈ G′, v is
+//     alive and x is deleted;
+//  2. helper-per-slot (Lemma 3.1): at most one helper per slot, owner
+//     alive, its leaf in the same RT and inside the helper's subtree;
+//  3. every RT is a valid haft, and an RT with L leaves has exactly L-1
+//     helpers;
+//  4. representative correctness: each helper's stored representative is
+//     the unique leaf of its subtree simulating no helper within that
+//     subtree;
+//  5. hard degree bound: physical degree ≤ 4·(G′ degree) for every live
+//     processor (the paper's Theorem 1.1 claims 3; see DESIGN.md — we
+//     verify the provable 4 and report the realized maximum separately);
+//  6. connectivity: two live processors are connected in the actual
+//     network iff they are connected in G′.
+func (e *Engine) CheckInvariants() error {
+	// (1) leaf characterization.
+	for s, leaf := range e.leaves {
+		if !e.Alive(s.Owner) {
+			return fmt.Errorf("leaf %v: owner not alive", s)
+		}
+		if _, dead := e.dead[s.Other]; !dead {
+			return fmt.Errorf("leaf %v: other endpoint not deleted", s)
+		}
+		if !e.gprime.HasEdge(s.Owner, s.Other) {
+			return fmt.Errorf("leaf %v: no such G' edge", s)
+		}
+		if !leaf.IsLeaf {
+			return fmt.Errorf("leaf %v: tree node not marked leaf", s)
+		}
+		if slotOf(leaf) != s {
+			return fmt.Errorf("leaf %v: payload slot %v mismatch", s, slotOf(leaf))
+		}
+	}
+	for v := range e.alive {
+		for _, x := range e.gprime.Neighbors(v) {
+			if _, dead := e.dead[x]; dead {
+				if _, ok := e.leaves[Slot{Owner: v, Other: x}]; !ok {
+					return fmt.Errorf("missing leaf avatar (%d,%d)", v, x)
+				}
+			}
+		}
+	}
+
+	// (2) helper slots.
+	for s, h := range e.helpers {
+		if !e.Alive(s.Owner) {
+			return fmt.Errorf("helper %v: owner not alive", s)
+		}
+		if h.IsLeaf {
+			return fmt.Errorf("helper %v: marked as leaf", s)
+		}
+		if slotOf(h) != s {
+			return fmt.Errorf("helper %v: payload slot %v mismatch", s, slotOf(h))
+		}
+		leaf, ok := e.leaves[s]
+		if !ok {
+			return fmt.Errorf("helper %v: no leaf avatar in the same slot", s)
+		}
+		if !inSubtree(leaf, h) {
+			return fmt.Errorf("helper %v: its leaf avatar is not inside its subtree", s)
+		}
+	}
+
+	// (3) RTs are hafts with the right helper census.
+	for _, root := range e.RTRoots() {
+		if err := haft.Validate(root); err != nil {
+			return fmt.Errorf("RT invalid: %w", err)
+		}
+		leaves := haft.Leaves(root)
+		internal := haft.Internal(root)
+		if len(internal) != len(leaves)-1 {
+			return fmt.Errorf("RT with %d leaves has %d helpers, want %d",
+				len(leaves), len(internal), len(leaves)-1)
+		}
+		for _, l := range leaves {
+			if e.leaves[slotOf(l)] != l {
+				return fmt.Errorf("RT leaf %v not registered", slotOf(l))
+			}
+		}
+		for _, h := range internal {
+			if e.helpers[slotOf(h)] != h {
+				return fmt.Errorf("RT helper %v not registered", slotOf(h))
+			}
+		}
+	}
+
+	// (4) representatives.
+	for s, h := range e.helpers {
+		rep := repOf(h)
+		if rep == nil {
+			return fmt.Errorf("helper %v: nil representative", s)
+		}
+		free := e.freeLeaves(h)
+		if len(free) != 1 {
+			return fmt.Errorf("helper %v: %d free leaves in subtree, want exactly 1", s, len(free))
+		}
+		if free[0] != rep {
+			return fmt.Errorf("helper %v: stored representative %v, recomputed %v",
+				s, slotOf(rep), slotOf(free[0]))
+		}
+	}
+
+	// (5) hard degree bound.
+	phys := e.Physical()
+	for v := range e.alive {
+		dp := e.gprime.Degree(v)
+		if got := phys.Degree(v); got > 4*dp {
+			return fmt.Errorf("degree bound: node %d has physical degree %d > 4×%d", v, got, dp)
+		}
+	}
+
+	// (6) connectivity equivalence with G′.
+	if err := e.checkConnectivity(phys); err != nil {
+		return err
+	}
+	return nil
+}
+
+// freeLeaves recomputes, from scratch, the leaves of h's subtree that
+// simulate no helper located within that subtree.
+func (e *Engine) freeLeaves(h *haft.Node) []*haft.Node {
+	inside := make(map[*haft.Node]struct{})
+	for _, x := range haft.Internal(h) {
+		inside[x] = struct{}{}
+	}
+	var free []*haft.Node
+	for _, l := range haft.Leaves(h) {
+		if other, ok := e.helpers[slotOf(l)]; ok {
+			if _, in := inside[other]; in {
+				continue
+			}
+		}
+		free = append(free, l)
+	}
+	return free
+}
+
+func inSubtree(n, root *haft.Node) bool {
+	for x := n; x != nil; x = x.Parent {
+		if x == root {
+			return true
+		}
+	}
+	return false
+}
+
+// checkConnectivity verifies that live processors are connected in the
+// physical network exactly when they are connected in G′ (deleted nodes
+// count as usable intermediates in G′, matching the distance metric).
+func (e *Engine) checkConnectivity(phys *graph.Graph) error {
+	live := e.LiveNodes()
+	if len(live) == 0 {
+		return nil
+	}
+	seen := make(map[NodeID]struct{})
+	for _, src := range live {
+		if _, done := seen[src]; done {
+			continue
+		}
+		gp := e.gprime.BFS(src)
+		ph := phys.BFS(src)
+		for _, v := range live {
+			_, inPrime := gp[v]
+			_, inPhys := ph[v]
+			if inPrime != inPhys {
+				return fmt.Errorf("connectivity: %d~%d is %v in G' but %v in actual network",
+					src, v, inPrime, inPhys)
+			}
+			if inPhys {
+				seen[v] = struct{}{}
+			}
+		}
+	}
+	return nil
+}
+
+// StretchReport holds the result of a stretch audit.
+type StretchReport struct {
+	// MaxStretch is max over measured live pairs of
+	// dist(x,y,G_T)/dist(x,y,G′_T).
+	MaxStretch float64
+	// Bound is log₂(n) with n = |G′_T|, the paper's guarantee.
+	Bound float64
+	// WorstU, WorstV attain MaxStretch.
+	WorstU, WorstV NodeID
+	// Pairs is how many live pairs were measured.
+	Pairs int
+}
+
+// Satisfied reports whether the measured stretch is within the bound.
+// Pairs at G′-distance 1 trivially satisfy any bound ≥ 1; the bound is
+// vacuous for n < 2 so we clamp it to 1.
+func (r StretchReport) Satisfied() bool {
+	bound := r.Bound
+	if bound < 1 {
+		bound = 1
+	}
+	return r.MaxStretch <= bound+1e-9
+}
+
+// CheckStretch measures the exact maximum stretch over all live pairs by
+// running a BFS per live node in both the physical network and G′. Cost
+// is O(n·(n+m)); intended for tests and experiment-scale graphs.
+func (e *Engine) CheckStretch() StretchReport {
+	phys := e.Physical()
+	live := e.LiveNodes()
+	rep := StretchReport{Bound: log2(float64(e.NumEver()))}
+	for i, u := range live {
+		du := phys.BFS(u)
+		dp := e.gprime.BFS(u)
+		for _, v := range live[i+1:] {
+			dPrime, okP := dp[v]
+			if !okP || dPrime == 0 {
+				continue // unreachable in G′ (or self): bound does not apply
+			}
+			dPhys, okG := du[v]
+			if !okG {
+				// Connectivity invariant says this cannot happen;
+				// surface it as infinite stretch.
+				rep.MaxStretch = math.Inf(1)
+				rep.WorstU, rep.WorstV = u, v
+				rep.Pairs++
+				continue
+			}
+			rep.Pairs++
+			if s := float64(dPhys) / float64(dPrime); s > rep.MaxStretch {
+				rep.MaxStretch = s
+				rep.WorstU, rep.WorstV = u, v
+			}
+		}
+	}
+	return rep
+}
+
+// DegreeReport holds the result of a degree audit.
+type DegreeReport struct {
+	// MaxRatio is max over live v with DegreePrime(v) > 0 of
+	// physicalDegree(v)/degreePrime(v).
+	MaxRatio float64
+	// Worst attains MaxRatio.
+	Worst NodeID
+	// Over3 counts live processors whose ratio exceeds the paper's
+	// stated factor 3.
+	Over3 int
+}
+
+// CheckDegrees measures the realized degree amplification of every live
+// processor against its G′ degree.
+func (e *Engine) CheckDegrees() DegreeReport {
+	phys := e.Physical()
+	var rep DegreeReport
+	for v := range e.alive {
+		dp := e.gprime.Degree(v)
+		if dp == 0 {
+			continue
+		}
+		ratio := float64(phys.Degree(v)) / float64(dp)
+		if ratio > rep.MaxRatio {
+			rep.MaxRatio = ratio
+			rep.Worst = v
+		}
+		if ratio > 3+1e-9 {
+			rep.Over3++
+		}
+	}
+	return rep
+}
+
+func log2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/haft"
+)
+
+// Physical returns the current actual network G_T: the simple graph over
+// live processors that is the homomorphic image of the virtual graph.
+// Edges come from two sources: G′ edges whose endpoints are both alive
+// (direct edges are never rewired while both ends live), and tree edges
+// of the Reconstruction Trees, mapped to the simulating processors.
+// Self-loops (a processor adjacent to a node it simulates itself) and
+// parallel edges collapse, exactly as in the paper's homomorphism.
+// The caller owns the returned graph.
+func (e *Engine) Physical() *graph.Graph {
+	g := graph.New()
+	for v := range e.alive {
+		g.AddNode(v)
+	}
+	for v := range e.alive {
+		e.gprime.EachNeighbor(v, func(x NodeID) {
+			if _, ok := e.alive[x]; ok {
+				g.AddEdge(v, x)
+			}
+		})
+	}
+	addParentEdge := func(n *haft.Node) {
+		if n.Parent == nil {
+			return
+		}
+		a, b := procOf(n), procOf(n.Parent)
+		if a != b {
+			g.AddEdge(a, b)
+		}
+	}
+	for _, n := range e.leaves {
+		addParentEdge(n)
+	}
+	for _, n := range e.helpers {
+		addParentEdge(n)
+	}
+	return g
+}
+
+// DegreePrime returns the degree of v in G′ (edges to both live and
+// deleted neighbors count, per the paper's success metric).
+func (e *Engine) DegreePrime(v NodeID) int { return e.gprime.Degree(v) }
+
+// VirtualDegree returns the number of virtual-graph edge incidences of
+// processor v before homomorphic collapse: its live direct edges plus
+// the tree edges of its avatars and helpers. This upper-bounds the
+// physical degree and is itself bounded by 4·DegreePrime(v); the
+// physical (collapsed) degree is what Theorem 1.1 speaks about.
+func (e *Engine) VirtualDegree(v NodeID) int {
+	if !e.Alive(v) {
+		return 0
+	}
+	deg := 0
+	e.gprime.EachNeighbor(v, func(x NodeID) {
+		if e.Alive(x) {
+			deg++ // direct edge
+			return
+		}
+		s := Slot{Owner: v, Other: x}
+		if leaf, ok := e.leaves[s]; ok && leaf.Parent != nil {
+			deg++
+		}
+		if h, ok := e.helpers[s]; ok {
+			if h.Parent != nil {
+				deg++
+			}
+			if h.Left != nil {
+				deg++
+			}
+			if h.Right != nil {
+				deg++
+			}
+		}
+	})
+	return deg
+}
+
+// RTRoots returns the roots of all current Reconstruction Trees,
+// deduplicated, in no particular order.
+func (e *Engine) RTRoots() []*haft.Node {
+	seen := make(map[*haft.Node]struct{})
+	var roots []*haft.Node
+	collect := func(n *haft.Node) {
+		r := haft.Root(n)
+		if _, ok := seen[r]; !ok {
+			seen[r] = struct{}{}
+			roots = append(roots, r)
+		}
+	}
+	for _, n := range e.leaves {
+		collect(n)
+	}
+	for _, n := range e.helpers {
+		collect(n)
+	}
+	return roots
+}
+
+// LeafPartition returns, for every Reconstruction Tree, the sorted slots
+// of its leaf avatars, with the trees ordered by smallest slot. Two
+// implementations of the repair that agree on semantics produce the same
+// partition even when their tree shapes differ; the distributed protocol
+// is cross-checked against this.
+func (e *Engine) LeafPartition() [][]Slot {
+	var part [][]Slot
+	for _, root := range e.RTRoots() {
+		var slots []Slot
+		for _, l := range haft.Leaves(root) {
+			slots = append(slots, slotOf(l))
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i].less(slots[j]) })
+		part = append(part, slots)
+	}
+	sort.Slice(part, func(i, j int) bool { return part[i][0].less(part[j][0]) })
+	return part
+}
+
+// NumLeafAvatars and NumHelpers expose the virtual-graph population for
+// tests and metrics.
+func (e *Engine) NumLeafAvatars() int { return len(e.leaves) }
+
+// NumHelpers returns the number of live helper nodes.
+func (e *Engine) NumHelpers() int { return len(e.helpers) }

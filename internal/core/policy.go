@@ -1,0 +1,52 @@
+package core
+
+// RepPolicy selects which representative instantiates the new helper
+// when two trees join. The paper's Algorithm A.9 always charges the
+// bigger tree's representative; since either representative yields a
+// correct merged tree (both are free leaves of the result, and the
+// other one remains free), the choice is a pure degree-placement
+// decision — exactly the kind of constant-factor knob the DESIGN.md
+// degree discussion is about. EXP-ABLATE measures the difference.
+type RepPolicy int
+
+const (
+	// RepPaper charges the bigger tree's representative and passes the
+	// smaller tree's representative on (Algorithm A.9). This is the
+	// default and the published algorithm.
+	RepPaper RepPolicy = iota
+	// RepSmaller charges the smaller tree's representative instead.
+	// When the smaller tree is a lone leaf the new helper's child edge
+	// to it collapses into a self-loop, saving a physical edge at
+	// exactly the spine joins where the paper's policy pays its ×4
+	// worst case.
+	RepSmaller
+	// RepGreedy charges whichever candidate processor currently has
+	// the smaller degree amplification, breaking ties toward the
+	// paper's choice.
+	RepGreedy
+)
+
+// String returns the policy name used in experiment tables.
+func (p RepPolicy) String() string {
+	switch p {
+	case RepPaper:
+		return "paper"
+	case RepSmaller:
+		return "smaller-rep"
+	case RepGreedy:
+		return "greedy"
+	default:
+		return "unknown"
+	}
+}
+
+// amplification estimates a processor's current degree amplification,
+// used by RepGreedy. Mid-repair links are transient, which is fine for
+// a placement heuristic.
+func (e *Engine) amplification(v NodeID) float64 {
+	dp := e.gprime.Degree(v)
+	if dp == 0 {
+		return 0
+	}
+	return float64(e.VirtualDegree(v)) / float64(dp)
+}

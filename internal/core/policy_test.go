@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPolicyString(t *testing.T) {
+	tests := []struct {
+		p    RepPolicy
+		want string
+	}{
+		{RepPaper, "paper"},
+		{RepSmaller, "smaller-rep"},
+		{RepGreedy, "greedy"},
+		{RepPolicy(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.p, got, tt.want)
+		}
+	}
+}
+
+// All policies must preserve every structural invariant and the stretch
+// bound on random traces — they only move helper placements around.
+func TestPoliciesPreserveInvariants(t *testing.T) {
+	for _, policy := range []RepPolicy{RepPaper, RepSmaller, RepGreedy} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			e := NewEngineWithPolicy(graph.GNP(24, 0.15, rng), policy)
+			for i := 0; i < 16; i++ {
+				live := e.LiveNodes()
+				if len(live) == 0 {
+					break
+				}
+				if err := e.Delete(live[rng.Intn(len(live))]); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+			if st := e.CheckStretch(); !st.Satisfied() {
+				t.Fatalf("stretch %v > %v", st.MaxStretch, st.Bound)
+			}
+		})
+	}
+}
+
+// The ablation's finding: the ×4 worst case is *intrinsic* to the
+// representative mechanism, not a placement artifact — any equal-size
+// join of height ≥ 2 whose root later gains a parent hands its
+// simulator a leaf edge plus three helper edges to distinct processors,
+// regardless of which representative is charged. All policies must
+// therefore realize exactly 4 on large stars and none may be worse than
+// the paper's.
+func TestPolicyDegreeOnStar(t *testing.T) {
+	measure := func(policy RepPolicy, n int) float64 {
+		e := NewEngineWithPolicy(graph.Star(n), policy)
+		if err := e.Delete(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return e.CheckDegrees().MaxRatio
+	}
+	for _, n := range []int{16, 32, 64, 128} {
+		paper := measure(RepPaper, n)
+		if paper != 4 {
+			t.Fatalf("n=%d: paper policy ratio = %v, want 4 (equal-join worst case)", n, paper)
+		}
+		for _, alt := range []RepPolicy{RepSmaller, RepGreedy} {
+			if got := measure(alt, n); got > paper {
+				t.Fatalf("n=%d: %v policy ratio %v worse than paper %v", n, alt, got, paper)
+			}
+		}
+	}
+}
+
+// Identical traces under different policies still produce the same RT
+// leaf partitions — the policy only affects simulator placement.
+func TestPoliciesAgreeOnPartition(t *testing.T) {
+	trace := []NodeID{0, 3, 7, 5}
+	run := func(policy RepPolicy) [][]Slot {
+		e := NewEngineWithPolicy(graph.Star(10), policy)
+		for _, v := range trace {
+			if err := e.Delete(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.LeafPartition()
+	}
+	base := run(RepPaper)
+	for _, alt := range []RepPolicy{RepSmaller, RepGreedy} {
+		got := run(alt)
+		if len(got) != len(base) {
+			t.Fatalf("%v: partition count %d vs %d", alt, len(got), len(base))
+		}
+		for i := range base {
+			if len(got[i]) != len(base[i]) {
+				t.Fatalf("%v: partition %d size differs", alt, i)
+			}
+			for j := range base[i] {
+				if got[i][j] != base[i][j] {
+					t.Fatalf("%v: partition %d differs at %d", alt, i, j)
+				}
+			}
+		}
+	}
+}

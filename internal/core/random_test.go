@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// runAdversarialTrace drives an engine through steps random operations
+// (biased toward deletions), validating every paper invariant after each
+// step. It returns the engine for final inspection.
+func runAdversarialTrace(t *testing.T, g0 *graph.Graph, steps int, seed int64, insertP float64) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine(g0)
+	nextID := NodeID(1 << 20)
+	for i := 0; i < steps; i++ {
+		live := e.LiveNodes()
+		if len(live) == 0 {
+			break
+		}
+		if rng.Float64() < insertP {
+			k := rng.Intn(3) + 1
+			if k > len(live) {
+				k = len(live)
+			}
+			nbrs := make([]NodeID, 0, k)
+			for _, idx := range rng.Perm(len(live))[:k] {
+				nbrs = append(nbrs, live[idx])
+			}
+			if err := e.Insert(nextID, nbrs); err != nil {
+				t.Fatalf("step %d: insert: %v", i, err)
+			}
+			nextID++
+		} else {
+			v := live[rng.Intn(len(live))]
+			if err := e.Delete(v); err != nil {
+				t.Fatalf("step %d: delete %d: %v", i, v, err)
+			}
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: invariants: %v", i, err)
+		}
+	}
+	return e
+}
+
+func TestRandomDeletionsOnTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tests := []struct {
+		name string
+		g0   *graph.Graph
+	}{
+		{"star", graph.Star(24)},
+		{"path", graph.Path(24)},
+		{"cycle", graph.Cycle(24)},
+		{"grid", graph.Grid(5, 5)},
+		{"complete", graph.Complete(12)},
+		{"gnp", graph.GNP(24, 0.15, rng)},
+		{"powerlaw", graph.PreferentialAttachment(24, 2, rng)},
+		{"tree", graph.CompleteBinaryTree(24)},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			e := runAdversarialTrace(t, tt.g0, 18, 7, 0)
+			st := e.CheckStretch()
+			if !st.Satisfied() {
+				t.Fatalf("stretch %v > bound %v (pair %d,%d)",
+					st.MaxStretch, st.Bound, st.WorstU, st.WorstV)
+			}
+		})
+	}
+}
+
+func TestRandomChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		e := runAdversarialTrace(t, graph.GNP(16, 0.2, rng), 40, seed, 0.4)
+		st := e.CheckStretch()
+		if !st.Satisfied() {
+			t.Fatalf("seed %d: stretch %v > bound %v", seed, st.MaxStretch, st.Bound)
+		}
+		deg := e.CheckDegrees()
+		if deg.MaxRatio > 4 {
+			t.Fatalf("seed %d: degree ratio %v > hard bound 4", seed, deg.MaxRatio)
+		}
+	}
+}
+
+// Max-degree-first deletion is the adversary most likely to stress the
+// representative mechanism: it repeatedly kills the busiest simulators.
+func TestMaxDegreeAdversary(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	e := NewEngine(graph.PreferentialAttachment(40, 3, rng))
+	for i := 0; i < 30; i++ {
+		phys := e.Physical()
+		var victim NodeID
+		best := -1
+		for _, v := range e.LiveNodes() {
+			if d := phys.Degree(v); d > best {
+				best, victim = d, v
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := e.Delete(victim); err != nil {
+			t.Fatalf("delete %d: %v", victim, err)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	st := e.CheckStretch()
+	if !st.Satisfied() {
+		t.Fatalf("stretch %v > bound %v", st.MaxStretch, st.Bound)
+	}
+}
+
+// Determinism: identical traces produce identical physical networks.
+func TestDeterministicReplay(t *testing.T) {
+	build := func() *graph.Graph {
+		rng := rand.New(rand.NewSource(77))
+		return graph.GNP(20, 0.2, rng)
+	}
+	trace := []NodeID{3, 11, 0, 7, 15, 4}
+	run := func() *graph.Graph {
+		e := NewEngine(build())
+		for _, v := range trace {
+			if err := e.Delete(v); err != nil {
+				t.Fatalf("delete %d: %v", v, err)
+			}
+		}
+		return e.Physical()
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Fatal("identical traces produced different physical networks")
+	}
+}
+
+// Property: for random connected graphs and random deletion orders, all
+// invariants hold and the stretch bound is respected at every prefix.
+func TestQuickEngineInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 4
+		e := NewEngine(graph.GNP(n, 0.3, rng))
+		kills := rng.Intn(n-1) + 1
+		for i := 0; i < kills; i++ {
+			live := e.LiveNodes()
+			if len(live) == 0 {
+				break
+			}
+			if err := e.Delete(live[rng.Intn(len(live))]); err != nil {
+				return false
+			}
+			if err := e.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return e.CheckStretch().Satisfied()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The star lower-bound scenario of Theorem 2: after the hub dies, the
+// Forgiving Graph realizes a constant degree factor α with β ≤ log2 n,
+// the claimed optimal tradeoff region.
+//
+// Note on α: Theorem 1.1 states α ≤ 3, but the literal Algorithm A.9
+// realizes 4 on spine helpers (the leaf's parent edge plus the helper's
+// three edges can reach four distinct processors — first seen at n=16,
+// where haft(15) has three spine joiners). We assert the provable hard
+// bound 4 and separately record how rarely 3 is exceeded; see DESIGN.md.
+func TestLowerBoundTradeoffRealized(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64, 129} {
+		e := NewEngine(graph.Star(n))
+		if err := e.Delete(0); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		deg := e.CheckDegrees()
+		if deg.MaxRatio > 4 {
+			t.Fatalf("n=%d: alpha=%v > 4", n, deg.MaxRatio)
+		}
+		if n <= 10 && deg.MaxRatio > 3 {
+			t.Fatalf("n=%d: alpha=%v > 3 (small stars have no spine helpers)", n, deg.MaxRatio)
+		}
+		st := e.CheckStretch()
+		if !st.Satisfied() {
+			t.Fatalf("n=%d: beta=%v > %v", n, st.MaxStretch, st.Bound)
+		}
+	}
+}
+
+// Quantify the 3-vs-4 nuance: across a heavy random trace, the fraction
+// of live processors ever exceeding ratio 3 must stay small (the paper's
+// stated constant is the common case; 4 is the worst case).
+func TestDegreeRatioMostlyWithin3(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := NewEngine(graph.GNP(40, 0.12, rng))
+	over3, checks := 0, 0
+	for i := 0; i < 25; i++ {
+		live := e.LiveNodes()
+		if len(live) < 2 {
+			break
+		}
+		if err := e.Delete(live[rng.Intn(len(live))]); err != nil {
+			t.Fatal(err)
+		}
+		rep := e.CheckDegrees()
+		over3 += rep.Over3
+		checks += len(e.LiveNodes())
+		if rep.MaxRatio > 4 {
+			t.Fatalf("step %d: ratio %v > 4", i, rep.MaxRatio)
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no checks performed")
+	}
+	if frac := float64(over3) / float64(checks); frac > 0.05 {
+		t.Fatalf("%.1f%% of node-steps exceeded ratio 3; expected rare", 100*frac)
+	}
+}

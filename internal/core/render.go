@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/haft"
+)
+
+// RenderRTs draws every live Reconstruction Tree as ASCII art, one per
+// paragraph, showing each virtual node's kind, slot, simulating
+// processor, and (for helpers) stored shape fields and representative —
+// the Figure 6 view of the engine's state. Intended for the hafttool
+// demos and debugging.
+func (e *Engine) RenderRTs() string {
+	roots := e.RTRoots()
+	sort.Slice(roots, func(i, j int) bool {
+		a, _ := leftmostLeafSlot(roots[i])
+		b, _ := leftmostLeafSlot(roots[j])
+		return a.less(b)
+	})
+	label := func(n *haft.Node) string {
+		s := slotOf(n)
+		if n.IsLeaf {
+			return fmt.Sprintf("L%v@%d", s, s.Owner)
+		}
+		return fmt.Sprintf("H%v@%d  [h=%d leaves=%d rep=L%v]",
+			s, s.Owner, n.Height, n.LeafCount, slotOf(repOf(n)))
+	}
+	var b strings.Builder
+	for i, r := range roots {
+		fmt.Fprintf(&b, "RT %d: %d leaves, depth %d\n", i+1, haft.CountLeaves(r), haft.Depth(r))
+		b.WriteString(haft.Render(r, label))
+		if i < len(roots)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	if len(roots) == 0 {
+		b.WriteString("(no reconstruction trees: no deletions yet)\n")
+	}
+	return b.String()
+}

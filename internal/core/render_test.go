@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRenderRTsEmpty(t *testing.T) {
+	e := NewEngine(graph.Path(3))
+	if out := e.RenderRTs(); !strings.Contains(out, "no reconstruction trees") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestRenderRTsShowsStructure(t *testing.T) {
+	e := healthyEngine(t) // star(9) with hub deleted
+	out := e.RenderRTs()
+	for _, want := range []string{
+		"RT 1: 8 leaves, depth 3",
+		"L(1,0)@1", // a leaf avatar with its simulator
+		"rep=L",    // helper representatives
+		"leaves=8", // the root's stored count
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Two separate RTs render as two paragraphs.
+	e2 := NewEngine(graph.New())
+	_ = e2
+	g := graph.New()
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(10, 11)
+	g.AddEdge(10, 12)
+	e3 := NewEngine(g)
+	if err := e3.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.Delete(10); err != nil {
+		t.Fatal(err)
+	}
+	out3 := e3.RenderRTs()
+	if !strings.Contains(out3, "RT 1:") || !strings.Contains(out3, "RT 2:") {
+		t.Fatalf("expected two RTs:\n%s", out3)
+	}
+}
+
+// BenchmarkLargeScale exercises production-scale repairs: a 65k-leaf
+// Reconstruction Tree followed by incremental deletions inside it.
+func BenchmarkLargeScale(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(graph.Star(1 << 16))
+		if err := e.Delete(0); err != nil {
+			b.Fatal(err)
+		}
+		for v := NodeID(1); v <= 64; v++ {
+			if err := e.Delete(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+// RepairStats describes the work done by a single deletion repair.
+type RepairStats struct {
+	// RemovedNodes is how many virtual nodes vanished with the deleted
+	// processor (its leaf avatars plus the helpers it simulated).
+	RemovedNodes int
+	// Components is the number of pieces handed to the merge: RT
+	// fragments plus fresh leaf avatars of surviving direct neighbors.
+	Components int
+	// NewHelpers counts helper nodes created by the representative
+	// mechanism during this repair.
+	NewHelpers int
+	// DiscardedHelpers counts helper nodes retired by Strip ("marked
+	// red" in the paper).
+	DiscardedHelpers int
+	// RTLeaves is the leaf count of the Reconstruction Tree produced by
+	// the repair (0 if the deletion left nothing to merge).
+	RTLeaves int
+	// RTDepth is the height of that RT; by Lemma 1 it is ⌈log₂
+	// RTLeaves⌉.
+	RTDepth int
+}
+
+// Stats accumulates operation counts over an engine's lifetime.
+type Stats struct {
+	Insertions      int
+	Deletions       int
+	Repairs         int
+	TotalNewHelpers int
+	TotalDiscarded  int
+}

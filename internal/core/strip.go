@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/haft"
+)
+
+// Efficient strip (the paper's Algorithm A.5 strategy).
+//
+// haft.Strip decides perfection structurally, visiting every node of a
+// fragment — O(fragment) work per repair. The paper instead patches
+// children counts along the paths from each cut to the fragment root
+// (the Breakflag logic) so the strip only descends into *damaged* nodes
+// (ancestors of cuts, whose subtrees lost something) and the original
+// spine joiners (never perfect to begin with). Everything else is
+// decided from stored fields in O(1).
+//
+// stripFast implements that: given the set of damaged nodes, a node is
+// a primary root iff it is undamaged and its stored fields say perfect
+// (undamaged ⇒ subtree intact ⇒ stored fields truthful). Visited
+// non-primary nodes are exactly the red set. Work per repair is
+// O(cuts · height + primary roots) instead of O(fragment size); the
+// engine uses it by default and tests cross-check it against the
+// structural reference on identical traces.
+
+// storedPerfect reports perfection from stored fields, valid only for
+// undamaged nodes.
+func storedPerfect(n *haft.Node) bool {
+	if n.IsLeaf {
+		return true
+	}
+	return n.LeafCount == 1<<uint(n.Height)
+}
+
+// stripFast detaches the maximal intact perfect subtrees of the
+// fragment rooted at root, returning them in left-to-right order along
+// with the discarded (red) internal nodes — the same contract and the
+// same results as haft.Strip, in sublinear time.
+func stripFast(root *haft.Node, damaged map[*haft.Node]struct{}) (roots, discarded []*haft.Node) {
+	var walk func(n *haft.Node)
+	walk = func(n *haft.Node) {
+		if n == nil {
+			return
+		}
+		if _, isDamaged := damaged[n]; !isDamaged && storedPerfect(n) {
+			roots = append(roots, n)
+			return
+		}
+		discarded = append(discarded, n)
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	for _, r := range roots {
+		haft.Detach(r)
+	}
+	for _, d := range discarded {
+		d.Parent = nil
+		d.Left = nil
+		d.Right = nil
+	}
+	return roots, discarded
+}
+
+// markDamaged walks from each seed (a survivor that lost a child) to
+// its fragment root, adding every node on the way to the damaged set.
+// Walks stop early at nodes already marked, so total work is bounded by
+// the union of the paths.
+func markDamaged(seeds []*haft.Node) map[*haft.Node]struct{} {
+	damaged := make(map[*haft.Node]struct{})
+	for _, s := range seeds {
+		for n := s; n != nil; n = n.Parent {
+			if _, done := damaged[n]; done {
+				break
+			}
+			damaged[n] = struct{}{}
+		}
+	}
+	return damaged
+}

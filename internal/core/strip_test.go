@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The efficient strip must be observationally identical to the
+// structural reference: same physical networks, same partitions, same
+// repair statistics, on identical traces.
+func TestStripFastMatchesStructural(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g0 := graph.PreferentialAttachment(28, 3, rng)
+		fast := NewEngine(g0)
+		slow := NewEngine(g0)
+		slow.SetStructuralStrip(true)
+		order := rng.Perm(28)
+		for step, vi := range order[:24] {
+			v := NodeID(vi)
+			if err := fast.Delete(v); err != nil {
+				t.Fatalf("seed %d step %d: fast: %v", seed, step, err)
+			}
+			if err := slow.Delete(v); err != nil {
+				t.Fatalf("seed %d step %d: slow: %v", seed, step, err)
+			}
+			if fast.LastRepair() != slow.LastRepair() {
+				t.Fatalf("seed %d step %d: repair stats diverge\nfast %+v\nslow %+v",
+					seed, step, fast.LastRepair(), slow.LastRepair())
+			}
+			if !fast.Physical().Equal(slow.Physical()) {
+				t.Fatalf("seed %d step %d: physical networks diverge", seed, step)
+			}
+			if err := fast.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: fast invariants: %v", seed, step, err)
+			}
+		}
+	}
+}
+
+// Deleting a single low-degree node out of a huge RT must not touch the
+// whole tree: the fast strip discards only the cut path, keeping the
+// repair's component and helper churn logarithmic.
+func TestStripFastLocality(t *testing.T) {
+	n := 1 << 12
+	e := NewEngine(graph.Star(n))
+	if err := e.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	// The hub repair built one RT over n-1 leaves. Now delete one leaf
+	// processor: it owns one leaf avatar and at most one helper, so the
+	// RT shatters into a handful of fragments.
+	if err := e.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	rs := e.LastRepair()
+	if rs.Components > 6 {
+		t.Fatalf("components = %d, want a handful", rs.Components)
+	}
+	// Red discards are bounded by the cut paths: O(log n), not O(n).
+	if rs.DiscardedHelpers > 3*12 {
+		t.Fatalf("discarded %d helpers, want O(log n)", rs.DiscardedHelpers)
+	}
+	if rs.NewHelpers > 3*12+2 {
+		t.Fatalf("created %d helpers, want O(log n)", rs.NewHelpers)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStripFastVsStructural(b *testing.B) {
+	// One big Reconstruction Tree is built per batch and consumed by
+	// incremental deletions, so the timed loop measures only repairs.
+	const n = 1 << 12
+	run := func(b *testing.B, structural bool) {
+		b.ReportAllocs()
+		var e *Engine
+		next := NodeID(n) // exhausted marker
+		for i := 0; i < b.N; i++ {
+			if next > n/2 {
+				b.StopTimer()
+				e = NewEngine(graph.Star(n))
+				e.SetStructuralStrip(structural)
+				if err := e.Delete(0); err != nil {
+					b.Fatal(err)
+				}
+				next = 1
+				b.StartTimer()
+			}
+			if err := e.Delete(next); err != nil {
+				b.Fatal(err)
+			}
+			next++
+		}
+	}
+	b.Run("fast", func(b *testing.B) { run(b, false) })
+	b.Run("structural", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,91 @@
+// Package core implements the Forgiving Graph of Hayes, Saia and Trehan
+// (PODC 2009): a self-healing distributed data structure that withstands
+// adversarial node insertions and deletions while guaranteeing that
+//
+//   - no node's degree grows by more than a small multiplicative factor
+//     over its degree in G′, the insertions-only graph (Theorem 1.1);
+//   - no pairwise distance grows by more than a log₂(n) multiplicative
+//     factor over its distance in G′ (Theorem 1.2).
+//
+// The Engine in this package is the reference implementation: it applies
+// the paper's virtual-graph semantics atomically per deletion. The
+// message-level protocol of the paper's Appendix A lives in
+// internal/dist and is cross-checked against this engine.
+//
+// # Virtual graph model
+//
+// Alongside the insertions-only graph G′ the engine maintains a virtual
+// graph whose vertices are (a) the live processors, (b) one leaf avatar
+// L(v,x) for every G′-edge (v,x) with v alive and x deleted, and (c)
+// helper nodes H(v,x), each simulated by processor v and keyed by the
+// same edge slots (at most one per slot, Lemma 3.1). Every deleted
+// region of the network is spanned by a Reconstruction Tree (RT): a
+// half-full tree (package haft) whose leaves are avatars and whose
+// internal nodes are helpers. The physical network returned by Physical
+// is the homomorphic image of the virtual graph: each avatar and helper
+// maps to the processor that simulates it; self-loops and parallel edges
+// collapse.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/haft"
+)
+
+// NodeID identifies a processor. It is shared with package graph.
+type NodeID = graph.NodeID
+
+// Slot identifies a per-edge avatar: the G′-edge (Owner, Other) as seen
+// from Owner's side. Leaf avatar L(v,x) and helper H(v,x) both live in
+// slot {v, x}; at most one of each exists at any time.
+type Slot struct {
+	Owner NodeID // the processor simulating this avatar
+	Other NodeID // the other endpoint of the G′ edge
+}
+
+func (s Slot) String() string { return fmt.Sprintf("(%d,%d)", s.Owner, s.Other) }
+
+// less orders slots lexicographically, for deterministic tie-breaking.
+func (s Slot) less(t Slot) bool {
+	if s.Owner != t.Owner {
+		return s.Owner < t.Owner
+	}
+	return s.Other < t.Other
+}
+
+// vnode is the payload attached to every tree node owned by the engine.
+type vnode struct {
+	slot Slot
+	// rep is the representative: the unique leaf in this node's subtree
+	// that simulates no helper located within that subtree. It is
+	// meaningful for helper (internal) nodes; for leaves the node is
+	// its own representative. Set at creation and valid for the
+	// helper's lifetime (a helper only survives while its entire
+	// subtree is intact).
+	rep *haft.Node
+}
+
+// payload extracts the engine payload of a tree node.
+func payload(n *haft.Node) *vnode {
+	vn, ok := n.Payload.(*vnode)
+	if !ok {
+		panic(fmt.Sprintf("core: tree node with foreign payload %T", n.Payload))
+	}
+	return vn
+}
+
+// procOf returns the processor simulating tree node n.
+func procOf(n *haft.Node) NodeID { return payload(n).slot.Owner }
+
+// slotOf returns the edge slot of tree node n.
+func slotOf(n *haft.Node) Slot { return payload(n).slot }
+
+// repOf returns the representative leaf of the subtree rooted at n.
+func repOf(n *haft.Node) *haft.Node {
+	if n.IsLeaf {
+		return n
+	}
+	return payload(n).rep
+}

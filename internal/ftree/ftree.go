@@ -1,0 +1,142 @@
+// Package ftree implements the Forgiving Tree baseline — the
+// predecessor data structure of Hayes, Rustagi, Saia and Trehan (PODC
+// 2008) that the Forgiving Graph paper improves on.
+//
+// The Forgiving Tree fixes a spanning tree of the initial network and
+// heals only tree structure: a deleted node is replaced by a balanced
+// binary "will" over its children, whose internal nodes are simulated by
+// surviving descendants. Its guarantees are an additive degree increase
+// (at most 3) and a diameter increase factor of O(log Δ); it handles no
+// adversarial insertions and requires an O(n log n)-message
+// initialization to distribute wills.
+//
+// This implementation reproduces the healed-topology semantics by
+// running the Reconstruction-Tree machinery restricted to a BFS spanning
+// forest: tree surgery with balanced hafts over the children and
+// leaf-simulated helper nodes, exactly the Forgiving Tree's surgery up
+// to the will/heir message choreography (which only affects message
+// accounting, not topology). Surviving non-tree edges of the original
+// network are kept, as in the original. Insertions — unsupported by the
+// Forgiving Tree — are bolted on for mixed-churn comparisons by grafting
+// the new node onto the tree at its first listed neighbor; the paper's
+// point that this lacks any guarantee shows up directly in the
+// measurements.
+package ftree
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/heal"
+)
+
+// NodeID identifies a processor.
+type NodeID = heal.NodeID
+
+// ForgivingTree is the PODC 2008 baseline healer.
+type ForgivingTree struct {
+	e       *core.Engine // Reconstruction-Tree machinery over the spanning forest
+	gprime  *graph.Graph // the full insertions-only graph (all edges)
+	nontree *graph.Graph // live non-tree edges
+}
+
+// New builds the Forgiving Tree over a BFS spanning forest of g0.
+func New(g0 *graph.Graph) *ForgivingTree {
+	tree := graph.New()
+	for _, v := range g0.Nodes() {
+		tree.AddNode(v)
+	}
+	visited := make(map[NodeID]struct{}, g0.NumNodes())
+	for _, root := range g0.Nodes() {
+		if _, ok := visited[root]; ok {
+			continue
+		}
+		visited[root] = struct{}{}
+		queue := []NodeID{root}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g0.Neighbors(u) {
+				if _, ok := visited[w]; ok {
+					continue
+				}
+				visited[w] = struct{}{}
+				tree.AddEdge(u, w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	nontree := graph.New()
+	for _, v := range g0.Nodes() {
+		nontree.AddNode(v)
+	}
+	for _, e := range g0.Edges() {
+		if !tree.HasEdge(e.U, e.V) {
+			nontree.AddEdge(e.U, e.V)
+		}
+	}
+	return &ForgivingTree{
+		e:       core.NewEngine(tree),
+		gprime:  g0.Clone(),
+		nontree: nontree,
+	}
+}
+
+// Name implements heal.Healer.
+func (f *ForgivingTree) Name() string { return "forgiving-tree" }
+
+// Insert implements heal.Healer. The first listed neighbor becomes the
+// tree attachment point; remaining edges are kept as non-tree edges.
+func (f *ForgivingTree) Insert(v NodeID, nbrs []NodeID) error {
+	var treeNbrs []NodeID
+	if len(nbrs) > 0 {
+		treeNbrs = nbrs[:1]
+	}
+	if err := f.e.Insert(v, treeNbrs); err != nil {
+		return err
+	}
+	f.gprime.AddNode(v)
+	f.nontree.AddNode(v)
+	for i, x := range nbrs {
+		f.gprime.AddEdge(v, x)
+		if i > 0 {
+			f.nontree.AddEdge(v, x)
+		}
+	}
+	return nil
+}
+
+// Delete implements heal.Healer: tree surgery via the Reconstruction
+// Tree machinery; incident non-tree edges simply disappear.
+func (f *ForgivingTree) Delete(v NodeID) error {
+	if err := f.e.Delete(v); err != nil {
+		return err
+	}
+	f.nontree.RemoveNode(v)
+	return nil
+}
+
+// Network implements heal.Healer: the healed tree plus surviving
+// non-tree edges.
+func (f *ForgivingTree) Network() *graph.Graph {
+	g := f.e.Physical()
+	for _, e := range f.nontree.Edges() {
+		g.AddEdge(e.U, e.V)
+	}
+	return g
+}
+
+// GPrime implements heal.Healer, returning the full insertions-only
+// graph (not just its spanning forest) so all healers are measured
+// against the same yardstick.
+func (f *ForgivingTree) GPrime() *graph.Graph { return f.gprime.Clone() }
+
+// LiveNodes implements heal.Healer.
+func (f *ForgivingTree) LiveNodes() []NodeID { return f.e.LiveNodes() }
+
+// Alive implements heal.Healer.
+func (f *ForgivingTree) Alive(v NodeID) bool { return f.e.Alive(v) }
+
+// Engine exposes the underlying tree-surgery engine for tests.
+func (f *ForgivingTree) Engine() *core.Engine { return f.e }
+
+var _ heal.Healer = (*ForgivingTree)(nil)

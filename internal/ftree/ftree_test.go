@@ -1,0 +1,141 @@
+package ftree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSpanningTreeConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g0 := graph.GNP(20, 0.2, rng)
+	f := New(g0)
+	// Initial network must equal g0 exactly: tree plus non-tree edges.
+	if !f.Network().Equal(g0) {
+		t.Fatal("initial network differs from G0")
+	}
+	if !f.GPrime().Equal(g0) {
+		t.Fatal("initial G' differs from G0")
+	}
+}
+
+func TestTreeSurgery(t *testing.T) {
+	f := New(graph.Star(8))
+	if err := f.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	net := f.Network()
+	if !net.Connected() {
+		t.Fatal("tree surgery left network disconnected")
+	}
+	if err := f.Engine().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(0); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestNonTreeEdgesSurvive(t *testing.T) {
+	// A cycle's BFS tree drops one edge; that edge must persist in the
+	// network and vanish only when an endpoint dies.
+	f := New(graph.Cycle(5))
+	net := f.Network()
+	if net.NumEdges() != 5 {
+		t.Fatalf("edges = %d, want 5", net.NumEdges())
+	}
+	if err := f.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Network().Connected() {
+		t.Fatal("disconnected after deletion")
+	}
+}
+
+func TestInsertGraftsOntoTree(t *testing.T) {
+	f := New(graph.Path(3))
+	if err := f.Insert(10, []NodeID{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	net := f.Network()
+	if !net.HasEdge(10, 0) || !net.HasEdge(10, 2) {
+		t.Fatal("insert edges missing")
+	}
+	if !f.GPrime().HasEdge(10, 2) {
+		t.Fatal("G' missing insert edge")
+	}
+	// Isolated insertion is allowed too.
+	if err := f.Insert(11, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Alive(11) {
+		t.Fatal("isolated insert not alive")
+	}
+	// Deleting the tree attachment point must keep 10 connected.
+	if err := f.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Network().Distance(10, 1) == graph.Unreachable {
+		t.Fatal("grafted node separated from the tree")
+	}
+}
+
+func TestDegreeAdditiveBehavior(t *testing.T) {
+	// On a star, the Forgiving Tree replaces the hub by a balanced tree
+	// over the leaves: every survivor's degree stays <= 1 + 3.
+	f := New(graph.Star(33))
+	if err := f.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	net := f.Network()
+	for _, v := range f.LiveNodes() {
+		if d := net.Degree(v); d > 4 {
+			t.Fatalf("degree(%d) = %d, want <= 4 (additive bound)", v, d)
+		}
+	}
+}
+
+func TestRandomChurnStaysConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := New(graph.PreferentialAttachment(24, 2, rng))
+	next := NodeID(500)
+	for i := 0; i < 20; i++ {
+		live := f.LiveNodes()
+		if len(live) < 2 {
+			break
+		}
+		if rng.Float64() < 0.3 {
+			if err := f.Insert(next, []NodeID{live[rng.Intn(len(live))]}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		} else {
+			if err := f.Delete(live[rng.Intn(len(live))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Engine().CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		// The healed network must stay connected (G0 was connected and
+		// every insertion attaches to the tree).
+		if !f.Network().Connected() {
+			t.Fatalf("step %d: disconnected", i)
+		}
+	}
+}
+
+func TestDisconnectedInitialGraph(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(0, 1)
+	g.AddEdge(5, 6)
+	f := New(g)
+	if err := f.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	net := f.Network()
+	if net.Distance(1, 5) != graph.Unreachable {
+		t.Fatal("components merged spuriously")
+	}
+}

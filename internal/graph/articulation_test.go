@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func idsEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestArticulationPointsKnownShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want []NodeID
+	}{
+		{"empty", New(), nil},
+		{"single", Star(1), nil},
+		{"edge", Path(2), nil},
+		{"path5", Path(5), []NodeID{1, 2, 3}},
+		{"cycle", Cycle(6), nil},
+		{"star", Star(6), []NodeID{0}},
+		{"complete", Complete(5), nil},
+		{"tree", CompleteBinaryTree(7), []NodeID{0, 1, 2}},
+		{"two components", func() *Graph {
+			g := Path(3) // cut vertex 1
+			g.AddEdge(10, 11)
+			g.AddEdge(11, 12)
+			g.AddEdge(12, 10) // triangle: no cuts
+			return g
+		}(), []NodeID{1}},
+		{"barbell", func() *Graph {
+			// Two triangles joined by a bridge 2-3.
+			g := New()
+			g.AddEdge(0, 1)
+			g.AddEdge(1, 2)
+			g.AddEdge(2, 0)
+			g.AddEdge(3, 4)
+			g.AddEdge(4, 5)
+			g.AddEdge(5, 3)
+			g.AddEdge(2, 3)
+			return g
+		}(), []NodeID{2, 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.g.ArticulationPoints()
+			if !idsEqual(got, tt.want) {
+				t.Errorf("ArticulationPoints = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// Cross-check against the definition: v is a cut vertex iff removing it
+// increases the number of connected components.
+func TestArticulationPointsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		g := RawGNP(14, 0.18, rng)
+		want := map[NodeID]bool{}
+		before := len(g.Components())
+		for _, v := range g.Nodes() {
+			h := g.Clone()
+			h.RemoveNode(v)
+			// Removing v also removes it from the count, so compare
+			// against the components of g minus the vertex itself.
+			adjusted := before
+			if g.Degree(v) == 0 {
+				adjusted-- // isolated vertex: its own component vanishes
+			}
+			if len(h.Components()) > adjusted {
+				want[v] = true
+			}
+		}
+		got := g.ArticulationPoints()
+		gotSet := map[NodeID]bool{}
+		for _, v := range got {
+			gotSet[v] = true
+		}
+		for _, v := range g.Nodes() {
+			if want[v] != gotSet[v] {
+				t.Fatalf("trial %d: vertex %d: brute force %v, tarjan %v\n%s",
+					trial, v, want[v], gotSet[v], g.DOT("g"))
+			}
+		}
+	}
+}
+
+func TestArticulationPointsDeepPath(t *testing.T) {
+	// 50k-node path: recursion would overflow; the iterative version
+	// must handle it and find all interior vertices.
+	const n = 50000
+	g := Path(n)
+	cuts := g.ArticulationPoints()
+	if len(cuts) != n-2 {
+		t.Fatalf("path cut vertices = %d, want %d", len(cuts), n-2)
+	}
+}

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := Path(5)
+	dist := g.BFS(0)
+	for i := 0; i < 5; i++ {
+		if dist[NodeID(i)] != i {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[NodeID(i)], i)
+		}
+	}
+}
+
+func TestBFSAbsentSource(t *testing.T) {
+	g := Path(3)
+	if got := g.BFS(42); len(got) != 0 {
+		t.Fatalf("BFS of absent vertex returned %v, want empty", got)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := New()
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	dist := g.BFS(0)
+	if len(dist) != 2 {
+		t.Fatalf("BFS reached %d vertices, want 2", len(dist))
+	}
+	if _, ok := dist[2]; ok {
+		t.Fatal("BFS crossed a component boundary")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	g := Cycle(8)
+	tests := []struct {
+		u, v NodeID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 4},
+		{0, 5, 3}, // around the short side
+		{3, 7, 4},
+	}
+	for _, tt := range tests {
+		if got := g.Distance(tt.u, tt.v); got != tt.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tt.u, tt.v, got, tt.want)
+		}
+	}
+	if got := g.Distance(0, 99); got != Unreachable {
+		t.Errorf("Distance to absent vertex = %d, want Unreachable", got)
+	}
+	h := New()
+	h.AddNode(1)
+	h.AddNode(2)
+	if got := h.Distance(1, 2); got != Unreachable {
+		t.Errorf("Distance across components = %d, want Unreachable", got)
+	}
+}
+
+func TestDistanceMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := GNP(40, 0.1, rng)
+	dist := g.BFS(0)
+	for v, want := range dist {
+		if got := g.Distance(0, v); got != want {
+			t.Errorf("Distance(0,%d) = %d, BFS says %d", v, got, want)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"empty", New(), true},
+		{"singleton", Star(1), true},
+		{"path", Path(10), true},
+		{"two components", func() *Graph {
+			g := Path(3)
+			g.AddNode(99)
+			return g
+		}(), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Connected(); got != tt.want {
+				t.Errorf("Connected = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 7)
+	g.AddEdge(1, 2)
+	g.AddNode(9)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	want := [][]NodeID{{1, 2}, {5, 6, 7}, {9}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", New(), 0},
+		{"singleton", Star(1), 0},
+		{"path5", Path(5), 4},
+		{"cycle6", Cycle(6), 3},
+		{"star", Star(9), 2},
+		{"complete", Complete(5), 1},
+		{"grid3x4", Grid(3, 4), 5},
+		{"disconnected", func() *Graph {
+			g := Path(3)
+			g.AddNode(77)
+			return g
+		}(), Unreachable},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Diameter(); got != tt.want {
+				t.Errorf("Diameter = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := Path(5)
+	ecc, reached := g.Eccentricity(0)
+	if ecc != 4 || reached != 5 {
+		t.Fatalf("Eccentricity(0) = (%d,%d), want (4,5)", ecc, reached)
+	}
+	ecc, reached = g.Eccentricity(2)
+	if ecc != 2 || reached != 5 {
+		t.Fatalf("Eccentricity(2) = (%d,%d), want (2,5)", ecc, reached)
+	}
+	ecc, reached = g.Eccentricity(42)
+	if ecc != 0 || reached != 0 {
+		t.Fatalf("Eccentricity(absent) = (%d,%d), want (0,0)", ecc, reached)
+	}
+}
+
+func TestAllPairsDistancesAgainstFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := GNP(25, 0.12, rng)
+	nodes := g.Nodes()
+	idx := make(map[NodeID]int, len(nodes))
+	for i, u := range nodes {
+		idx[u] = i
+	}
+	const inf = 1 << 29
+	n := len(nodes)
+	fw := make([][]int, n)
+	for i := range fw {
+		fw[i] = make([]int, n)
+		for j := range fw[i] {
+			if i == j {
+				fw[i][j] = 0
+			} else {
+				fw[i][j] = inf
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		fw[idx[e.U]][idx[e.V]] = 1
+		fw[idx[e.V]][idx[e.U]] = 1
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if fw[i][k]+fw[k][j] < fw[i][j] {
+					fw[i][j] = fw[i][k] + fw[k][j]
+				}
+			}
+		}
+	}
+	apd := g.AllPairsDistances()
+	for _, u := range nodes {
+		for _, v := range nodes {
+			want := fw[idx[u]][idx[v]]
+			got, ok := apd[u][v]
+			if !ok {
+				got = inf
+			}
+			if got != want {
+				t.Fatalf("distance(%d,%d) = %d, Floyd-Warshall says %d", u, v, got, want)
+			}
+		}
+	}
+}

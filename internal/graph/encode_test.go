@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := GNP(25, 0.15, rng)
+	g.AddNode(500) // isolated vertex must survive
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !g.Equal(&back) {
+		t.Fatal("JSON round trip changed the graph")
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	g := Star(5)
+	a, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("marshal not deterministic: %s vs %s", a, b)
+	}
+}
+
+func TestUnmarshalRejectsSelfLoop(t *testing.T) {
+	var g Graph
+	err := json.Unmarshal([]byte(`{"nodes":[1],"edges":[[1,1]]}`), &g)
+	if err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var g Graph
+	if err := json.Unmarshal([]byte(`{"edges": "zzz"}`), &g); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := GNM(20, 40, rng)
+	g.AddNode(777)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("edge list round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 2\n \n3\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d, want n=3 m=2", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	tests := []struct {
+		name, in string
+	}{
+		{"too many fields", "1 2 3\n"},
+		{"non-numeric single", "abc\n"},
+		{"non-numeric pair left", "x 2\n"},
+		{"non-numeric pair right", "2 y\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tt.in)); err == nil {
+				t.Fatalf("input %q accepted", tt.in)
+			}
+		})
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Path(3)
+	dot := g.DOT("p3")
+	for _, want := range []string{`graph "p3"`, "0 -- 1", "1 -- 2"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

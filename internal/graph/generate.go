@@ -1,0 +1,361 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators build the initial topologies used by the experiments. All
+// generators number vertices 0..n-1 and are deterministic given the
+// provided *rand.Rand (generators that need no randomness ignore it).
+
+// Star returns K_{1,n-1}: vertex 0 is the hub. This is the lower-bound
+// topology of Theorem 2.
+func Star(n int) *Graph {
+	g := New()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, NodeID(i))
+	}
+	return g
+}
+
+// Path returns the path graph P_n: 0-1-2-...-(n-1).
+func Path(n int) *Graph {
+	g := New()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		g.AddEdge(NodeID(i-1), NodeID(i))
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n. For n < 3 it degenerates to Path(n).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(NodeID(n-1), 0)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(NodeID(i))
+		for j := 0; j < i; j++ {
+			g.AddEdge(NodeID(j), NodeID(i))
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols king-free grid (4-neighborhood lattice).
+func Grid(rows, cols int) *Graph {
+	g := New()
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(id(r, c))
+			if r > 0 {
+				g.AddEdge(id(r-1, c), id(r, c))
+			}
+			if c > 0 {
+				g.AddEdge(id(r, c-1), id(r, c))
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns a complete binary tree with n vertices in
+// heap order: vertex i has children 2i+1 and 2i+2.
+func CompleteBinaryTree(n int) *Graph {
+	g := New()
+	if n <= 0 {
+		return g
+	}
+	g.AddNode(0)
+	for i := 1; i < n; i++ {
+		g.AddEdge(NodeID((i-1)/2), NodeID(i))
+	}
+	return g
+}
+
+// GNP returns an Erdős–Rényi G(n, p) random graph. To guarantee a
+// connected substrate for the healing experiments, a Hamiltonian-ish
+// random spanning path is added first; extra edges are then sampled
+// independently with probability p. Use RawGNP for the unmodified model.
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := spanningPath(n, rng)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// RawGNP returns an unmodified Erdős–Rényi G(n, p) sample, which may be
+// disconnected.
+func RawGNP(n int, p float64, rng *rand.Rand) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+// GNM returns a uniform random graph with n vertices and m edges on top of
+// a random spanning path (so the result is connected). m counts the total
+// edge budget; if m is less than n-1 the spanning path alone is returned.
+func GNM(n, m int, rng *rand.Rand) *Graph {
+	g := spanningPath(n, rng)
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	for g.NumEdges() < m {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// PreferentialAttachment returns a Barabási–Albert power-law graph: each
+// new vertex attaches k edges to existing vertices chosen proportionally
+// to degree. The seed is a (k+1)-clique. This is the "power-law network"
+// topology referenced by the paper's cascading-failure discussion.
+func PreferentialAttachment(n, k int, rng *rand.Rand) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n <= k+1 {
+		return Complete(n)
+	}
+	g := Complete(k + 1)
+	// repeated-endpoint list: vertex appears once per unit of degree.
+	var stubs []NodeID
+	for _, e := range g.Edges() {
+		stubs = append(stubs, e.U, e.V)
+	}
+	for i := k + 1; i < n; i++ {
+		u := NodeID(i)
+		g.AddNode(u)
+		chosen := make(map[NodeID]struct{}, k)
+		targets := make([]NodeID, 0, k)
+		for len(chosen) < k {
+			t := stubs[rng.Intn(len(stubs))]
+			if t == u {
+				continue
+			}
+			if _, dup := chosen[t]; dup {
+				continue
+			}
+			chosen[t] = struct{}{}
+			targets = append(targets, t)
+		}
+		for _, t := range targets {
+			g.AddEdge(u, t)
+			stubs = append(stubs, u, t)
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube Q_dim over 2^dim
+// vertices: i and j are adjacent iff they differ in exactly one bit.
+// The classic structured-P2P topology.
+func Hypercube(dim int) *Graph {
+	g := New()
+	if dim < 0 {
+		return g
+	}
+	n := 1 << uint(dim)
+	for i := 0; i < n; i++ {
+		g.AddNode(NodeID(i))
+		for b := 0; b < dim; b++ {
+			j := i ^ (1 << uint(b))
+			if j < i {
+				g.AddEdge(NodeID(j), NodeID(i))
+			}
+		}
+	}
+	return g
+}
+
+// SmallWorld returns a Watts–Strogatz graph: a ring lattice where each
+// vertex connects to its k nearest neighbors on each side, with each
+// edge rewired to a random endpoint with probability beta. k >= 1;
+// beta in [0,1]. The unstructured-P2P / social-network topology.
+func SmallWorld(n, k int, beta float64, rng *rand.Rand) *Graph {
+	g := New()
+	if n <= 0 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode(NodeID(i))
+	}
+	if k < 1 {
+		k = 1
+	}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k; d++ {
+			j := (i + d) % n
+			if i == j {
+				continue
+			}
+			u, v := NodeID(i), NodeID(j)
+			if rng.Float64() < beta {
+				// Rewire the far endpoint uniformly, avoiding
+				// self-loops and duplicates (keep the lattice edge on
+				// failure to preserve degree mass).
+				for attempt := 0; attempt < 8; attempt++ {
+					w := NodeID(rng.Intn(n))
+					if w != u && !g.HasEdge(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular graph via the configuration
+// model with restarts. n·d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if d >= n {
+		return nil, fmt.Errorf("graph: cannot build %d-regular graph on %d vertices", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: n*d must be even (n=%d d=%d)", n, d)
+	}
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if g, ok := tryConfigurationModel(n, d, rng); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: configuration model failed after %d attempts (n=%d d=%d)", maxAttempts, n, d)
+}
+
+func tryConfigurationModel(n, d int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]NodeID, 0, n*d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			stubs = append(stubs, NodeID(i))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(NodeID(i))
+	}
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(u, v) {
+			return nil, false
+		}
+		g.AddEdge(u, v)
+	}
+	return g, true
+}
+
+// spanningPath returns a path over 0..n-1 visiting the vertices in a
+// random order, guaranteeing connectivity of the generators built on it.
+func spanningPath(n int, rng *rand.Rand) *Graph {
+	g := New()
+	if n <= 0 {
+		return g
+	}
+	perm := rng.Perm(n)
+	g.AddNode(NodeID(perm[0]))
+	for i := 1; i < n; i++ {
+		g.AddEdge(NodeID(perm[i-1]), NodeID(perm[i]))
+	}
+	return g
+}
+
+// GeneratorFunc builds a topology of the requested size with the supplied
+// randomness source.
+type GeneratorFunc func(n int, rng *rand.Rand) *Graph
+
+// Named generators, keyed by the names accepted by the CLI tools.
+var namedGenerators = map[string]GeneratorFunc{
+	"star":     func(n int, _ *rand.Rand) *Graph { return Star(n) },
+	"path":     func(n int, _ *rand.Rand) *Graph { return Path(n) },
+	"cycle":    func(n int, _ *rand.Rand) *Graph { return Cycle(n) },
+	"complete": func(n int, _ *rand.Rand) *Graph { return Complete(n) },
+	"tree":     func(n int, _ *rand.Rand) *Graph { return CompleteBinaryTree(n) },
+	"grid": func(n int, _ *rand.Rand) *Graph {
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return Grid(side, side)
+	},
+	"gnp": func(n int, rng *rand.Rand) *Graph {
+		p := 4.0 / float64(n)
+		if n < 5 {
+			p = 0.8
+		}
+		return GNP(n, p, rng)
+	},
+	"powerlaw": func(n int, rng *rand.Rand) *Graph { return PreferentialAttachment(n, 3, rng) },
+	"hypercube": func(n int, _ *rand.Rand) *Graph {
+		dim := 0
+		for 1<<uint(dim) < n {
+			dim++
+		}
+		return Hypercube(dim)
+	},
+	"smallworld": func(n int, rng *rand.Rand) *Graph { return SmallWorld(n, 2, 0.1, rng) },
+}
+
+// Generator looks up a topology generator by name. The supported names are
+// star, path, cycle, complete, tree, grid, gnp, and powerlaw.
+func Generator(name string) (GeneratorFunc, error) {
+	gen, ok := namedGenerators[name]
+	if !ok {
+		return nil, fmt.Errorf("graph: unknown generator %q", name)
+	}
+	return gen, nil
+}
+
+// GeneratorNames lists the registered generator names in sorted order.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(namedGenerators))
+	for name := range namedGenerators {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

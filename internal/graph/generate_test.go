@@ -1,0 +1,279 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	if g.NumNodes() != 6 || g.NumEdges() != 5 {
+		t.Fatalf("Star(6): n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 5 {
+		t.Fatalf("hub degree = %d, want 5", g.Degree(0))
+	}
+	for i := 1; i < 6; i++ {
+		if g.Degree(NodeID(i)) != 1 {
+			t.Fatalf("leaf %d degree = %d, want 1", i, g.Degree(NodeID(i)))
+		}
+	}
+	if got := Star(0).NumNodes(); got != 0 {
+		t.Fatalf("Star(0) has %d nodes", got)
+	}
+	if got := Star(1); got.NumNodes() != 1 || got.NumEdges() != 0 {
+		t.Fatalf("Star(1): %v", got)
+	}
+}
+
+func TestPathAndCycle(t *testing.T) {
+	p := Path(4)
+	if p.NumEdges() != 3 || p.Diameter() != 3 {
+		t.Fatalf("Path(4): m=%d diam=%d", p.NumEdges(), p.Diameter())
+	}
+	c := Cycle(4)
+	if c.NumEdges() != 4 || c.Diameter() != 2 {
+		t.Fatalf("Cycle(4): m=%d diam=%d", c.NumEdges(), c.Diameter())
+	}
+	// Degenerate cycles.
+	if got := Cycle(2); got.NumEdges() != 1 {
+		t.Fatalf("Cycle(2) edges = %d, want 1 (degenerates to path)", got.NumEdges())
+	}
+	if got := Cycle(0); got.NumNodes() != 0 {
+		t.Fatalf("Cycle(0) nodes = %d", got.NumNodes())
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.NumEdges() != 15 {
+		t.Fatalf("K6 edges = %d, want 15", g.NumEdges())
+	}
+	for _, u := range g.Nodes() {
+		if g.Degree(u) != 5 {
+			t.Fatalf("K6 degree(%d) = %d, want 5", u, g.Degree(u))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 {
+		t.Fatalf("Grid(3,4) nodes = %d", g.NumNodes())
+	}
+	// edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17
+	if g.NumEdges() != 17 {
+		t.Fatalf("Grid(3,4) edges = %d, want 17", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("grid not connected")
+	}
+	// Corner degree 2, center degree 4.
+	if g.Degree(0) != 2 {
+		t.Fatalf("corner degree = %d, want 2", g.Degree(0))
+	}
+	if g.Degree(5) != 4 { // row 1, col 1
+		t.Fatalf("interior degree = %d, want 4", g.Degree(5))
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(7)
+	if g.NumEdges() != 6 {
+		t.Fatalf("tree edges = %d, want 6", g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 3 || g.Degree(3) != 1 {
+		t.Fatalf("unexpected degrees: root=%d internal=%d leaf=%d",
+			g.Degree(0), g.Degree(1), g.Degree(3))
+	}
+	if !g.Connected() {
+		t.Fatal("tree not connected")
+	}
+}
+
+func TestGNPConnectedAndDeterministic(t *testing.T) {
+	a := GNP(60, 0.05, rand.New(rand.NewSource(3)))
+	b := GNP(60, 0.05, rand.New(rand.NewSource(3)))
+	if !a.Equal(b) {
+		t.Fatal("GNP not deterministic for fixed seed")
+	}
+	if !a.Connected() {
+		t.Fatal("GNP should be connected (spanning path included)")
+	}
+	c := GNP(60, 0.05, rand.New(rand.NewSource(4)))
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical GNP graphs")
+	}
+}
+
+func TestRawGNPExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	empty := RawGNP(10, 0, rng)
+	if empty.NumEdges() != 0 || empty.NumNodes() != 10 {
+		t.Fatalf("RawGNP(10,0): n=%d m=%d", empty.NumNodes(), empty.NumEdges())
+	}
+	full := RawGNP(10, 1, rng)
+	if full.NumEdges() != 45 {
+		t.Fatalf("RawGNP(10,1) edges = %d, want 45", full.NumEdges())
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := GNM(30, 60, rng)
+	if g.NumEdges() != 60 {
+		t.Fatalf("GNM edges = %d, want 60", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("GNM not connected")
+	}
+	// m below the spanning path: path wins.
+	small := GNM(10, 3, rand.New(rand.NewSource(5)))
+	if small.NumEdges() != 9 {
+		t.Fatalf("GNM(10,3) edges = %d, want 9 (spanning path)", small.NumEdges())
+	}
+	// m above the maximum is clamped.
+	huge := GNM(5, 1000, rand.New(rand.NewSource(5)))
+	if huge.NumEdges() != 10 {
+		t.Fatalf("GNM(5,1000) edges = %d, want 10", huge.NumEdges())
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := PreferentialAttachment(200, 3, rng)
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("preferential attachment graph not connected")
+	}
+	// Every non-seed vertex attaches exactly 3 edges, so m = C(4,2) + 3*196.
+	want := 6 + 3*196
+	if g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	// Power-law-ish: the max degree should far exceed the minimum (3).
+	_, maxDeg := g.MaxDegree()
+	if maxDeg < 10 {
+		t.Fatalf("max degree = %d, expected a hub (>=10)", maxDeg)
+	}
+	// Small n degenerates to a clique.
+	small := PreferentialAttachment(3, 3, rng)
+	if small.NumEdges() != 3 {
+		t.Fatalf("PA(3,3) edges = %d, want 3 (K3)", small.NumEdges())
+	}
+}
+
+func TestPreferentialAttachmentDeterministic(t *testing.T) {
+	// Not just the edge count: the exact wiring and the number of rng
+	// draws must be reproducible (map-iteration order must not leak).
+	gen := func() (*Graph, int) {
+		rng := rand.New(rand.NewSource(17))
+		g := PreferentialAttachment(50, 3, rng)
+		return g, rng.Intn(1 << 30)
+	}
+	g1, next1 := gen()
+	g2, next2 := gen()
+	if !g1.Equal(g2) {
+		t.Fatal("same seed produced different graphs")
+	}
+	if next1 != next2 {
+		t.Fatal("same seed consumed different numbers of rng draws")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.NumNodes() != 16 || g.NumEdges() != 32 { // n*dim/2
+		t.Fatalf("Q4: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	for _, u := range g.Nodes() {
+		if g.Degree(u) != 4 {
+			t.Fatalf("Q4 degree(%d) = %d", u, g.Degree(u))
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("Q4 diameter = %d, want 4", g.Diameter())
+	}
+	if !g.HasEdge(0b0101, 0b0100) || g.HasEdge(0b0101, 0b0110) {
+		t.Fatal("hypercube adjacency wrong")
+	}
+	if got := Hypercube(0); got.NumNodes() != 1 {
+		t.Fatalf("Q0 nodes = %d", got.NumNodes())
+	}
+	if got := Hypercube(-1); got.NumNodes() != 0 {
+		t.Fatalf("Q(-1) nodes = %d", got.NumNodes())
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// beta = 0: the pure ring lattice, exactly n*k edges.
+	lattice := SmallWorld(30, 2, 0, rng)
+	if lattice.NumEdges() != 60 {
+		t.Fatalf("lattice edges = %d, want 60", lattice.NumEdges())
+	}
+	if !lattice.Connected() {
+		t.Fatal("lattice disconnected")
+	}
+	latticeDiam := lattice.Diameter()
+	// beta = 0.2: rewiring shrinks the diameter (small-world effect).
+	sw := SmallWorld(30, 2, 0.2, rand.New(rand.NewSource(7)))
+	if !sw.Connected() {
+		t.Fatal("small world disconnected")
+	}
+	if sw.Diameter() >= latticeDiam {
+		t.Fatalf("rewiring did not shrink diameter: %d vs %d", sw.Diameter(), latticeDiam)
+	}
+	// Determinism.
+	a := SmallWorld(25, 2, 0.3, rand.New(rand.NewSource(9)))
+	b := SmallWorld(25, 2, 0.3, rand.New(rand.NewSource(9)))
+	if !a.Equal(b) {
+		t.Fatal("SmallWorld not deterministic")
+	}
+	if got := SmallWorld(0, 2, 0.1, rng); got.NumNodes() != 0 {
+		t.Fatal("SmallWorld(0) not empty")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g, err := RandomRegular(50, 4, rng)
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	for _, u := range g.Nodes() {
+		if g.Degree(u) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", u, g.Degree(u))
+		}
+	}
+	if _, err := RandomRegular(5, 5, rng); err == nil {
+		t.Fatal("RandomRegular(5,5) should fail: d >= n")
+	}
+	if _, err := RandomRegular(5, 3, rng); err == nil {
+		t.Fatal("RandomRegular(5,3) should fail: odd n*d")
+	}
+}
+
+func TestNamedGenerators(t *testing.T) {
+	for _, name := range GeneratorNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			gen, err := Generator(name)
+			if err != nil {
+				t.Fatalf("Generator(%q): %v", name, err)
+			}
+			g := gen(30, rand.New(rand.NewSource(2)))
+			if g.NumNodes() < 30 {
+				t.Fatalf("%s(30) has %d nodes, want >= 30", name, g.NumNodes())
+			}
+			if !g.Connected() {
+				t.Fatalf("%s(30) not connected", name)
+			}
+		})
+	}
+	if _, err := Generator("nope"); err == nil {
+		t.Fatal("unknown generator name should error")
+	}
+}

@@ -1,0 +1,221 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// Forgiving Graph reproduction: a mutable adjacency-set representation,
+// breadth-first distance computations, connectivity queries, topology
+// generators, and simple serialization.
+//
+// All graphs in this package are simple (no self-loops, no parallel edges)
+// and undirected. Vertices are identified by NodeID values chosen by the
+// caller; the graph does not require IDs to be dense or contiguous.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex. IDs are assigned by callers (in the
+// reproduction they are processor identifiers assigned at insertion time)
+// and are never reused.
+type NodeID int64
+
+// Edge is an unordered pair of vertices. Normalize with NewEdge so that
+// edges compare equal regardless of endpoint order.
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge returns the canonical form of the edge {u, v} with the smaller
+// endpoint first.
+func NewEdge(u, v NodeID) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v}
+}
+
+// Graph is a mutable simple undirected graph backed by adjacency sets.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	adj map[NodeID]map[NodeID]struct{}
+	m   int // number of edges
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID]map[NodeID]struct{})}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make(map[NodeID]map[NodeID]struct{}, len(g.adj)), m: g.m}
+	for u, nbrs := range g.adj {
+		cn := make(map[NodeID]struct{}, len(nbrs))
+		for v := range nbrs {
+			cn[v] = struct{}{}
+		}
+		c.adj[u] = cn
+	}
+	return c
+}
+
+// AddNode inserts an isolated vertex. It is a no-op if the vertex exists.
+func (g *Graph) AddNode(u NodeID) {
+	if _, ok := g.adj[u]; !ok {
+		g.adj[u] = make(map[NodeID]struct{})
+	}
+}
+
+// HasNode reports whether u is present.
+func (g *Graph) HasNode(u NodeID) bool {
+	_, ok := g.adj[u]
+	return ok
+}
+
+// AddEdge inserts the undirected edge {u, v}, adding missing endpoints.
+// Self-loops are rejected. It reports whether a new edge was added.
+func (g *Graph) AddEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	g.AddNode(u)
+	g.AddNode(v)
+	if _, ok := g.adj[u][v]; ok {
+		return false
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.m++
+	return true
+}
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// RemoveEdge deletes the edge {u, v} if present and reports whether it was.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	if _, ok := g.adj[u][v]; !ok {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.m--
+	return true
+}
+
+// RemoveNode deletes u and all incident edges. It reports whether the
+// vertex was present.
+func (g *Graph) RemoveNode(u NodeID) bool {
+	nbrs, ok := g.adj[u]
+	if !ok {
+		return false
+	}
+	for v := range nbrs {
+		delete(g.adj[v], u)
+		g.m--
+	}
+	delete(g.adj, u)
+	return true
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of u, or 0 if u is absent.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Neighbors returns the neighbors of u in ascending order. The slice is a
+// copy; mutating it does not affect the graph.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	nbrs := g.adj[u]
+	if len(nbrs) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(nbrs))
+	for v := range nbrs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EachNeighbor calls fn for every neighbor of u in unspecified order,
+// without allocating. fn must not mutate the graph.
+func (g *Graph) EachNeighbor(u NodeID, fn func(v NodeID)) {
+	for v := range g.adj[u] {
+		fn(v)
+	}
+}
+
+// Nodes returns all vertices in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for u := range g.adj {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges in canonical form, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u, nbrs := range g.adj {
+		for v := range nbrs {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// MaxDegree returns the maximum degree over all vertices (0 for an empty
+// graph) and one vertex attaining it.
+func (g *Graph) MaxDegree() (NodeID, int) {
+	best, bestDeg, found := NodeID(0), -1, false
+	for u, nbrs := range g.adj {
+		if len(nbrs) > bestDeg || (len(nbrs) == bestDeg && u < best) {
+			best, bestDeg, found = u, len(nbrs), true
+		}
+	}
+	if !found {
+		return 0, 0
+	}
+	return best, bestDeg
+}
+
+// String renders a compact human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.NumNodes(), g.NumEdges())
+}
+
+// Equal reports whether g and h have identical vertex and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumNodes() != h.NumNodes() || g.NumEdges() != h.NumEdges() {
+		return false
+	}
+	for u, nbrs := range g.adj {
+		hn, ok := h.adj[u]
+		if !ok || len(hn) != len(nbrs) {
+			return false
+		}
+		for v := range nbrs {
+			if _, ok := hn[v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,224 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	tests := []struct {
+		name string
+		u, v NodeID
+		want Edge
+	}{
+		{"ordered", 1, 2, Edge{1, 2}},
+		{"reversed", 2, 1, Edge{1, 2}},
+		{"equal", 3, 3, Edge{3, 3}},
+		{"negative", -5, 2, Edge{-5, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NewEdge(tt.u, tt.v); got != tt.want {
+				t.Errorf("NewEdge(%d,%d) = %v, want %v", tt.u, tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := New()
+	g.AddNode(7)
+	g.AddNode(7)
+	if got := g.NumNodes(); got != 1 {
+		t.Fatalf("NumNodes = %d, want 1", got)
+	}
+	if !g.HasNode(7) {
+		t.Fatal("HasNode(7) = false, want true")
+	}
+	if g.HasNode(8) {
+		t.Fatal("HasNode(8) = true, want false")
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New()
+	if !g.AddEdge(1, 2) {
+		t.Fatal("first AddEdge returned false")
+	}
+	if g.AddEdge(2, 1) {
+		t.Fatal("duplicate AddEdge (reversed) returned true")
+	}
+	if g.AddEdge(3, 3) {
+		t.Fatal("self-loop AddEdge returned true")
+	}
+	if g.NumEdges() != 1 || g.NumNodes() != 2 {
+		t.Fatalf("got n=%d m=%d, want n=2 m=1", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("HasEdge should be symmetric")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	if !g.RemoveEdge(2, 1) {
+		t.Fatal("RemoveEdge existing edge returned false")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge absent edge returned true")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge {1,2} still present after removal")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := Star(5)
+	if !g.RemoveNode(0) {
+		t.Fatal("RemoveNode(hub) returned false")
+	}
+	if g.RemoveNode(0) {
+		t.Fatal("RemoveNode of absent vertex returned true")
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 0 {
+		t.Fatalf("after hub removal: n=%d m=%d, want n=4 m=0", g.NumNodes(), g.NumEdges())
+	}
+	for _, u := range g.Nodes() {
+		if g.Degree(u) != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", u, g.Degree(u))
+		}
+	}
+}
+
+func TestNeighborsSortedCopy(t *testing.T) {
+	g := New()
+	g.AddEdge(5, 9)
+	g.AddEdge(5, 1)
+	g.AddEdge(5, 4)
+	nbrs := g.Neighbors(5)
+	want := []NodeID{1, 4, 9}
+	if len(nbrs) != len(want) {
+		t.Fatalf("Neighbors(5) = %v, want %v", nbrs, want)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors(5) = %v, want %v", nbrs, want)
+		}
+	}
+	nbrs[0] = 999 // mutate copy; graph must be unaffected
+	if !g.HasEdge(5, 1) {
+		t.Fatal("mutating Neighbors result affected the graph")
+	}
+	if got := g.Neighbors(42); got != nil {
+		t.Fatalf("Neighbors of absent vertex = %v, want nil", got)
+	}
+}
+
+func TestEachNeighborVisitsAll(t *testing.T) {
+	g := Cycle(6)
+	seen := map[NodeID]bool{}
+	g.EachNeighbor(0, func(v NodeID) { seen[v] = true })
+	if !seen[1] || !seen[5] || len(seen) != 2 {
+		t.Fatalf("EachNeighbor(0) visited %v, want {1,5}", seen)
+	}
+}
+
+func TestNodesAndEdgesDeterministic(t *testing.T) {
+	g := New()
+	g.AddEdge(3, 1)
+	g.AddEdge(2, 3)
+	g.AddNode(0)
+	nodes := g.Nodes()
+	wantNodes := []NodeID{0, 1, 2, 3}
+	for i := range wantNodes {
+		if nodes[i] != wantNodes[i] {
+			t.Fatalf("Nodes = %v, want %v", nodes, wantNodes)
+		}
+	}
+	edges := g.Edges()
+	wantEdges := []Edge{{1, 3}, {2, 3}}
+	if len(edges) != len(wantEdges) {
+		t.Fatalf("Edges = %v, want %v", edges, wantEdges)
+	}
+	for i := range wantEdges {
+		if edges[i] != wantEdges[i] {
+			t.Fatalf("Edges = %v, want %v", edges, wantEdges)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Cycle(4)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.RemoveNode(0)
+	if g.NumNodes() != 4 {
+		t.Fatal("mutating clone affected original")
+	}
+	if g.Equal(c) {
+		t.Fatal("Equal should detect divergence")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Path(4)
+	b := Path(4)
+	if !a.Equal(b) {
+		t.Fatal("identical paths not Equal")
+	}
+	b.AddEdge(0, 3)
+	if a.Equal(b) {
+		t.Fatal("graphs with different edges reported Equal")
+	}
+	c := Path(4)
+	c.AddNode(99)
+	if a.Equal(c) {
+		t.Fatal("graphs with different vertex sets reported Equal")
+	}
+	// Same counts, different wiring.
+	d := New()
+	d.AddEdge(0, 1)
+	d.AddEdge(2, 3)
+	d.AddEdge(1, 2)
+	e := New()
+	e.AddEdge(0, 1)
+	e.AddEdge(0, 2)
+	e.AddEdge(0, 3)
+	if d.Equal(e) {
+		t.Fatal("path and star with equal counts reported Equal")
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	tests := []struct {
+		name    string
+		g       *Graph
+		wantID  NodeID
+		wantDeg int
+	}{
+		{"empty", New(), 0, 0},
+		{"star", Star(6), 0, 5},
+		{"path", Path(3), 1, 2},
+		{"cycle ties pick smallest id", Cycle(5), 0, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			id, deg := tt.g.MaxDegree()
+			if id != tt.wantID || deg != tt.wantDeg {
+				t.Errorf("MaxDegree = (%d,%d), want (%d,%d)", id, deg, tt.wantID, tt.wantDeg)
+			}
+		})
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	if got := Star(4).String(); got != "graph{n=4 m=3}" {
+		t.Fatalf("String = %q", got)
+	}
+}

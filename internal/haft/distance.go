@@ -1,0 +1,50 @@
+package haft
+
+// Tree-distance utilities. The stretch analysis (Theorem 1.2) rests on
+// one fact: two leaves of the same Reconstruction Tree are at tree
+// distance at most 2·⌈log₂ l⌉, because the haft has depth ⌈log₂ l⌉
+// (Lemma 1). These helpers expose that quantity so tests and
+// experiments can verify the argument microscopically rather than only
+// observing its end-to-end consequence.
+
+// NodeDepth returns the number of parent hops from n to its tree root.
+func NodeDepth(n *Node) int {
+	d := 0
+	for n.Parent != nil {
+		n = n.Parent
+		d++
+	}
+	return d
+}
+
+// LCA returns the lowest common ancestor of two nodes of the same tree,
+// or nil if they belong to different trees.
+func LCA(a, b *Node) *Node {
+	da, db := NodeDepth(a), NodeDepth(b)
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		if a == nil || b == nil {
+			return nil
+		}
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}
+
+// LeafDistance returns the number of tree edges on the path between two
+// nodes of the same tree, or -1 if they are in different trees.
+func LeafDistance(a, b *Node) int {
+	l := LCA(a, b)
+	if l == nil {
+		return -1
+	}
+	return NodeDepth(a) + NodeDepth(b) - 2*NodeDepth(l)
+}

@@ -1,0 +1,106 @@
+package haft
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeDepth(t *testing.T) {
+	h := buildInts(8) // perfect tree of height 3
+	for _, l := range Leaves(h) {
+		if d := NodeDepth(l); d != 3 {
+			t.Fatalf("leaf depth = %d, want 3", d)
+		}
+	}
+	if NodeDepth(h) != 0 {
+		t.Fatal("root depth != 0")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	h := buildInts(8)
+	leaves := Leaves(h)
+	if got := LCA(leaves[0], leaves[1]); got != leaves[0].Parent {
+		t.Fatal("siblings' LCA should be their parent")
+	}
+	if got := LCA(leaves[0], leaves[7]); got != h {
+		t.Fatal("opposite leaves' LCA should be the root")
+	}
+	if got := LCA(leaves[3], leaves[3]); got != leaves[3] {
+		t.Fatal("self LCA should be self")
+	}
+	if got := LCA(h, leaves[5]); got != h {
+		t.Fatal("root-descendant LCA should be the root")
+	}
+	other := buildInts(4)
+	if got := LCA(leaves[0], Leaves(other)[0]); got != nil {
+		t.Fatal("cross-tree LCA should be nil")
+	}
+}
+
+func TestLeafDistanceKnown(t *testing.T) {
+	h := buildInts(8)
+	leaves := Leaves(h)
+	tests := []struct {
+		a, b, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 2},
+		{0, 2, 4},
+		{0, 7, 6},
+		{3, 4, 6},
+	}
+	for _, tt := range tests {
+		if got := LeafDistance(leaves[tt.a], leaves[tt.b]); got != tt.want {
+			t.Errorf("LeafDistance(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+	if got := LeafDistance(leaves[0], Leaves(buildInts(2))[0]); got != -1 {
+		t.Fatalf("cross-tree distance = %d, want -1", got)
+	}
+}
+
+// The microscopic stretch fact: every pair of leaves in haft(l) is at
+// tree distance at most 2·ceil(log2 l).
+func TestLeafDistanceBound(t *testing.T) {
+	for _, l := range []int{1, 2, 3, 7, 20, 33, 64, 100} {
+		h := buildInts(l)
+		leaves := Leaves(h)
+		bound := 2 * ceilLog2(l)
+		for i := 0; i < len(leaves); i++ {
+			for j := i + 1; j < len(leaves); j++ {
+				if d := LeafDistance(leaves[i], leaves[j]); d > bound {
+					t.Fatalf("haft(%d): dist(leaf%d,leaf%d) = %d > %d", l, i, j, d, bound)
+				}
+			}
+		}
+	}
+}
+
+// Property: distance is a metric on the leaves (symmetry and triangle
+// inequality), and adjacent leaves in frontier order are within the
+// bound too.
+func TestQuickLeafDistanceMetric(t *testing.T) {
+	prop := func(raw uint8, i, j, k uint8) bool {
+		l := int(raw)%60 + 3
+		h := buildInts(l)
+		leaves := Leaves(h)
+		a := leaves[int(i)%l]
+		b := leaves[int(j)%l]
+		c := leaves[int(k)%l]
+		dab := LeafDistance(a, b)
+		dba := LeafDistance(b, a)
+		dac := LeafDistance(a, c)
+		dcb := LeafDistance(c, b)
+		if dab != dba {
+			return false
+		}
+		if a == b && dab != 0 {
+			return false
+		}
+		return dab <= dac+dcb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

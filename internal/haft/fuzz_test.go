@@ -1,0 +1,100 @@
+package haft
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzMergeSizes feeds arbitrary byte strings interpreted as a list of
+// perfect-tree heights (0..7) into Strip+Merge and checks the full
+// contract: valid haft, exact leaf count, popcount decomposition, depth
+// law, and the leaf-distance bound. Run with `go test -fuzz
+// FuzzMergeSizes ./internal/haft` for continuous fuzzing; the seed
+// corpus runs as a normal test.
+func FuzzMergeSizes(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0, 1, 2})
+	f.Add([]byte{7, 7})
+	f.Add([]byte{1, 3, 5, 7, 2, 4, 6})
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, heights []byte) {
+		if len(heights) == 0 || len(heights) > 24 {
+			t.Skip()
+		}
+		var trees []*Node
+		total := 0
+		next := 0
+		for _, h := range heights {
+			sz := 1 << uint(h%8)
+			trees = append(trees, perfectTree(int(h%8), next))
+			next += sz
+			total += sz
+		}
+		merged := Merge(trees, nil)
+		if err := Validate(merged); err != nil {
+			t.Fatalf("invalid haft from heights %v: %v", heights, err)
+		}
+		if got := CountLeaves(merged); got != total {
+			t.Fatalf("leaves = %d, want %d", got, total)
+		}
+		if got, want := Depth(merged), ceilLog2(total); got != want {
+			t.Fatalf("depth = %d, want %d", got, want)
+		}
+		if got, want := len(PrimaryRoots(merged)), bits.OnesCount(uint(total)); got != want {
+			t.Fatalf("primary roots = %d, want popcount = %d", got, want)
+		}
+		leaves := Leaves(merged)
+		bound := 2 * ceilLog2(total)
+		if d := LeafDistance(leaves[0], leaves[len(leaves)-1]); d > bound {
+			t.Fatalf("extreme-leaf distance %d > %d", d, bound)
+		}
+	})
+}
+
+// FuzzStripDamage removes an arbitrary subset of leaves from a haft and
+// checks that Strip still decomposes the fragment into intact perfect
+// pieces covering exactly the survivors.
+func FuzzStripDamage(f *testing.F) {
+	f.Add(uint8(8), uint16(0b0000_0001))
+	f.Add(uint8(13), uint16(0b1010_1010))
+	f.Add(uint8(31), uint16(0xFFFE))
+	f.Fuzz(func(t *testing.T, rawSize uint8, mask uint16) {
+		l := int(rawSize)%60 + 2
+		h := Build(l, func(i int) any { return i })
+		leaves := Leaves(h)
+		removed := 0
+		for i, leaf := range leaves {
+			if mask&(1<<(uint(i)%16)) != 0 && removed < l-1 {
+				Detach(leaf)
+				removed++
+			}
+		}
+		roots, discarded := Strip(h)
+		covered := 0
+		for _, r := range roots {
+			ok, _ := PerfectInfo(r)
+			if !ok {
+				t.Fatal("imperfect primary root")
+			}
+			covered += CountLeaves(r)
+		}
+		if covered != l-removed {
+			t.Fatalf("covered %d leaves, want %d", covered, l-removed)
+		}
+		for _, d := range discarded {
+			if d.IsLeaf {
+				t.Fatal("discarded a surviving leaf")
+			}
+		}
+		// Re-merging the pieces must produce a canonical haft over the
+		// survivors.
+		if merged := Merge(roots, nil); merged != nil {
+			if err := Validate(merged); err != nil {
+				t.Fatalf("re-merge: %v", err)
+			}
+			if CountLeaves(merged) != l-removed {
+				t.Fatal("re-merge lost leaves")
+			}
+		}
+	})
+}

@@ -1,0 +1,307 @@
+// Package haft implements half-full trees (hafts), the balanced binary
+// trees at the heart of the Forgiving Graph (Hayes, Saia, Trehan, PODC
+// 2009, Section 4).
+//
+// A haft is a rooted binary tree in which every non-leaf node has exactly
+// two children and its left child is the root of a complete (perfect)
+// binary subtree containing at least half of the node's leaf descendants.
+// Lemma 1 of the paper shows that for every positive l there is a unique
+// haft with l leaves, that its shape corresponds to the binary
+// representation of l, and that its depth is ⌈log₂ l⌉.
+//
+// The package provides the canonical constructor (Build), the Strip
+// operation (decompose a haft — or an arbitrary fragment of one — into
+// its maximal complete subtrees, whose roots the paper calls primary
+// roots), and the Merge operation (recombine complete trees into a single
+// haft, the tree analogue of binary addition).
+//
+// Nodes carry an opaque Payload so that higher layers (the Forgiving
+// Graph engine) can attach processor and edge-slot bookkeeping without
+// this package knowing about it.
+package haft
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Node is a vertex of a haft or of a haft fragment. Leaves are the
+// value-carrying vertices (in the Forgiving Graph they are real-node
+// avatars); internal nodes are helpers. IsLeaf distinguishes a genuine
+// leaf from an internal node that has lost its children — the distinction
+// matters when stripping fragments.
+type Node struct {
+	Parent, Left, Right *Node
+
+	// IsLeaf marks genuine leaves. An internal node keeps IsLeaf ==
+	// false even if both children are detached.
+	IsLeaf bool
+
+	// Height is the stored height of the subtree rooted here (0 for
+	// leaves). It reflects the structure at the time the node was
+	// linked; Strip recomputes structural facts and does not trust it
+	// after the tree has been damaged.
+	Height int
+
+	// LeafCount is the stored number of leaf descendants (1 for a
+	// leaf). Like Height it describes the undamaged structure.
+	LeafCount int
+
+	// Payload is opaque caller data (the Forgiving Graph stores
+	// processor and edge-slot identities plus representative pointers).
+	Payload any
+}
+
+// NewLeaf returns a fresh leaf node carrying payload.
+func NewLeaf(payload any) *Node {
+	return &Node{IsLeaf: true, Height: 0, LeafCount: 1, Payload: payload}
+}
+
+// Link makes parent the parent of left and right and refreshes the
+// parent's stored Height and LeafCount from its children. The children
+// must be non-nil and parentless.
+func Link(parent, left, right *Node) {
+	parent.Left = left
+	parent.Right = right
+	left.Parent = parent
+	right.Parent = parent
+	parent.Height = 1 + maxInt(left.Height, right.Height)
+	parent.LeafCount = left.LeafCount + right.LeafCount
+}
+
+// Detach removes n from its parent, leaving n the root of its own
+// subtree. It is a no-op for roots.
+func Detach(n *Node) {
+	p := n.Parent
+	if p == nil {
+		return
+	}
+	if p.Left == n {
+		p.Left = nil
+	}
+	if p.Right == n {
+		p.Right = nil
+	}
+	n.Parent = nil
+}
+
+// Root follows parent pointers to the root of n's tree.
+func Root(n *Node) *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Build returns the canonical haft over l fresh leaves, whose payloads
+// are set by payload(i) for leaf index i in left-to-right order. It
+// panics if l <= 0 is requested with l != 0; Build(0) returns nil.
+//
+// The construction follows Lemma 1 directly: the left child of the root
+// is the complete tree over the highest power-of-two block of leaves and
+// the right child is the canonical haft over the remainder.
+func Build(l int, payload func(i int) any) *Node {
+	if l <= 0 {
+		return nil
+	}
+	leaves := make([]*Node, l)
+	for i := range leaves {
+		var p any
+		if payload != nil {
+			p = payload(i)
+		}
+		leaves[i] = NewLeaf(p)
+	}
+	return BuildOver(leaves)
+}
+
+// BuildOver assembles the canonical haft whose leaves are the given nodes
+// in left-to-right order, creating fresh internal nodes with nil
+// payloads. The leaves must be parentless. BuildOver(nil) returns nil.
+func BuildOver(leaves []*Node) *Node {
+	switch len(leaves) {
+	case 0:
+		return nil
+	case 1:
+		return leaves[0]
+	}
+	// Largest power of two <= len(leaves).
+	x := 1 << (bits.Len(uint(len(leaves))) - 1)
+	if x == len(leaves) {
+		mid := x / 2
+		parent := &Node{}
+		Link(parent, BuildOver(leaves[:mid]), BuildOver(leaves[mid:]))
+		return parent
+	}
+	parent := &Node{}
+	Link(parent, BuildOver(leaves[:x]), BuildOver(leaves[x:]))
+	return parent
+}
+
+// Leaves returns the leaves of the subtree rooted at n in left-to-right
+// order.
+func Leaves(n *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x == nil {
+			return
+		}
+		if x.IsLeaf {
+			out = append(out, x)
+			return
+		}
+		walk(x.Left)
+		walk(x.Right)
+	}
+	walk(n)
+	return out
+}
+
+// Internal returns the internal (helper) nodes of the subtree rooted at n
+// in preorder.
+func Internal(n *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x == nil || x.IsLeaf {
+			return
+		}
+		out = append(out, x)
+		walk(x.Left)
+		walk(x.Right)
+	}
+	walk(n)
+	return out
+}
+
+// Depth returns the structural height of the subtree rooted at n
+// (0 for a leaf, -1 for nil), ignoring stored Height fields.
+func Depth(n *Node) int {
+	if n == nil {
+		return -1
+	}
+	if n.IsLeaf {
+		return 0
+	}
+	return 1 + maxInt(Depth(n.Left), Depth(n.Right))
+}
+
+// CountLeaves returns the structural number of genuine leaves below n.
+func CountLeaves(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf {
+		return 1
+	}
+	return CountLeaves(n.Left) + CountLeaves(n.Right)
+}
+
+// PerfectInfo reports whether the subtree rooted at n is structurally a
+// perfect binary tree over genuine leaves, and its structural height. A
+// single leaf is perfect with height 0. An internal node missing either
+// child is never perfect.
+func PerfectInfo(n *Node) (perfect bool, height int) {
+	if n == nil {
+		return false, -1
+	}
+	if n.IsLeaf {
+		return true, 0
+	}
+	if n.Left == nil || n.Right == nil {
+		return false, -1
+	}
+	lp, lh := PerfectInfo(n.Left)
+	if !lp {
+		return false, -1
+	}
+	rp, rh := PerfectInfo(n.Right)
+	if !rp || lh != rh {
+		return false, -1
+	}
+	return true, lh + 1
+}
+
+// Validate checks that the tree rooted at n is a well-formed haft: every
+// internal node has two children with correct parent pointers, its left
+// child heads a perfect subtree with at least half of the leaves, and the
+// stored Height and LeafCount fields match the structure. Validate(nil)
+// succeeds (the empty haft).
+func Validate(n *Node) error {
+	if n == nil {
+		return nil
+	}
+	if n.Parent != nil {
+		return fmt.Errorf("haft: root has a parent")
+	}
+	return validateSub(n)
+}
+
+func validateSub(n *Node) error {
+	if n.IsLeaf {
+		if n.Left != nil || n.Right != nil {
+			return fmt.Errorf("haft: leaf with children")
+		}
+		if n.Height != 0 || n.LeafCount != 1 {
+			return fmt.Errorf("haft: leaf with height=%d leafCount=%d", n.Height, n.LeafCount)
+		}
+		return nil
+	}
+	if n.Left == nil || n.Right == nil {
+		return fmt.Errorf("haft: internal node with missing child")
+	}
+	if n.Left.Parent != n || n.Right.Parent != n {
+		return fmt.Errorf("haft: child with wrong parent pointer")
+	}
+	lp, lh := PerfectInfo(n.Left)
+	if !lp {
+		return fmt.Errorf("haft: left child is not a perfect subtree")
+	}
+	lLeaves := CountLeaves(n.Left)
+	rLeaves := CountLeaves(n.Right)
+	if lLeaves < rLeaves {
+		return fmt.Errorf("haft: left child has %d leaves, right has %d (left must hold at least half)", lLeaves, rLeaves)
+	}
+	if n.LeafCount != lLeaves+rLeaves {
+		return fmt.Errorf("haft: stored LeafCount=%d, structural=%d", n.LeafCount, lLeaves+rLeaves)
+	}
+	wantHeight := 1 + maxInt(lh, Depth(n.Right))
+	if n.Height != wantHeight {
+		return fmt.Errorf("haft: stored Height=%d, structural=%d", n.Height, wantHeight)
+	}
+	if err := validateSub(n.Right); err != nil {
+		return err
+	}
+	return validateChildFields(n.Left)
+}
+
+// validateChildFields checks stored fields inside a perfect subtree.
+func validateChildFields(n *Node) error {
+	if n.IsLeaf {
+		if n.Height != 0 || n.LeafCount != 1 {
+			return fmt.Errorf("haft: leaf with height=%d leafCount=%d", n.Height, n.LeafCount)
+		}
+		return nil
+	}
+	if n.Left == nil || n.Right == nil {
+		return fmt.Errorf("haft: internal node with missing child")
+	}
+	if n.Left.Parent != n || n.Right.Parent != n {
+		return fmt.Errorf("haft: child with wrong parent pointer")
+	}
+	if n.Height != n.Left.Height+1 || n.LeafCount != n.Left.LeafCount+n.Right.LeafCount {
+		return fmt.Errorf("haft: inconsistent stored fields in perfect subtree (height=%d leafCount=%d)", n.Height, n.LeafCount)
+	}
+	if err := validateChildFields(n.Left); err != nil {
+		return err
+	}
+	return validateChildFields(n.Right)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

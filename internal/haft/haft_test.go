@@ -1,0 +1,323 @@
+package haft
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// buildInts returns the canonical haft over l leaves with payloads 0..l-1.
+func buildInts(l int) *Node {
+	return Build(l, func(i int) any { return i })
+}
+
+func TestBuildSmall(t *testing.T) {
+	if Build(0, nil) != nil {
+		t.Fatal("Build(0) should be nil")
+	}
+	one := buildInts(1)
+	if !one.IsLeaf || one.Payload != 0 {
+		t.Fatalf("Build(1) = %+v, want single leaf 0", one)
+	}
+	two := buildInts(2)
+	if two.IsLeaf || two.Left.Payload != 0 || two.Right.Payload != 1 {
+		t.Fatal("Build(2) shape wrong")
+	}
+	if two.Height != 1 || two.LeafCount != 2 {
+		t.Fatalf("Build(2) fields: height=%d leafCount=%d", two.Height, two.LeafCount)
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	for l := 0; l <= 260; l++ {
+		h := buildInts(l)
+		if err := Validate(h); err != nil {
+			t.Fatalf("Build(%d): %v", l, err)
+		}
+		if got := CountLeaves(h); l > 0 && got != l {
+			t.Fatalf("Build(%d) has %d leaves", l, got)
+		}
+	}
+}
+
+// Lemma 1 part 3: depth of haft(l) is ceil(log2 l).
+func TestDepthLemma(t *testing.T) {
+	for l := 1; l <= 1024; l++ {
+		h := buildInts(l)
+		want := ceilLog2(l)
+		if got := Depth(h); got != want {
+			t.Fatalf("Depth(haft(%d)) = %d, want %d", l, got, want)
+		}
+		if h.Height != want {
+			t.Fatalf("stored Height of haft(%d) = %d, want %d", l, h.Height, want)
+		}
+	}
+}
+
+func ceilLog2(l int) int {
+	if l <= 1 {
+		return 0
+	}
+	return bits.Len(uint(l - 1))
+}
+
+// Lemma 1 part 2: haft(l) decomposes into popcount(l) complete trees whose
+// sizes are the powers of two in l's binary representation, in descending
+// size order left to right.
+func TestBinaryRepresentationLemma(t *testing.T) {
+	for l := 1; l <= 600; l++ {
+		h := buildInts(l)
+		roots := PrimaryRoots(h)
+		if got, want := len(roots), bits.OnesCount(uint(l)); got != want {
+			t.Fatalf("haft(%d): %d primary roots, want popcount=%d", l, got, want)
+		}
+		total := 0
+		prev := 1 << 62
+		for _, r := range roots {
+			c := CountLeaves(r)
+			if c&(c-1) != 0 {
+				t.Fatalf("haft(%d): primary root with %d leaves (not a power of two)", l, c)
+			}
+			if c >= prev {
+				t.Fatalf("haft(%d): primary roots not in descending size order", l)
+			}
+			prev = c
+			total += c
+		}
+		if total != l {
+			t.Fatalf("haft(%d): primary roots cover %d leaves", l, total)
+		}
+	}
+}
+
+// Lemma 1 part 1 (uniqueness): the canonical construction and a merge of
+// singleton leaves produce structurally identical trees.
+func TestUniquenessViaMerge(t *testing.T) {
+	for l := 1; l <= 130; l++ {
+		direct := buildInts(l)
+		singles := make([]*Node, l)
+		for i := range singles {
+			singles[i] = NewLeaf(i)
+		}
+		merged := Merge(singles, nil)
+		if err := Validate(merged); err != nil {
+			t.Fatalf("merge of %d singletons: %v", l, err)
+		}
+		if !sameShape(direct, merged) {
+			t.Fatalf("haft(%d) not unique: direct build and singleton merge differ", l)
+		}
+	}
+}
+
+// sameShape compares tree structure ignoring payloads.
+func sameShape(a, b *Node) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.IsLeaf != b.IsLeaf {
+		return false
+	}
+	return sameShape(a.Left, b.Left) && sameShape(a.Right, b.Right)
+}
+
+func TestLinkAndDetach(t *testing.T) {
+	l, r := NewLeaf("l"), NewLeaf("r")
+	p := &Node{}
+	Link(p, l, r)
+	if p.Height != 1 || p.LeafCount != 2 || l.Parent != p || r.Parent != p {
+		t.Fatalf("Link wiring wrong: %+v", p)
+	}
+	Detach(l)
+	if l.Parent != nil || p.Left != nil || p.Right != r {
+		t.Fatal("Detach wiring wrong")
+	}
+	Detach(l) // detaching a root is a no-op
+	if l.Parent != nil {
+		t.Fatal("Detach of root changed parent")
+	}
+}
+
+func TestRoot(t *testing.T) {
+	h := buildInts(9)
+	for _, leaf := range Leaves(h) {
+		if Root(leaf) != h {
+			t.Fatal("Root did not reach the tree root")
+		}
+	}
+}
+
+func TestLeavesOrder(t *testing.T) {
+	h := buildInts(11)
+	leaves := Leaves(h)
+	if len(leaves) != 11 {
+		t.Fatalf("got %d leaves", len(leaves))
+	}
+	for i, l := range leaves {
+		if l.Payload != i {
+			t.Fatalf("leaf %d has payload %v", i, l.Payload)
+		}
+	}
+}
+
+func TestInternalCount(t *testing.T) {
+	// A haft over l leaves always has exactly l-1 internal nodes.
+	for l := 1; l <= 300; l++ {
+		h := buildInts(l)
+		if got := len(Internal(h)); got != l-1 {
+			t.Fatalf("haft(%d) has %d internal nodes, want %d", l, got, l-1)
+		}
+	}
+}
+
+func TestPerfectInfo(t *testing.T) {
+	tests := []struct {
+		l           int
+		wantPerfect bool
+		wantHeight  int
+	}{
+		{1, true, 0}, {2, true, 1}, {3, false, -1}, {4, true, 2},
+		{5, false, -1}, {8, true, 3}, {1024, true, 10}, {1023, false, -1},
+	}
+	for _, tt := range tests {
+		p, ht := PerfectInfo(buildInts(tt.l))
+		if p != tt.wantPerfect || (p && ht != tt.wantHeight) {
+			t.Errorf("PerfectInfo(haft(%d)) = (%v,%d), want (%v,%d)",
+				tt.l, p, ht, tt.wantPerfect, tt.wantHeight)
+		}
+	}
+	if p, _ := PerfectInfo(nil); p {
+		t.Error("PerfectInfo(nil) reported perfect")
+	}
+	// An internal node that lost a child is not perfect even if its
+	// remaining child is.
+	h := buildInts(2)
+	Detach(h.Right)
+	if p, _ := PerfectInfo(h); p {
+		t.Error("internal node with one child reported perfect")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	t.Run("nil ok", func(t *testing.T) {
+		if err := Validate(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("leaf with bad fields", func(t *testing.T) {
+		l := NewLeaf(0)
+		l.Height = 3
+		if err := Validate(l); err == nil {
+			t.Fatal("accepted leaf with wrong height")
+		}
+	})
+	t.Run("missing child", func(t *testing.T) {
+		h := buildInts(4)
+		Detach(h.Right)
+		if err := Validate(h); err == nil {
+			t.Fatal("accepted internal node with missing child")
+		}
+	})
+	t.Run("left smaller than right", func(t *testing.T) {
+		// Manually wire a node whose left subtree is a single leaf and
+		// right subtree has two leaves: violates the haft property.
+		p := &Node{}
+		small := NewLeaf(0)
+		big := buildInts(2)
+		Link(p, small, big)
+		if err := Validate(p); err == nil {
+			t.Fatal("accepted haft with underweight left child")
+		}
+	})
+	t.Run("imperfect left child", func(t *testing.T) {
+		p := &Node{}
+		left := buildInts(3) // 3-leaf haft is not perfect
+		right := NewLeaf(9)
+		Link(p, left, right)
+		if err := Validate(p); err == nil {
+			t.Fatal("accepted haft with imperfect left child")
+		}
+	})
+	t.Run("corrupted stored count", func(t *testing.T) {
+		h := buildInts(6)
+		h.LeafCount = 7
+		if err := Validate(h); err == nil {
+			t.Fatal("accepted corrupted LeafCount")
+		}
+	})
+	t.Run("corrupted parent pointer", func(t *testing.T) {
+		h := buildInts(4)
+		h.Left.Parent = h.Left
+		if err := Validate(h); err == nil {
+			t.Fatal("accepted corrupted parent pointer")
+		}
+	})
+	t.Run("root with parent", func(t *testing.T) {
+		h := buildInts(2)
+		h.Parent = NewLeaf(0)
+		if err := Validate(h); err == nil {
+			t.Fatal("accepted root with parent")
+		}
+	})
+}
+
+// Property: for random l, Build produces a valid haft with the right leaf
+// frontier, depth, and primary-root decomposition.
+func TestQuickBuildProperties(t *testing.T) {
+	prop := func(raw uint16) bool {
+		l := int(raw)%2000 + 1
+		h := buildInts(l)
+		if Validate(h) != nil || CountLeaves(h) != l {
+			return false
+		}
+		if Depth(h) != ceilLog2(l) {
+			return false
+		}
+		return len(PrimaryRoots(h)) == bits.OnesCount(uint(l))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafString(t *testing.T) {
+	h := Build(3, func(i int) any { return fmt.Sprintf("v%d", i) })
+	if got := LeafString(h); got != "v0 v1 v2" {
+		t.Fatalf("LeafString = %q", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := buildInts(3)
+	out := Render(h, nil)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	// Spot-check that all leaves appear.
+	for i := 0; i < 3; i++ {
+		if want := fmt.Sprintf("%d", i); !containsLine(out, want) {
+			t.Fatalf("render missing leaf %d:\n%s", i, out)
+		}
+	}
+	// Damaged tree renders the hole marker.
+	Detach(h.Right)
+	if out := Render(h, nil); !containsLine(out, "∅") {
+		t.Fatalf("render of damaged tree missing hole marker:\n%s", out)
+	}
+}
+
+func containsLine(s, substr string) bool {
+	return len(s) > 0 && (len(substr) == 0 || indexOf(s, substr) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,126 @@
+package haft
+
+import "sort"
+
+// Merge (paper Section 4.1.2, Algorithm A.9 "ComputeHaft").
+//
+// Merging hafts is the tree analogue of adding the binary representations
+// of their leaf counts. The inputs here are the complete trees produced
+// by Strip; the output is a single haft over the union of their leaves.
+// Each join of two trees consumes one fresh internal node, supplied by
+// the caller through a JoinFunc so that the Forgiving Graph layer can run
+// its representative mechanism (the new helper is simulated by the
+// representative of the bigger tree and inherits the representative of
+// the other).
+
+// JoinFunc allocates the internal node that will become the parent of two
+// roots being joined. bigger is the root whose subtree has at least as
+// many leaves as smaller's; when the two are equal-sized the first tree
+// in the working list plays the role of bigger, as in Algorithm A.9. The
+// returned node must be fresh: parentless and childless. Merge wires the
+// links and stored fields itself.
+type JoinFunc func(bigger, smaller *Node) *Node
+
+// NewInternal is the trivial JoinFunc used when no payload bookkeeping is
+// needed.
+func NewInternal(_, _ *Node) *Node { return &Node{} }
+
+// Merge combines parentless complete trees into a single haft and returns
+// its root. The input order among equal-sized trees is preserved when
+// sorting (callers seeking determinism should pre-order ties, e.g. by
+// node identity). Merge returns nil for an empty input and the sole root
+// unchanged for a singleton input.
+//
+// The implementation follows Algorithm A.9: sort ascending by leaf count;
+// repeatedly join adjacent equal-sized trees (binary-addition carries),
+// reinserting the result in sorted position; then chain the remaining
+// distinct-sized trees left to right, each time making the larger tree
+// the left child.
+func Merge(trees []*Node, join JoinFunc) *Node {
+	switch len(trees) {
+	case 0:
+		return nil
+	case 1:
+		return trees[0]
+	}
+	if join == nil {
+		join = NewInternal
+	}
+	sorted := make([]*Node, len(trees))
+	copy(sorted, trees)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].LeafCount < sorted[j].LeafCount
+	})
+
+	// Phase 1: resolve equal-size pairs (carries), processing size
+	// classes smallest first like a binary counter: joining two
+	// same-size trees produces a tree in the doubled class, which is
+	// processed in turn. Buckets keep FIFO order so equal-size inputs
+	// pair adjacently in the sorted order, and the whole phase is
+	// O(k log k) instead of the naive quadratic reinsertion.
+	buckets := make(map[int][]*Node)
+	var sizes []int
+	for _, n := range sorted {
+		if len(buckets[n.LeafCount]) == 0 {
+			sizes = append(sizes, n.LeafCount)
+		}
+		buckets[n.LeafCount] = append(buckets[n.LeafCount], n)
+	}
+	sort.Ints(sizes)
+
+	var list []*Node // distinct sizes, ascending
+	for si := 0; si < len(sizes); si++ {
+		size := sizes[si]
+		q := buckets[size]
+		for len(q) >= 2 {
+			a, b := q[0], q[1]
+			q = q[2:]
+			parent := join(a, b)
+			Link(parent, a, b)
+			carry := parent.LeafCount
+			if len(buckets[carry]) == 0 {
+				// Register the new size class in sorted position
+				// (it is always > size, so search the tail).
+				pos := si + 1
+				for pos < len(sizes) && sizes[pos] < carry {
+					pos++
+				}
+				if pos == len(sizes) || sizes[pos] != carry {
+					sizes = append(sizes, 0)
+					copy(sizes[pos+1:], sizes[pos:])
+					sizes[pos] = carry
+				}
+			}
+			buckets[carry] = append(buckets[carry], parent)
+		}
+		if len(q) == 1 {
+			list = append(list, q[0])
+		}
+		delete(buckets, size)
+	}
+
+	// Phase 2: chain distinct sizes, smaller accumulations hanging off
+	// the right of the next larger complete tree.
+	acc := list[0]
+	for i := 1; i < len(list); i++ {
+		bigger := list[i]
+		parent := join(bigger, acc)
+		Link(parent, bigger, acc)
+		acc = parent
+	}
+	return acc
+}
+
+// MergeAll strips each input tree (haft or fragment) into complete trees
+// and merges everything into one haft. It returns the new root and the
+// internal nodes discarded by the strips. This is the one-shot form of
+// the repair used by the reference engine.
+func MergeAll(fragments []*Node, join JoinFunc) (root *Node, discarded []*Node) {
+	var complete []*Node
+	for _, f := range fragments {
+		roots, junk := Strip(f)
+		complete = append(complete, roots...)
+		discarded = append(discarded, junk...)
+	}
+	return Merge(complete, join), discarded
+}

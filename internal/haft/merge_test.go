@@ -1,0 +1,238 @@
+package haft
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// perfectTree builds a perfect tree with 2^h leaves labelled start..start+2^h-1.
+func perfectTree(h, start int) *Node {
+	return Build(1<<h, func(i int) any { return start + i })
+}
+
+func TestStripHaft(t *testing.T) {
+	// Figure 3(b): stripping haft(l) removes popcount(l)-1 joiners.
+	for l := 1; l <= 300; l++ {
+		h := buildInts(l)
+		roots, discarded := Strip(h)
+		wantRoots := bits.OnesCount(uint(l))
+		if len(roots) != wantRoots {
+			t.Fatalf("Strip(haft(%d)): %d roots, want %d", l, len(roots), wantRoots)
+		}
+		if len(discarded) != wantRoots-1 {
+			t.Fatalf("Strip(haft(%d)): discarded %d, want %d", l, len(discarded), wantRoots-1)
+		}
+		for _, r := range roots {
+			if r.Parent != nil {
+				t.Fatalf("Strip left root with a parent")
+			}
+			if ok, _ := PerfectInfo(r); !ok {
+				t.Fatalf("Strip returned imperfect root")
+			}
+		}
+		for _, d := range discarded {
+			if d.IsLeaf {
+				t.Fatal("Strip discarded a genuine leaf")
+			}
+			if d.Parent != nil || d.Left != nil || d.Right != nil {
+				t.Fatal("discarded node not fully unlinked")
+			}
+		}
+	}
+}
+
+func TestStripFragmentWithHole(t *testing.T) {
+	// Build haft(8) (a perfect tree), then detach one leaf: the damaged
+	// tree must strip into maximal perfect pieces covering the 7
+	// surviving leaves, discarding the ancestors of the hole.
+	h := buildInts(8)
+	leaves := Leaves(h)
+	victim := leaves[5]
+	Detach(victim)
+	roots, discarded := Strip(h)
+	total := 0
+	for _, r := range roots {
+		ok, _ := PerfectInfo(r)
+		if !ok {
+			t.Fatal("imperfect primary root from fragment")
+		}
+		total += CountLeaves(r)
+	}
+	if total != 7 {
+		t.Fatalf("fragment strip covers %d leaves, want 7", total)
+	}
+	// Ancestors of the hole: parent, grandparent, root = 3 discarded.
+	if len(discarded) != 3 {
+		t.Fatalf("discarded %d nodes, want 3 (the hole's ancestors)", len(discarded))
+	}
+	// Pieces must be sizes 4,2,1: the sibling subtrees along the hole's path.
+	sizes := map[int]int{}
+	for _, r := range roots {
+		sizes[CountLeaves(r)]++
+	}
+	if sizes[4] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Fatalf("fragment pieces = %v, want {4:1,2:1,1:1}", sizes)
+	}
+}
+
+func TestStripLoneInternalNode(t *testing.T) {
+	// An internal node that lost both children is discarded entirely.
+	h := buildInts(2)
+	Detach(h.Left)
+	Detach(h.Right)
+	roots, discarded := Strip(h)
+	if len(roots) != 0 || len(discarded) != 1 {
+		t.Fatalf("lone internal: roots=%d discarded=%d, want 0/1", len(roots), len(discarded))
+	}
+}
+
+func TestMergeEmptyAndSingleton(t *testing.T) {
+	if Merge(nil, nil) != nil {
+		t.Fatal("Merge(nil) != nil")
+	}
+	leaf := NewLeaf(7)
+	if got := Merge([]*Node{leaf}, nil); got != leaf {
+		t.Fatal("Merge of one tree should return it unchanged")
+	}
+}
+
+// Figure 5: merging hafts with 5, 2 and 1 leaves is the binary addition
+// 0101 + 0010 + 0001 = 1000.
+func TestMergeFigure5(t *testing.T) {
+	h5 := buildInts(5)
+	h2 := buildInts(2)
+	h1 := NewLeaf(99)
+	var pieces []*Node
+	for _, h := range []*Node{h5, h2, h1} {
+		roots, _ := Strip(h)
+		pieces = append(pieces, roots...)
+	}
+	merged := Merge(pieces, nil)
+	if err := Validate(merged); err != nil {
+		t.Fatalf("merged: %v", err)
+	}
+	if CountLeaves(merged) != 8 {
+		t.Fatalf("merged has %d leaves, want 8", CountLeaves(merged))
+	}
+	if ok, ht := PerfectInfo(merged); !ok || ht != 3 {
+		t.Fatalf("5+2+1 should be the perfect tree of height 3, got (%v,%d)", ok, ht)
+	}
+}
+
+func TestMergeJoinCallbackSeesBiggerFirst(t *testing.T) {
+	big := perfectTree(2, 0)   // 4 leaves
+	small := perfectTree(0, 9) // 1 leaf
+	calls := 0
+	join := func(bigger, smaller *Node) *Node {
+		calls++
+		if bigger.LeafCount < smaller.LeafCount {
+			t.Fatalf("join called with bigger=%d < smaller=%d",
+				bigger.LeafCount, smaller.LeafCount)
+		}
+		return &Node{}
+	}
+	merged := Merge([]*Node{small, big}, join)
+	if calls != 1 {
+		t.Fatalf("join called %d times, want 1", calls)
+	}
+	if err := Validate(merged); err != nil {
+		t.Fatal(err)
+	}
+	// The bigger tree must be the left child (haft property).
+	if merged.Left != big || merged.Right != small {
+		t.Fatal("bigger tree should be the left child")
+	}
+}
+
+func TestMergeManyEqualSizes(t *testing.T) {
+	// 2^k singletons must merge into the perfect tree of height k.
+	for k := 0; k <= 7; k++ {
+		n := 1 << k
+		trees := make([]*Node, n)
+		for i := range trees {
+			trees[i] = NewLeaf(i)
+		}
+		merged := Merge(trees, nil)
+		if ok, ht := PerfectInfo(merged); !ok || ht != k {
+			t.Fatalf("2^%d singletons: perfect=(%v,%d)", k, ok, ht)
+		}
+		if err := Validate(merged); err != nil {
+			t.Fatalf("2^%d singletons: %v", k, err)
+		}
+	}
+}
+
+// Property: merging arbitrary collections of perfect trees yields a valid
+// haft over the union of the leaves, with each join pairing correct sizes.
+func TestQuickMergeProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(10) + 1
+		var trees []*Node
+		total := 0
+		next := 0
+		for i := 0; i < k; i++ {
+			h := rng.Intn(5)
+			trees = append(trees, perfectTree(h, next))
+			next += 1 << h
+			total += 1 << h
+		}
+		joins := 0
+		merged := Merge(trees, func(b, s *Node) *Node {
+			joins++
+			if b.LeafCount < s.LeafCount {
+				return nil // will crash Link; signals violation
+			}
+			return &Node{}
+		})
+		if Validate(merged) != nil {
+			return false
+		}
+		if CountLeaves(merged) != total {
+			return false
+		}
+		return joins == k-1 // merging k trees always takes k-1 joins
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: strip-then-merge of a random haft reproduces the identical
+// canonical shape (uniqueness, Lemma 1 part 1).
+func TestQuickStripMergeRoundTrip(t *testing.T) {
+	prop := func(raw uint16) bool {
+		l := int(raw)%1000 + 1
+		h := buildInts(l)
+		roots, _ := Strip(h)
+		merged := Merge(roots, nil)
+		return Validate(merged) == nil &&
+			CountLeaves(merged) == l &&
+			sameShape(merged, buildInts(l))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	// Three fragments: a haft(6), a damaged perfect(8) missing a leaf,
+	// and a singleton. MergeAll should produce one valid haft over
+	// 6 + 7 + 1 leaves.
+	f1 := buildInts(6)
+	f2 := buildInts(8)
+	Detach(Leaves(f2)[3])
+	f3 := NewLeaf("x")
+	root, discarded := MergeAll([]*Node{f1, f2, f3}, nil)
+	if err := Validate(root); err != nil {
+		t.Fatal(err)
+	}
+	if got := CountLeaves(root); got != 14 {
+		t.Fatalf("merged leaves = %d, want 14", got)
+	}
+	if len(discarded) == 0 {
+		t.Fatal("expected discarded joiners from haft(6) and the damaged tree")
+	}
+}

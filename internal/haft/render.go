@@ -1,0 +1,59 @@
+package haft
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the tree rooted at n as indented ASCII art, one node per
+// line, children indented beneath their parent. label extracts a display
+// string from a node; if nil, leaves render their payload with %v and
+// internal nodes render as "*". Damaged links (missing children of
+// internal nodes) render as "∅".
+func Render(n *Node, label func(*Node) string) string {
+	if label == nil {
+		label = func(x *Node) string {
+			if x.IsLeaf {
+				return fmt.Sprintf("%v", x.Payload)
+			}
+			return "*"
+		}
+	}
+	var b strings.Builder
+	var walk func(x *Node, prefix string, isLast bool, isRoot bool)
+	walk = func(x *Node, prefix string, isLast bool, isRoot bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if isLast {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if isRoot {
+			connector = ""
+			childPrefix = ""
+		}
+		if x == nil {
+			fmt.Fprintf(&b, "%s%s∅\n", prefix, connector)
+			return
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", prefix, connector, label(x))
+		if x.IsLeaf {
+			return
+		}
+		walk(x.Left, childPrefix, false, false)
+		walk(x.Right, childPrefix, true, false)
+	}
+	walk(n, "", true, true)
+	return b.String()
+}
+
+// LeafString renders the leaf payloads left to right, space separated —
+// a compact fingerprint of a tree's frontier used in tests and demos.
+func LeafString(n *Node) string {
+	leaves := Leaves(n)
+	parts := make([]string, len(leaves))
+	for i, l := range leaves {
+		parts[i] = fmt.Sprintf("%v", l.Payload)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,74 @@
+package haft
+
+// Strip and primary-root discovery (paper Section 4.1.1, Lemma 2).
+//
+// A primary root is a node heading a complete (perfect) subtree whose
+// parent, if any, does not head one. Stripping a haft with h ones in the
+// binary representation of its leaf count removes exactly h-1 internal
+// nodes (the "square" joiner nodes on the right spine) and leaves a
+// forest of h complete trees.
+//
+// The same operation extends to arbitrary *fragments* of hafts — the
+// connected pieces that remain after the Forgiving Graph deletes a
+// processor's nodes from a Reconstruction Tree. There, a helper node
+// survives only if its entire original subtree is intact, which is
+// equivalent to its remaining subtree being structurally perfect.
+
+// PrimaryRoots returns the roots of the maximal structurally perfect
+// subtrees of the tree (or fragment) rooted at n, in left-to-right order.
+// Genuine leaves count as perfect subtrees of height 0, so every genuine
+// leaf of the fragment is covered by exactly one returned root. Internal
+// nodes that head no perfect subtree are not covered by any root; for a
+// valid haft these are exactly the h-1 joiner nodes.
+func PrimaryRoots(n *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x == nil {
+			return
+		}
+		if ok, _ := PerfectInfo(x); ok {
+			out = append(out, x)
+			return
+		}
+		walk(x.Left)
+		walk(x.Right)
+	}
+	walk(n)
+	return out
+}
+
+// Strip detaches the maximal perfect subtrees of the fragment rooted at n
+// and returns them (left-to-right) together with the internal nodes that
+// were discarded in the process. After Strip, every returned root is
+// parentless and every discarded node is fully unlinked. Stripping a
+// valid haft over l leaves discards exactly popcount(l)-1 nodes.
+func Strip(n *Node) (roots []*Node, discarded []*Node) {
+	roots = PrimaryRoots(n)
+	inRoots := make(map[*Node]struct{}, len(roots))
+	for _, r := range roots {
+		inRoots[r] = struct{}{}
+	}
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x == nil {
+			return
+		}
+		if _, ok := inRoots[x]; ok {
+			return
+		}
+		discarded = append(discarded, x)
+		walk(x.Left)
+		walk(x.Right)
+	}
+	walk(n)
+	for _, r := range roots {
+		Detach(r)
+	}
+	for _, d := range discarded {
+		d.Parent = nil
+		d.Left = nil
+		d.Right = nil
+	}
+	return roots, discarded
+}

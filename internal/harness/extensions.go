@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/heal"
+	"repro/internal/metrics"
+)
+
+// Extension experiments beyond the paper's stated results: the
+// representative-policy ablation (a design knob DESIGN.md discusses)
+// and the repair-edge span measurement (the paper's own future-work
+// question about locality-constrained edge insertion).
+
+// expAblate compares representative policies: which tree's free leaf is
+// charged with simulating a new helper. The finding (asserted in
+// core/policy_test.go) is that the ×4 degree worst case is intrinsic to
+// the representative mechanism, not a placement artifact.
+func expAblate(o Options) []metrics.Table {
+	ns := []int{64, 256}
+	kills := func(n int) int { return n / 2 }
+	if o.Quick {
+		ns = []int{32}
+	}
+	policies := []core.RepPolicy{core.RepPaper, core.RepSmaller, core.RepGreedy}
+	topos := []string{"star", "powerlaw", "gnp"}
+
+	t := metrics.Table{
+		Title: "EXP-ABLATE: representative policy (who simulates new helpers)",
+		Columns: []string{"topology", "n", "policy", "max deg ratio", "mean deg ratio",
+			"max stretch", "helpers created"},
+	}
+	for _, topo := range topos {
+		gen, err := graph.Generator(topo)
+		if err != nil {
+			panic(err)
+		}
+		for _, n := range ns {
+			g0 := gen(n, rand.New(rand.NewSource(o.Seed+int64(n))))
+			for _, policy := range policies {
+				policy := policy
+				f := heal.Factory{
+					Name: "fg-" + policy.String(),
+					New: func(g *graph.Graph) heal.Healer {
+						return heal.NewForgivingGraphWithPolicy(g, policy)
+					},
+				}
+				r := NewRunner(g0, f, adversary.MaxDegreeDelete{}, o.Seed+9)
+				if err := r.RunSteps(kills(g0.NumNodes())); err != nil {
+					panic(err)
+				}
+				p := r.Measure(24)
+				fg, ok := r.H.(*heal.ForgivingGraph)
+				if !ok {
+					panic("harness: ablation healer is not a ForgivingGraph")
+				}
+				t.AddRow(topo, metrics.D(g0.NumNodes()), policy.String(),
+					metrics.F(p.Degree.Max), metrics.F(p.Degree.Mean),
+					metrics.F(p.Stretch.Max),
+					metrics.D(fg.Engine().TotalStats().TotalNewHelpers))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"all policies satisfy the same bounds; the x4 worst case is intrinsic to the mechanism",
+		"the paper's policy is the reference; alternatives must never be worse on the star")
+	return []metrics.Table{t}
+}
+
+// expSpan measures how far repair edges reach — the paper's concluding
+// open problem asks what happens when only short-span edges may be
+// added ("what if the only edges we can add are those that span a small
+// distance in the original network?"). Span of a repair edge {u,v} is
+// dist(u, v) in G′.
+func expSpan(o Options) []metrics.Table {
+	ns := []int{64, 256}
+	if o.Quick {
+		ns = []int{32, 64}
+	}
+	topos := []string{"grid", "gnp", "powerlaw"}
+	advs := []string{"random", "maxdeg", "cutvertex"}
+
+	t := metrics.Table{
+		Title: "EXP-SPAN: G'-span of repair edges after deleting half the nodes",
+		Columns: []string{"topology", "adversary", "n", "repair edges",
+			"max span", "mean span", "p95 span", "diam(G')"},
+	}
+	for _, topo := range topos {
+		gen, err := graph.Generator(topo)
+		if err != nil {
+			panic(err)
+		}
+		for _, advName := range advs {
+			adv, err := adversary.ByName(advName)
+			if err != nil {
+				panic(err)
+			}
+			for _, n := range ns {
+				g0 := gen(n, rand.New(rand.NewSource(o.Seed+int64(n)+13)))
+				r := NewRunner(g0, ForgivingFactory(), adv, o.Seed+21)
+				if err := r.RunSteps(g0.NumNodes() / 2); err != nil {
+					panic(err)
+				}
+				net := r.H.Network()
+				gp := r.H.GPrime()
+				var spans []float64
+				for _, e := range net.Edges() {
+					if gp.HasEdge(e.U, e.V) {
+						continue
+					}
+					if d := gp.Distance(e.U, e.V); d > 0 {
+						spans = append(spans, float64(d))
+					}
+				}
+				s := metrics.Summarize(spans)
+				t.AddRow(topo, advName, metrics.D(g0.NumNodes()), metrics.D(s.N),
+					metrics.F(s.Max), metrics.F(s.Mean), metrics.F(s.P95),
+					metrics.D(gp.Diameter()))
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"span = G' distance between a repair edge's endpoints (deleted nodes usable)",
+		"small spans suggest the conclusion's locality-constrained variant is plausible on lattices")
+	return []metrics.Table{t}
+}
+
+// expRTDepth validates Lemma 1 dynamically: every Reconstruction Tree
+// produced by a repair has depth exactly ⌈log₂(leaves)⌉.
+func expRTDepth(o Options) []metrics.Table {
+	n := 128
+	if o.Quick {
+		n = 48
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 31))
+	e := core.NewEngine(graph.GNP(n, 4.0/float64(n), rng))
+	t := metrics.Table{
+		Title:   fmt.Sprintf("EXP-RTDEPTH: RT depth vs ceil(log2 leaves) over %d random deletions", n/2),
+		Columns: []string{"deletion", "RT leaves", "RT depth", "ceil(log2 leaves)", "ok"},
+	}
+	shown := 0
+	for i := 0; i < n/2; i++ {
+		live := e.LiveNodes()
+		if len(live) == 0 {
+			break
+		}
+		if err := e.Delete(live[rng.Intn(len(live))]); err != nil {
+			panic(err)
+		}
+		rs := e.LastRepair()
+		if rs.RTLeaves == 0 {
+			continue
+		}
+		want := ceilLog2(rs.RTLeaves)
+		ok := "yes"
+		if rs.RTDepth != want {
+			ok = "VIOLATION"
+		}
+		// Print a sample plus every violation.
+		if shown < 12 || ok != "yes" {
+			t.AddRow(metrics.D(i), metrics.D(rs.RTLeaves), metrics.D(rs.RTDepth),
+				metrics.D(want), ok)
+			shown++
+		}
+	}
+	t.Notes = append(t.Notes, "first 12 repairs shown; any violation would be appended")
+	return []metrics.Table{t}
+}

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+func TestRunnerStepsAndTrace(t *testing.T) {
+	r := NewRunner(graph.Star(6), ForgivingFactory(), adversary.MaxDegreeDelete{}, 1)
+	if err := r.RunSteps(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.T.Ops) != 3 {
+		t.Fatalf("trace has %d ops, want 3", len(r.T.Ops))
+	}
+	// The first kill must be the hub.
+	if r.T.Ops[0].V != 0 {
+		t.Fatalf("first op = %v, want delete 0", r.T.Ops[0])
+	}
+	p := r.Measure(0)
+	if p.Alive != 3 || p.NEver != 6 {
+		t.Fatalf("point = %+v", p)
+	}
+	if p.Stretch.Max > metrics.Bound(p.NEver) {
+		t.Fatalf("stretch %v out of bound", p.Stretch.Max)
+	}
+}
+
+func TestRunnerStopsWhenAdversaryDone(t *testing.T) {
+	r := NewRunner(graph.Path(3), ForgivingFactory(),
+		&adversary.Scripted{Ops: []adversary.Op{{V: 1}}}, 1)
+	if err := r.RunSteps(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.T.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(r.T.Ops))
+	}
+}
+
+func TestRunnerAllocatesFreshIDs(t *testing.T) {
+	r := NewRunner(graph.Path(4), ForgivingFactory(),
+		adversary.Churn{InsertP: 1, AttachK: 1}, 3)
+	if err := r.RunSteps(5); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range r.T.Ops {
+		if !op.Insert {
+			t.Fatalf("unexpected delete %v", op)
+		}
+		if op.V < 4 {
+			t.Fatalf("inserted id %d collides with G0", op.V)
+		}
+	}
+}
+
+func TestRunnerSurfacesHealerErrors(t *testing.T) {
+	r := NewRunner(graph.Path(3), ForgivingFactory(),
+		&adversary.Scripted{Ops: []adversary.Op{{V: 99}}}, 1)
+	if err := r.RunSteps(1); err == nil {
+		t.Fatal("invalid op did not error")
+	}
+}
+
+// Every registered experiment must run in Quick mode and produce
+// non-empty tables whose verdict columns contain no violations.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tables := exp.Run(Options{Quick: true, Seed: 42})
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				out := tb.Render()
+				if strings.Contains(out, "VIOLATION") {
+					t.Fatalf("experiment reported a violation:\n%s", out)
+				}
+				if strings.Contains(out, "false") && exp.ID == "EXP-STRETCH" {
+					t.Fatalf("stretch bound violated:\n%s", out)
+				}
+			}
+		})
+	}
+}
+
+func TestExperimentByID(t *testing.T) {
+	e, err := ExperimentByID("EXP-HAFT")
+	if err != nil || e.ID != "EXP-HAFT" {
+		t.Fatalf("lookup failed: %v %v", e, err)
+	}
+	if _, err := ExperimentByID("EXP-NOPE"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// The degree sweep's hard bound: no row may exceed ratio 4.
+func TestDegreeSweepWithinHardBound(t *testing.T) {
+	tb := degreeStretchSweep(Options{Quick: true, Seed: 9}, false)
+	colIdx := -1
+	for i, c := range tb.Columns {
+		if c == "max ratio" {
+			colIdx = i
+			break
+		}
+	}
+	if colIdx < 0 {
+		t.Fatal("max ratio column missing")
+	}
+	for _, row := range tb.Rows {
+		x, err := strconv.ParseFloat(row[colIdx], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", row[colIdx], err)
+		}
+		if x > 4+1e-9 {
+			t.Fatalf("degree ratio %v > 4 in row %v", x, row)
+		}
+	}
+}
+
+// The churn experiment must keep the Forgiving Graph within bound at
+// every checkpoint.
+func TestChurnKeepsForgivingGraphInBound(t *testing.T) {
+	tables := expChurn(Options{Quick: true, Seed: 4})
+	for _, tb := range tables {
+		within := -1
+		for i, c := range tb.Columns {
+			if c == "within" {
+				within = i
+			}
+		}
+		for _, row := range tb.Rows {
+			if row[0] == "forgiving-graph" && row[within] != "true" {
+				t.Fatalf("forgiving graph out of bound: %v", row)
+			}
+		}
+	}
+}
+
+// The comparison experiment must show no-heal shattering (finite LCC < 1
+// or inf stretch) while the Forgiving Graph stays whole.
+func TestCompareSeparatesHealers(t *testing.T) {
+	tables := expCompare(Options{Quick: true, Seed: 2})
+	tb := tables[0]
+	var lccIdx, stretchIdx, healerIdx, advIdx int
+	for i, c := range tb.Columns {
+		switch c {
+		case "largest comp frac":
+			lccIdx = i
+		case "max stretch":
+			stretchIdx = i
+		case "healer":
+			healerIdx = i
+		case "adversary":
+			advIdx = i
+		}
+	}
+	sawNoHealBreak, sawFGWhole := false, false
+	for _, row := range tb.Rows {
+		if row[advIdx] != "maxdeg" {
+			continue
+		}
+		switch row[healerIdx] {
+		case "no-heal":
+			if row[stretchIdx] == "inf" || row[lccIdx] != "1" {
+				sawNoHealBreak = true
+			}
+		case "forgiving-graph":
+			if row[lccIdx] == "1" && row[stretchIdx] != "inf" {
+				sawFGWhole = true
+			}
+		}
+	}
+	if !sawNoHealBreak {
+		t.Fatal("no-heal did not shatter under targeted attack")
+	}
+	if !sawFGWhole {
+		t.Fatal("forgiving graph did not stay whole")
+	}
+}
+
+func TestLowerBoundHelper(t *testing.T) {
+	if lowerBound(2, 100) != 0 {
+		t.Fatal("alpha<=2 should yield 0")
+	}
+	got := lowerBound(3, 101)
+	want := 0.5 * math.Log(100) / math.Log(2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("lowerBound(3,101) = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,121 @@
+// Package harness drives the reproduction experiments: it pairs healers
+// with adversaries, applies attack traces, measures the paper's success
+// metrics, and renders one table per experiment (see DESIGN.md's
+// per-experiment index and EXPERIMENTS.md for the recorded results).
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/heal"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// NodeID identifies a processor.
+type NodeID = graph.NodeID
+
+// Runner executes an adversary against a healer, recording the trace.
+type Runner struct {
+	H   heal.Healer
+	Adv adversary.Adversary
+	Rng *rand.Rand
+	T   *trace.Trace
+
+	nextID NodeID
+}
+
+// NewRunner wires a healer and adversary over the initial topology g0.
+func NewRunner(g0 *graph.Graph, factory heal.Factory, adv adversary.Adversary, seed int64) *Runner {
+	maxID := NodeID(0)
+	for _, v := range g0.Nodes() {
+		if v > maxID {
+			maxID = v
+		}
+	}
+	return &Runner{
+		H:      factory.New(g0),
+		Adv:    adv,
+		Rng:    rand.New(rand.NewSource(seed)),
+		T:      &trace.Trace{G0: g0.Clone(), Label: factory.Name + " vs " + adv.Name()},
+		nextID: maxID + 1,
+	}
+}
+
+// Step asks the adversary for one move and applies it. It reports
+// whether a move was made.
+func (r *Runner) Step() (bool, error) {
+	op, ok := r.Adv.Next(r.H, r.Rng, r.allocID)
+	if !ok {
+		return false, nil
+	}
+	var err error
+	if op.Insert {
+		err = r.H.Insert(op.V, op.Nbrs)
+	} else {
+		err = r.H.Delete(op.V)
+	}
+	if err != nil {
+		return false, fmt.Errorf("harness: applying %v: %w", op, err)
+	}
+	r.T.Append(op)
+	return true, nil
+}
+
+// RunSteps performs up to k adversary moves, stopping early if the
+// adversary runs out of moves.
+func (r *Runner) RunSteps(k int) error {
+	for i := 0; i < k; i++ {
+		ok, err := r.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (r *Runner) allocID() NodeID {
+	id := r.nextID
+	r.nextID++
+	return id
+}
+
+// Point is one measurement of the paper's success metrics.
+type Point struct {
+	Steps   int
+	Alive   int
+	NEver   int
+	Stretch metrics.StretchResult
+	Degree  metrics.DegreeResult
+	LCC     float64
+}
+
+// Measure computes the current metrics. sampleSources > 0 caps the BFS
+// sources used for stretch (0 = exact).
+func (r *Runner) Measure(sampleSources int) Point {
+	net := r.H.Network()
+	gp := r.H.GPrime()
+	live := r.H.LiveNodes()
+	return Point{
+		Steps:   len(r.T.Ops),
+		Alive:   len(live),
+		NEver:   gp.NumNodes(),
+		Stretch: metrics.Stretch(net, gp, live, sampleSources, r.Rng),
+		Degree:  metrics.Degrees(net, gp, live),
+		LCC:     metrics.LargestComponentFrac(net),
+	}
+}
+
+// ForgivingFactory is the Forgiving Graph's heal.Factory.
+func ForgivingFactory() heal.Factory {
+	return heal.Factory{
+		Name: "forgiving-graph",
+		New:  func(g *graph.Graph) heal.Healer { return heal.NewForgivingGraph(g) },
+	}
+}

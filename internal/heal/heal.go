@@ -1,0 +1,170 @@
+// Package heal defines the common interface every self-healing strategy
+// in this repository implements, so that the experiment harness can run
+// the Forgiving Graph and the baselines side by side under identical
+// adversaries and metrics.
+package heal
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// NodeID identifies a processor.
+type NodeID = graph.NodeID
+
+// Healer is a self-healing network strategy under the paper's model: an
+// alternating sequence of adversarial insertions/deletions and repairs.
+type Healer interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Insert adds a node wired to the given live neighbors.
+	Insert(v NodeID, nbrs []NodeID) error
+	// Delete removes a live node and performs the strategy's repair.
+	Delete(v NodeID) error
+	// Network returns the current actual network over live nodes. The
+	// caller owns the copy.
+	Network() *graph.Graph
+	// GPrime returns the insertions-only graph G′ (the yardstick for
+	// degree and stretch). The caller owns the copy.
+	GPrime() *graph.Graph
+	// LiveNodes lists live nodes in ascending order.
+	LiveNodes() []NodeID
+	// Alive reports whether v is live.
+	Alive(v NodeID) bool
+}
+
+// Factory builds a fresh healer for an initial topology. Experiment
+// sweeps use factories so every run starts from identical state.
+type Factory struct {
+	Name string
+	New  func(g0 *graph.Graph) Healer
+}
+
+// ForgivingGraph adapts the reference engine to the Healer interface.
+type ForgivingGraph struct {
+	e *core.Engine
+}
+
+// NewForgivingGraph returns the paper's data structure as a Healer.
+func NewForgivingGraph(g0 *graph.Graph) *ForgivingGraph {
+	return &ForgivingGraph{e: core.NewEngine(g0)}
+}
+
+// NewForgivingGraphWithPolicy returns a Healer running an alternative
+// representative policy (for the EXP-ABLATE comparison).
+func NewForgivingGraphWithPolicy(g0 *graph.Graph, policy core.RepPolicy) *ForgivingGraph {
+	return &ForgivingGraph{e: core.NewEngineWithPolicy(g0, policy)}
+}
+
+// Name implements Healer.
+func (f *ForgivingGraph) Name() string { return "forgiving-graph" }
+
+// Insert implements Healer.
+func (f *ForgivingGraph) Insert(v NodeID, nbrs []NodeID) error { return f.e.Insert(v, nbrs) }
+
+// Delete implements Healer.
+func (f *ForgivingGraph) Delete(v NodeID) error { return f.e.Delete(v) }
+
+// Network implements Healer.
+func (f *ForgivingGraph) Network() *graph.Graph { return f.e.Physical() }
+
+// GPrime implements Healer.
+func (f *ForgivingGraph) GPrime() *graph.Graph { return f.e.GPrime() }
+
+// LiveNodes implements Healer.
+func (f *ForgivingGraph) LiveNodes() []NodeID { return f.e.LiveNodes() }
+
+// Alive implements Healer.
+func (f *ForgivingGraph) Alive(v NodeID) bool { return f.e.Alive(v) }
+
+// Engine exposes the underlying reference engine for metrics that need
+// more than the Healer interface (repair statistics, invariants).
+func (f *ForgivingGraph) Engine() *core.Engine { return f.e }
+
+var _ Healer = (*ForgivingGraph)(nil)
+
+// Tracker implements the bookkeeping shared by the simple baselines:
+// G′ maintenance, liveness, and operation validation. Embed it and
+// maintain `Cur`, the actual network.
+type Tracker struct {
+	Cur    *graph.Graph // the actual network over live nodes
+	gprime *graph.Graph
+	dead   map[NodeID]struct{}
+}
+
+// NewTracker starts tracking from a copy of g0.
+func NewTracker(g0 *graph.Graph) Tracker {
+	return Tracker{
+		Cur:    g0.Clone(),
+		gprime: g0.Clone(),
+		dead:   make(map[NodeID]struct{}),
+	}
+}
+
+// ValidateInsert checks an insertion and applies it to G′ and the
+// current network; the embedding healer adds its own repair edges after.
+func (t *Tracker) ValidateInsert(v NodeID, nbrs []NodeID) error {
+	if t.gprime.HasNode(v) {
+		return fmt.Errorf("heal: insert %d: id already used", v)
+	}
+	seen := make(map[NodeID]struct{}, len(nbrs))
+	for _, x := range nbrs {
+		if x == v {
+			return fmt.Errorf("heal: insert %d: self edge", v)
+		}
+		if !t.Alive(x) {
+			return fmt.Errorf("heal: insert %d: neighbor %d not alive", v, x)
+		}
+		if _, dup := seen[x]; dup {
+			return fmt.Errorf("heal: insert %d: duplicate neighbor %d", v, x)
+		}
+		seen[x] = struct{}{}
+	}
+	t.gprime.AddNode(v)
+	t.Cur.AddNode(v)
+	for _, x := range nbrs {
+		t.gprime.AddEdge(v, x)
+		t.Cur.AddEdge(v, x)
+	}
+	return nil
+}
+
+// ValidateDelete checks a deletion, removes the node from the current
+// network, and returns its former live neighbors (ascending) for the
+// healer's repair.
+func (t *Tracker) ValidateDelete(v NodeID) ([]NodeID, error) {
+	if !t.Alive(v) {
+		return nil, fmt.Errorf("heal: delete %d: not a live node", v)
+	}
+	nbrs := t.Cur.Neighbors(v)
+	t.Cur.RemoveNode(v)
+	t.dead[v] = struct{}{}
+	return nbrs, nil
+}
+
+// Alive reports whether v is live.
+func (t *Tracker) Alive(v NodeID) bool {
+	if _, dead := t.dead[v]; dead {
+		return false
+	}
+	return t.gprime.HasNode(v)
+}
+
+// GPrime returns a copy of G′.
+func (t *Tracker) GPrime() *graph.Graph { return t.gprime.Clone() }
+
+// Network returns a copy of the current network.
+func (t *Tracker) Network() *graph.Graph { return t.Cur.Clone() }
+
+// LiveNodes lists live nodes ascending.
+func (t *Tracker) LiveNodes() []NodeID {
+	var out []NodeID
+	for _, v := range t.gprime.Nodes() {
+		if t.Alive(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package heal
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestForgivingGraphAdapter(t *testing.T) {
+	h := NewForgivingGraph(graph.Star(5))
+	if h.Name() != "forgiving-graph" {
+		t.Fatalf("name = %q", h.Name())
+	}
+	if err := h.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if h.Alive(0) || !h.Alive(1) {
+		t.Fatal("liveness wrong after delete")
+	}
+	net := h.Network()
+	if net.NumNodes() != 4 || !net.Connected() {
+		t.Fatalf("network: %v connected=%v", net, net.Connected())
+	}
+	if err := h.Insert(9, []NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	gp := h.GPrime()
+	if gp.NumNodes() != 6 || !gp.HasEdge(9, 1) {
+		t.Fatalf("gprime: %v", gp)
+	}
+	if got := h.LiveNodes(); len(got) != 5 {
+		t.Fatalf("live = %v", got)
+	}
+	if err := h.Engine().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	tr := NewTracker(graph.Path(3))
+	if err := tr.ValidateInsert(1, nil); err == nil {
+		t.Fatal("reused id accepted")
+	}
+	if err := tr.ValidateInsert(9, []NodeID{9}); err == nil {
+		t.Fatal("self edge accepted")
+	}
+	if err := tr.ValidateInsert(9, []NodeID{0, 0}); err == nil {
+		t.Fatal("duplicate neighbor accepted")
+	}
+	if err := tr.ValidateInsert(9, []NodeID{77}); err == nil {
+		t.Fatal("unknown neighbor accepted")
+	}
+	if err := tr.ValidateInsert(9, []NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Cur.HasEdge(9, 0) || !tr.GPrime().HasEdge(9, 0) {
+		t.Fatal("insert not applied")
+	}
+
+	nbrs, err := tr.ValidateDelete(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 2 {
+		t.Fatalf("neighbors = %v", nbrs)
+	}
+	if tr.Alive(1) {
+		t.Fatal("deleted node still alive")
+	}
+	if _, err := tr.ValidateDelete(1); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := tr.ValidateInsert(1, nil); err == nil {
+		t.Fatal("dead id reuse accepted")
+	}
+	// G' keeps the dead node and its edges.
+	gp := tr.GPrime()
+	if !gp.HasNode(1) || !gp.HasEdge(0, 1) {
+		t.Fatal("G' lost deleted state")
+	}
+	live := tr.LiveNodes()
+	if len(live) != 3 { // 0, 2, 9
+		t.Fatalf("live = %v", live)
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket linear histogram with ASCII rendering,
+// used by the soak tool and the span experiment to show distributions
+// rather than just summaries.
+type Histogram struct {
+	min, width  float64
+	counts      []int
+	under, over int
+	total       int
+}
+
+// NewHistogram covers [min, max) with n equal buckets. Observations
+// below min or at/above max land in the under/over sentinels.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n < 1 || max <= min {
+		panic(fmt.Sprintf("metrics: bad histogram [%v,%v)/%d", min, max, n))
+	}
+	return &Histogram{min: min, width: (max - min) / float64(n), counts: make([]int, n)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	if x < h.min {
+		h.under++
+		return
+	}
+	idx := int((x - h.min) / h.width)
+	if idx >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[idx]++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Render draws one line per bucket with a proportional bar.
+func (h *Histogram) Render(barWidth int) string {
+	if barWidth < 1 {
+		barWidth = 40
+	}
+	maxCount := h.under
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if h.over > maxCount {
+		maxCount = h.over
+	}
+	var b strings.Builder
+	line := func(label string, count int) {
+		bar := 0
+		if maxCount > 0 {
+			bar = int(math.Round(float64(count) / float64(maxCount) * float64(barWidth)))
+		}
+		fmt.Fprintf(&b, "%16s %7d %s\n", label, count, strings.Repeat("#", bar))
+	}
+	if h.under > 0 {
+		line(fmt.Sprintf("< %.3g", h.min), h.under)
+	}
+	for i, c := range h.counts {
+		lo := h.min + float64(i)*h.width
+		line(fmt.Sprintf("[%.3g, %.3g)", lo, lo+h.width), c)
+	}
+	if h.over > 0 {
+		line(fmt.Sprintf(">= %.3g", h.min+float64(len(h.counts))*h.width), h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Observe(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Fatalf("under=%d over=%d", h.under, h.over)
+	}
+	want := []int{2, 1, 0, 0, 1} // [0,2):{0,1.9} [2,4):{2} [8,10):{9.99}
+	for i, c := range want {
+		if h.counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, h.counts[i], c, h.counts)
+		}
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	for i := 0; i < 8; i++ {
+		h.Observe(1)
+	}
+	h.Observe(3)
+	h.Observe(-5)
+	h.Observe(99)
+	out := h.Render(10)
+	for _, want := range []string{"< 0", "[0, 2)", "[2, 4)", ">= 4", "##########"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The fullest bucket gets the full bar; the 1-count bucket a short one.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestHistogramEmptyRender(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if out := h.Render(0); out == "" {
+		t.Fatal("empty render")
+	}
+}

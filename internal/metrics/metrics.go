@@ -1,0 +1,204 @@
+// Package metrics implements the paper's success metrics (Figure 1):
+// degree increase, network stretch, communication per node, and recovery
+// time — plus the summary statistics and table rendering used by the
+// experiment harness.
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NodeID identifies a processor.
+type NodeID = graph.NodeID
+
+// Summary is a standard five-number-ish summary of a sample.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean          float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+		P50:  quantile(s, 0.50),
+		P95:  quantile(s, 0.95),
+		P99:  quantile(s, 0.99),
+	}
+}
+
+// quantile returns the q-quantile of a sorted sample using the
+// nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// StretchResult reports a stretch audit of an actual network against G′.
+type StretchResult struct {
+	// Max is the maximum observed dist(x,y,G)/dist(x,y,G′).
+	Max float64
+	// Mean is the average over measured pairs.
+	Mean float64
+	// Pairs is how many live pairs were measured.
+	Pairs int
+	// Disconnected counts pairs connected in G′ but not in G (infinite
+	// stretch; Max is +Inf when this is nonzero).
+	Disconnected int
+	// WorstU, WorstV attain Max.
+	WorstU, WorstV NodeID
+}
+
+// Bound returns the paper's stretch guarantee log₂(n) for the given
+// total node count n = |G′| (clamped to 1 from below so degenerate
+// networks are not reported as violations).
+func Bound(nEver int) float64 {
+	if nEver < 2 {
+		return 1
+	}
+	return math.Max(1, math.Log2(float64(nEver)))
+}
+
+// Stretch measures stretch over live node pairs. If maxSources > 0 and
+// fewer than the number of live nodes, a deterministic sample of BFS
+// sources (drawn from rng) is used; otherwise the measurement is exact.
+// Pairs unreachable in G′ are skipped (the bound does not apply to
+// them); pairs reachable in G′ but not in the actual network count as
+// Disconnected.
+func Stretch(actual, gprime *graph.Graph, live []NodeID, maxSources int, rng *rand.Rand) StretchResult {
+	res := StretchResult{}
+	sources := live
+	if maxSources > 0 && maxSources < len(live) && rng != nil {
+		idx := rng.Perm(len(live))[:maxSources]
+		sort.Ints(idx)
+		sources = make([]NodeID, 0, maxSources)
+		for _, i := range idx {
+			sources = append(sources, live[i])
+		}
+	}
+	liveSet := make(map[NodeID]struct{}, len(live))
+	for _, v := range live {
+		liveSet[v] = struct{}{}
+	}
+	sum := 0.0
+	for _, u := range sources {
+		da := actual.BFS(u)
+		dp := gprime.BFS(u)
+		for v, dPrime := range dp {
+			if v == u || dPrime == 0 {
+				continue
+			}
+			if _, isLive := liveSet[v]; !isLive {
+				continue
+			}
+			res.Pairs++
+			dAct, ok := da[v]
+			if !ok {
+				res.Disconnected++
+				res.Max = math.Inf(1)
+				res.WorstU, res.WorstV = u, v
+				continue
+			}
+			s := float64(dAct) / float64(dPrime)
+			sum += s
+			if s > res.Max {
+				res.Max = s
+				res.WorstU, res.WorstV = u, v
+			}
+		}
+	}
+	if measured := res.Pairs - res.Disconnected; measured > 0 {
+		res.Mean = sum / float64(measured)
+	}
+	return res
+}
+
+// DegreeResult reports a degree-amplification audit.
+type DegreeResult struct {
+	// Max is the largest actual/G′ degree ratio over live nodes.
+	Max float64
+	// Mean is the average ratio.
+	Mean float64
+	// Over3 counts live nodes exceeding the paper's stated factor 3.
+	Over3 int
+	// MaxAbsIncrease is the largest additive increase (for comparing
+	// against the Forgiving Tree's +3 guarantee).
+	MaxAbsIncrease int
+	// Worst attains Max.
+	Worst NodeID
+}
+
+// Degrees measures per-node degree amplification of the actual network
+// over G′ for the given live nodes.
+func Degrees(actual, gprime *graph.Graph, live []NodeID) DegreeResult {
+	res := DegreeResult{}
+	sum, counted := 0.0, 0
+	for _, v := range live {
+		dp := gprime.Degree(v)
+		da := actual.Degree(v)
+		if inc := da - dp; inc > res.MaxAbsIncrease {
+			res.MaxAbsIncrease = inc
+		}
+		if dp == 0 {
+			continue
+		}
+		r := float64(da) / float64(dp)
+		sum += r
+		counted++
+		if r > res.Max {
+			res.Max = r
+			res.Worst = v
+		}
+		if r > 3+1e-9 {
+			res.Over3++
+		}
+	}
+	if counted > 0 {
+		res.Mean = sum / float64(counted)
+	}
+	return res
+}
+
+// LargestComponentFrac returns the fraction of live nodes in the largest
+// connected component of the actual network (1.0 when connected, 0 for
+// an empty network). Used to quantify how badly no-heal shatters.
+func LargestComponentFrac(actual *graph.Graph) float64 {
+	n := actual.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	best := 0
+	for _, comp := range actual.Components() {
+		if len(comp) > best {
+			best = len(comp)
+		}
+	}
+	return float64(best) / float64(n)
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatalf("empty summary = %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.P50 != 7 || one.P95 != 7 || one.P99 != 7 {
+		t.Fatalf("singleton quantiles = %+v", one)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Fatalf("quantiles = %+v", s)
+	}
+}
+
+func TestBound(t *testing.T) {
+	if Bound(1) != 1 || Bound(0) != 1 {
+		t.Fatal("degenerate bound should clamp to 1")
+	}
+	if got := Bound(8); got != 3 {
+		t.Fatalf("Bound(8) = %v", got)
+	}
+}
+
+func TestStretchIdentity(t *testing.T) {
+	g := graph.Cycle(8)
+	res := Stretch(g, g, g.Nodes(), 0, nil)
+	if res.Max != 1 || res.Disconnected != 0 {
+		t.Fatalf("identity stretch = %+v", res)
+	}
+	// All ordered live pairs measured: 8*7.
+	if res.Pairs != 56 {
+		t.Fatalf("pairs = %d, want 56", res.Pairs)
+	}
+}
+
+func TestStretchDetectsGrowth(t *testing.T) {
+	// G' is a star; actual is the path 1-2-3-4-5 over the survivors.
+	gprime := graph.Star(6)
+	actual := graph.New()
+	for i := 1; i <= 5; i++ {
+		actual.AddNode(graph.NodeID(i))
+	}
+	for i := 1; i < 5; i++ {
+		actual.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	live := actual.Nodes()
+	res := Stretch(actual, gprime, live, 0, nil)
+	if res.Max != 2 { // dist(1,5): actual 4, G' 2
+		t.Fatalf("max stretch = %v, want 2", res.Max)
+	}
+	if res.Disconnected != 0 {
+		t.Fatalf("disconnected = %d", res.Disconnected)
+	}
+}
+
+func TestStretchDisconnection(t *testing.T) {
+	gprime := graph.Path(3)
+	actual := graph.New()
+	actual.AddNode(0)
+	actual.AddNode(2)
+	res := Stretch(actual, gprime, []NodeID{0, 2}, 0, nil)
+	if res.Disconnected == 0 || !math.IsInf(res.Max, 1) {
+		t.Fatalf("disconnection not detected: %+v", res)
+	}
+}
+
+func TestStretchSkipsGPrimeUnreachable(t *testing.T) {
+	gprime := graph.New()
+	gprime.AddEdge(0, 1)
+	gprime.AddEdge(5, 6)
+	actual := gprime.Clone()
+	res := Stretch(actual, gprime, actual.Nodes(), 0, nil)
+	// Only within-component pairs measured: (0,1),(1,0),(5,6),(6,5).
+	if res.Pairs != 4 {
+		t.Fatalf("pairs = %d, want 4", res.Pairs)
+	}
+}
+
+func TestStretchSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.GNP(40, 0.1, rng)
+	live := g.Nodes()
+	exact := Stretch(g, g, live, 0, nil)
+	sampled := Stretch(g, g, live, 10, rand.New(rand.NewSource(2)))
+	if sampled.Pairs >= exact.Pairs {
+		t.Fatalf("sampling did not reduce pairs: %d vs %d", sampled.Pairs, exact.Pairs)
+	}
+	if sampled.Max != 1 {
+		t.Fatalf("sampled identity stretch = %v", sampled.Max)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	gprime := graph.Star(5) // hub degree 4, leaves 1
+	actual := graph.Complete(5)
+	res := Degrees(actual, gprime, actual.Nodes())
+	if res.Max != 4 { // a leaf with G' degree 1 now has degree 4
+		t.Fatalf("max ratio = %v, want 4", res.Max)
+	}
+	if res.Over3 != 4 {
+		t.Fatalf("over3 = %d, want 4", res.Over3)
+	}
+	if res.MaxAbsIncrease != 3 {
+		t.Fatalf("max increase = %d, want 3", res.MaxAbsIncrease)
+	}
+	// Zero-G'-degree nodes are skipped for ratios but counted for
+	// absolute increase.
+	gp2 := graph.New()
+	gp2.AddNode(1)
+	gp2.AddNode(2)
+	act2 := graph.New()
+	act2.AddEdge(1, 2)
+	res2 := Degrees(act2, gp2, []NodeID{1, 2})
+	if res2.Max != 0 || res2.MaxAbsIncrease != 1 {
+		t.Fatalf("res2 = %+v", res2)
+	}
+}
+
+func TestLargestComponentFrac(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddNode(9)
+	if got := LargestComponentFrac(g); got != 0.75 {
+		t.Fatalf("frac = %v, want 0.75", got)
+	}
+	if got := LargestComponentFrac(graph.New()); got != 0 {
+		t.Fatalf("empty frac = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "demo", Columns: []string{"a", "long-header", "c"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("wide-cell", "3", "4")
+	tb.Notes = append(tb.Notes, "footnote")
+	out := tb.Render()
+	for _, want := range []string{"== demo ==", "long-header", "wide-cell", "note: footnote"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + rule + 2 rows + note
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Columns: []string{"x", "y"}}
+	tb.AddRow("a,b", "plain")
+	csv := tb.CSV()
+	want := "x,y\n\"a,b\",plain\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159) != "3.142" {
+		t.Fatalf("F = %q", F(3.14159))
+	}
+	if D(42) != "42" {
+		t.Fatalf("D = %q", D(42))
+	}
+}

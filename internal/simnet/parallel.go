@@ -1,0 +1,146 @@
+package simnet
+
+import (
+	"sort"
+	"sync"
+)
+
+// ParallelStep is Step with intra-round concurrency: messages delivered
+// to different processors in the same round run in their own
+// goroutines, communicating their outgoing sends back over a channel.
+// Messages to the same processor stay serialized in deterministic
+// order, and the next round's queue is canonicalized afterwards, so a
+// ParallelStep round is observationally identical to a sequential Step
+// round — tests assert exactly that. This is the "processors are truly
+// concurrent" execution mode; the sequential Step is the measurement
+// mode.
+//
+// Handlers invoked through ParallelStep may call Send and SendTimer on
+// the *RoundContext passed to them via the network handle; all other
+// Network methods must not be called concurrently. To keep the handler
+// signature unchanged, sends during a parallel round are intercepted
+// internally.
+func (n *Network) ParallelStep() int {
+	n.round++
+	batch := n.queue
+	n.queue = nil
+	var keep []futureMsg
+	for _, t := range n.future {
+		if t.due <= n.round {
+			batch = append(batch, t.msg)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	n.future = keep
+	if len(batch) == 0 {
+		return 0
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.seq < b.seq
+	})
+
+	// Group by receiver, preserving per-receiver order.
+	type group struct {
+		to   NodeID
+		msgs []Message
+	}
+	var groups []group
+	for _, m := range batch {
+		if len(groups) == 0 || groups[len(groups)-1].to != m.To {
+			groups = append(groups, group{to: m.To})
+		}
+		g := &groups[len(groups)-1]
+		g.msgs = append(g.msgs, m)
+	}
+
+	// Account deliveries up front (deterministic), then fan out.
+	delivered := 0
+	n.stats.Rounds++
+	for _, g := range groups {
+		if !n.HasNode(g.to) {
+			n.dropped += len(g.msgs)
+			continue
+		}
+		for _, m := range g.msgs {
+			if m.timer {
+				continue
+			}
+			n.stats.Messages++
+			n.stats.TotalWords += m.Words
+			if m.Words > n.stats.MaxWords {
+				n.stats.MaxWords = m.Words
+			}
+			n.sentBy[m.From]++
+			if n.sentBy[m.From] > n.stats.MaxSentByNode {
+				n.stats.MaxSentByNode = n.sentBy[m.From]
+			}
+		}
+		delivered += len(g.msgs)
+	}
+
+	// Each receiver runs in its own goroutine against a shadow network
+	// that only records sends; shadows are merged deterministically.
+	shadows := make([]*Network, len(groups))
+	var wg sync.WaitGroup
+	for i := range groups {
+		g := groups[i]
+		h, ok := n.handlers[g.to]
+		if !ok {
+			continue
+		}
+		shadow := &Network{
+			handlers: n.handlers,
+			round:    n.round,
+			sentBy:   make(map[NodeID]int),
+		}
+		shadows[i] = shadow
+		wg.Add(1)
+		go func(h Handler, msgs []Message, shadow *Network) {
+			defer wg.Done()
+			for _, m := range msgs {
+				h(shadow, m)
+			}
+		}(h, g.msgs, shadow)
+	}
+	wg.Wait()
+
+	// Merge shadow queues in receiver order, re-sequencing so that the
+	// next round's delivery order is identical to the sequential
+	// schedule.
+	for _, shadow := range shadows {
+		if shadow == nil {
+			continue
+		}
+		for _, m := range shadow.queue {
+			n.seq++
+			m.seq = n.seq
+			n.queue = append(n.queue, m)
+		}
+		for _, t := range shadow.future {
+			n.seq++
+			t.msg.seq = n.seq
+			n.future = append(n.future, t)
+		}
+	}
+	return delivered
+}
+
+// RunUntilQuiescentParallel is RunUntilQuiescent using ParallelStep.
+func (n *Network) RunUntilQuiescentParallel(maxRounds int) (int, error) {
+	start := n.round
+	for len(n.queue) > 0 || len(n.future) > 0 {
+		if n.round-start >= maxRounds {
+			return n.round - start, errNotQuiescent(maxRounds, len(n.queue), len(n.future))
+		}
+		n.ParallelStep()
+	}
+	return n.round - start, nil
+}

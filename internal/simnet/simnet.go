@@ -1,0 +1,226 @@
+// Package simnet is a deterministic synchronous-round message-passing
+// simulator for the distributed Forgiving Graph protocol.
+//
+// The model matches Figure 1 of the paper: messages sent in round r are
+// delivered at the start of round r+1 ("it takes a message no more than
+// 1 time unit to traverse any edge"), are never lost or corrupted, and
+// may contain names of other vertices. Local computation is free; the
+// complexity measures are the number of messages, their sizes (in words
+// of O(log n) bits), and the number of rounds until quiescence.
+//
+// Delivery within a round is deterministic: messages are handed to
+// receivers ordered by (receiver, sender, send sequence). Handlers run
+// sequentially, so no locking is needed; determinism makes protocol runs
+// reproducible and directly comparable with the reference engine.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NodeID identifies a processor, shared with package graph.
+type NodeID = graph.NodeID
+
+// Message is a unit of communication between two processors.
+type Message struct {
+	From, To NodeID
+	// Payload is the protocol-level content.
+	Payload any
+	// Words is the message size in words of O(log n) bits, the unit
+	// Lemma 4 counts. Timers have Words == 0 and are excluded from the
+	// traffic statistics.
+	Words int
+	// timer marks a local wake-up rather than a network message.
+	timer bool
+	seq   int
+}
+
+// Handler is the per-processor message handler. It may call Send,
+// SendTimer, and the accessors on the network, but must not call Step.
+type Handler func(n *Network, msg Message)
+
+// Stats aggregates traffic since the last ResetStats.
+type Stats struct {
+	// Messages is the number of network messages delivered.
+	Messages int
+	// Rounds is the number of rounds in which at least one message or
+	// timer was delivered.
+	Rounds int
+	// TotalWords sums the sizes of all delivered network messages.
+	TotalWords int
+	// MaxWords is the largest single message size seen.
+	MaxWords int
+	// MaxSentByNode is the largest number of messages sent by a single
+	// processor (the paper's "communication per node" metric counts
+	// bits; multiply by MaxWords for a bound).
+	MaxSentByNode int
+}
+
+// futureMsg is a timer waiting for its due round.
+type futureMsg struct {
+	due int
+	msg Message
+}
+
+// Network is a set of processors exchanging messages in lock-step
+// rounds. The zero value is not usable; construct with New.
+type Network struct {
+	handlers map[NodeID]Handler
+	queue    []Message   // to be delivered at the next Step
+	future   []futureMsg // timers scheduled further ahead
+	round    int
+	seq      int
+
+	stats   Stats
+	sentBy  map[NodeID]int
+	dropped int
+}
+
+// New returns an empty network at round 0.
+func New() *Network {
+	return &Network{
+		handlers: make(map[NodeID]Handler),
+		sentBy:   make(map[NodeID]int),
+	}
+}
+
+// AddNode registers a processor. Re-registering replaces the handler.
+func (n *Network) AddNode(id NodeID, h Handler) {
+	if h == nil {
+		panic("simnet: nil handler")
+	}
+	n.handlers[id] = h
+}
+
+// RemoveNode unregisters a processor; queued messages to it are dropped
+// at delivery time (the node is dead).
+func (n *Network) RemoveNode(id NodeID) {
+	delete(n.handlers, id)
+}
+
+// HasNode reports whether a processor is registered.
+func (n *Network) HasNode(id NodeID) bool {
+	_, ok := n.handlers[id]
+	return ok
+}
+
+// Round returns the current round number.
+func (n *Network) Round() int { return n.round }
+
+// Send enqueues a message for delivery in the next round. Words must
+// reflect the payload size in O(log n)-bit words and be at least 1.
+func (n *Network) Send(from, to NodeID, payload any, words int) {
+	if words < 1 {
+		panic(fmt.Sprintf("simnet: message with %d words", words))
+	}
+	n.seq++
+	n.queue = append(n.queue, Message{
+		From: from, To: to, Payload: payload, Words: words, seq: n.seq,
+	})
+}
+
+// SendTimer schedules a local wake-up for the sending processor after
+// delay rounds (delay >= 1). Timers do not count as network traffic.
+func (n *Network) SendTimer(node NodeID, payload any, delay int) {
+	if delay < 1 {
+		panic(fmt.Sprintf("simnet: timer with delay %d", delay))
+	}
+	n.seq++
+	m := Message{From: node, To: node, Payload: payload, timer: true, seq: n.seq}
+	n.future = append(n.future, futureMsg{due: n.round + delay, msg: m})
+}
+
+// Step advances one round: it delivers everything queued for this round,
+// running the receivers' handlers (which typically enqueue messages for
+// the following round). It returns the number of deliveries performed.
+func (n *Network) Step() int {
+	n.round++
+	batch := n.queue
+	n.queue = nil
+	// Move due timers into the batch.
+	var keep []futureMsg
+	for _, t := range n.future {
+		if t.due <= n.round {
+			batch = append(batch, t.msg)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	n.future = keep
+
+	if len(batch) == 0 {
+		return 0
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.seq < b.seq
+	})
+	delivered := 0
+	n.stats.Rounds++
+	for _, m := range batch {
+		h, ok := n.handlers[m.To]
+		if !ok {
+			n.dropped++
+			continue
+		}
+		if !m.timer {
+			n.stats.Messages++
+			n.stats.TotalWords += m.Words
+			if m.Words > n.stats.MaxWords {
+				n.stats.MaxWords = m.Words
+			}
+			n.sentBy[m.From]++
+			if n.sentBy[m.From] > n.stats.MaxSentByNode {
+				n.stats.MaxSentByNode = n.sentBy[m.From]
+			}
+		}
+		delivered++
+		h(n, m)
+	}
+	return delivered
+}
+
+// RunUntilQuiescent steps the network until no messages or timers remain
+// in flight, up to maxRounds. It returns the number of rounds executed
+// and an error if the bound was hit with traffic still pending.
+func (n *Network) RunUntilQuiescent(maxRounds int) (int, error) {
+	start := n.round
+	for len(n.queue) > 0 || len(n.future) > 0 {
+		if n.round-start >= maxRounds {
+			return n.round - start, errNotQuiescent(maxRounds, len(n.queue), len(n.future))
+		}
+		n.Step()
+	}
+	return n.round - start, nil
+}
+
+func errNotQuiescent(maxRounds, queued, timers int) error {
+	return fmt.Errorf("simnet: not quiescent after %d rounds (%d queued, %d timers)",
+		maxRounds, queued, timers)
+}
+
+// Pending reports how many messages and timers are waiting for delivery.
+func (n *Network) Pending() int { return len(n.queue) + len(n.future) }
+
+// Dropped returns the number of messages addressed to dead processors.
+func (n *Network) Dropped() int { return n.dropped }
+
+// Stats returns a copy of the traffic statistics accumulated since the
+// last ResetStats.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the traffic statistics (typically between recovery
+// phases, so each repair is measured in isolation).
+func (n *Network) ResetStats() {
+	n.stats = Stats{}
+	n.sentBy = make(map[NodeID]int)
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// golden regression traces: recorded attacks whose final metrics are
+// pinned. The engine is deterministic, so any drift in these numbers
+// means repair behavior changed — which must be a conscious decision.
+var goldens = []struct {
+	file               string
+	ops, alive         int
+	stretchMax, degMax float64
+}{
+	{"star32-maxdeg", 16, 16, 3.5, 4},
+	{"grid6x6-cutvertex", 18, 18, 1.5, 2.5},
+	{"powerlaw40-churn", 30, 36, 1.5, 2.5},
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for _, g := range goldens {
+		g := g
+		t.Run(g.file, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", g.file+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, err := Read(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tr.Ops) != g.ops {
+				t.Fatalf("ops = %d, want %d", len(tr.Ops), g.ops)
+			}
+			h, err := tr.Apply(fgFactory())
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := h.LiveNodes()
+			if len(live) != g.alive {
+				t.Fatalf("alive = %d, want %d", len(live), g.alive)
+			}
+			net, gp := h.Network(), h.GPrime()
+			st := metrics.Stretch(net, gp, live, 0, nil)
+			if math.Abs(st.Max-g.stretchMax) > 1e-9 {
+				t.Fatalf("stretch = %v, want %v (behavior drift?)", st.Max, g.stretchMax)
+			}
+			deg := metrics.Degrees(net, gp, live)
+			if math.Abs(deg.Max-g.degMax) > 1e-9 {
+				t.Fatalf("degree ratio = %v, want %v (behavior drift?)", deg.Max, g.degMax)
+			}
+			// And the bounds, of course.
+			if st.Max > metrics.Bound(gp.NumNodes()) {
+				t.Fatalf("stretch %v exceeds bound", st.Max)
+			}
+			if deg.Max > 4 {
+				t.Fatalf("degree ratio %v exceeds hard bound", deg.Max)
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+// Package trace records and replays attack traces: an initial topology
+// plus the exact operation sequence an adversary produced. Traces make
+// experiments reproducible, let failures be replayed against any healer,
+// and are the exchange format of the CLI tools.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/heal"
+)
+
+// Trace is a reproducible attack: the starting topology and the ordered
+// adversarial operations applied to it.
+type Trace struct {
+	// Label is free-form metadata (generator name, seed, adversary).
+	Label string `json:"label,omitempty"`
+	// G0 is the initial topology.
+	G0 *graph.Graph `json:"g0"`
+	// Ops is the attack sequence.
+	Ops []adversary.Op `json:"ops"`
+}
+
+// Append records one more operation.
+func (t *Trace) Append(op adversary.Op) { t.Ops = append(t.Ops, op) }
+
+// Apply replays the trace against a fresh healer built by factory and
+// returns it. Replay stops with an error on the first rejected
+// operation.
+func (t *Trace) Apply(factory heal.Factory) (heal.Healer, error) {
+	h := factory.New(t.G0)
+	for i, op := range t.Ops {
+		var err error
+		if op.Insert {
+			err = h.Insert(op.V, op.Nbrs)
+		} else {
+			err = h.Delete(op.V)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d (%v): %w", i, op, err)
+		}
+	}
+	return h, nil
+}
+
+// Write serializes the trace as JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if t.G0 == nil {
+		return nil, fmt.Errorf("trace: missing initial topology")
+	}
+	return &t, nil
+}
+
+// Equal reports whether two traces describe the same attack.
+func (t *Trace) Equal(o *Trace) bool {
+	if t.Label != o.Label || len(t.Ops) != len(o.Ops) || !t.G0.Equal(o.G0) {
+		return false
+	}
+	for i := range t.Ops {
+		a, b := t.Ops[i], o.Ops[i]
+		if a.Insert != b.Insert || a.V != b.V || len(a.Nbrs) != len(b.Nbrs) {
+			return false
+		}
+		for j := range a.Nbrs {
+			if a.Nbrs[j] != b.Nbrs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

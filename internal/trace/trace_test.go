@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/heal"
+)
+
+func fgFactory() heal.Factory {
+	return heal.Factory{
+		Name: "forgiving-graph",
+		New:  func(g *graph.Graph) heal.Healer { return heal.NewForgivingGraph(g) },
+	}
+}
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Label: "test",
+		G0:    graph.Star(5),
+		Ops: []adversary.Op{
+			{V: 0},
+			{Insert: true, V: 9, Nbrs: []graph.NodeID{1, 2}},
+			{V: 1},
+		},
+	}
+}
+
+func TestApply(t *testing.T) {
+	h, err := sampleTrace().Apply(fgFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Alive(0) || h.Alive(1) || !h.Alive(9) {
+		t.Fatal("replay produced wrong liveness")
+	}
+	if got := h.GPrime().NumNodes(); got != 6 {
+		t.Fatalf("n ever = %d, want 6", got)
+	}
+}
+
+func TestApplyRejectsBadOp(t *testing.T) {
+	bad := &Trace{G0: graph.Path(2), Ops: []adversary.Op{{V: 42}}}
+	if _, err := bad.Apply(fgFactory()); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(back) {
+		t.Fatal("round trip changed the trace")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"ops":[]}`)); err == nil {
+		t.Fatal("missing topology accepted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := sampleTrace(), sampleTrace()
+	if !a.Equal(b) {
+		t.Fatal("identical traces unequal")
+	}
+	b.Ops[2].V = 2
+	if a.Equal(b) {
+		t.Fatal("different traces equal")
+	}
+	c := sampleTrace()
+	c.Ops[1].Nbrs = []graph.NodeID{1, 3}
+	if a.Equal(c) {
+		t.Fatal("different insert targets equal")
+	}
+	d := sampleTrace()
+	d.Label = "other"
+	if a.Equal(d) {
+		t.Fatal("different labels equal")
+	}
+}
+
+// Replaying the same trace against two healers gives each the same G'.
+func TestApplyAcrossHealers(t *testing.T) {
+	tr := sampleTrace()
+	h1, err := tr.Apply(fgFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := tr.Apply(fgFactory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h1.GPrime().Equal(h2.GPrime()) {
+		t.Fatal("replays diverged")
+	}
+	if !h1.Network().Equal(h2.Network()) {
+		t.Fatal("deterministic healer produced different networks")
+	}
+}

@@ -1,0 +1,33 @@
+package protocol_test
+
+import (
+	"fmt"
+
+	"repro/protocol"
+)
+
+// Run the message-level repair and inspect its cost — the quantities
+// Lemma 4 bounds.
+func ExampleNetwork_LastRepair() {
+	edges := make([]protocol.Edge, 15)
+	for i := range edges {
+		edges[i] = protocol.Edge{U: 0, V: protocol.NodeID(i + 1)}
+	}
+	net, err := protocol.New(edges)
+	if err != nil {
+		panic(err)
+	}
+	if err := net.Delete(0); err != nil {
+		panic(err)
+	}
+	rc := net.LastRepair()
+	fmt.Println("deleted degree:", rc.DegreePrime)
+	fmt.Println("BT_v size:", rc.BTvSize)
+	fmt.Println("messages:", rc.Messages)
+	fmt.Println("verified:", net.Verify() == nil)
+	// Output:
+	// deleted degree: 15
+	// BT_v size: 15
+	// messages: 42
+	// verified: true
+}

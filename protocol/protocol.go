@@ -1,0 +1,141 @@
+// Package protocol exposes the message-level Forgiving Graph protocol
+// (the paper's Appendix A) for downstream use: a deterministic
+// simulation of processors exchanging messages over a synchronous
+// network, with per-repair cost accounting against Lemma 4.
+//
+// Use the root package repro for the data structure itself; use this
+// package when you care about the distributed execution — message
+// counts, message sizes, round complexity, or running the repair with a
+// goroutine per processor.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// NodeID identifies a processor.
+type NodeID int64
+
+// Edge is an undirected edge.
+type Edge struct {
+	U, V NodeID
+}
+
+// RepairCost reports the measured cost of one deletion's repair, the
+// quantities Lemma 4 bounds: O(d·log n) messages of size O(log n) and
+// O(log d · log n) rounds for a deleted node of degree d.
+type RepairCost struct {
+	// Deleted is the removed processor; DegreePrime its G′ degree (the
+	// d in the bounds).
+	Deleted     NodeID
+	DegreePrime int
+	// Messages and Rounds count protocol traffic and synchronous
+	// rounds until quiescence.
+	Messages int
+	Rounds   int
+	// TotalWords and MaxWords measure message sizes in O(log n)-bit
+	// words.
+	TotalWords int
+	MaxWords   int
+	// MaxSentByNode bounds any single processor's traffic.
+	MaxSentByNode int
+	// BTvSize is the size of the repair's coordination tree.
+	BTvSize int
+}
+
+// Network is a distributed Forgiving Graph: every processor holds only
+// its own per-edge records and all repair coordination happens through
+// simulated messages. Not safe for concurrent use.
+type Network struct {
+	s *dist.Simulation
+}
+
+// New builds the distributed network from an initial edge list.
+func New(edges []Edge) (*Network, error) {
+	g0 := graph.New()
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("protocol: self-loop on node %d", e.U)
+		}
+		g0.AddEdge(graph.NodeID(e.U), graph.NodeID(e.V))
+	}
+	return &Network{s: dist.NewSimulation(g0)}, nil
+}
+
+// SetParallel switches between sequential message delivery (default,
+// the measurement mode) and a goroutine per processor per round. Both
+// modes produce identical results.
+func (n *Network) SetParallel(on bool) { n.s.SetParallel(on) }
+
+// Insert adds a processor connected to the given live neighbors.
+func (n *Network) Insert(v NodeID, nbrs []NodeID) error {
+	conv := make([]graph.NodeID, len(nbrs))
+	for i, x := range nbrs {
+		conv[i] = graph.NodeID(x)
+	}
+	return n.s.Insert(graph.NodeID(v), conv)
+}
+
+// Delete removes a processor and runs the distributed repair to
+// quiescence.
+func (n *Network) Delete(v NodeID) error { return n.s.Delete(graph.NodeID(v)) }
+
+// LastRepair returns the cost of the most recent deletion's repair.
+func (n *Network) LastRepair() RepairCost {
+	r := n.s.LastRecovery()
+	return RepairCost{
+		Deleted:       NodeID(r.Deleted),
+		DegreePrime:   r.DegreePrime,
+		Messages:      r.Messages,
+		Rounds:        r.Rounds,
+		TotalWords:    r.TotalWords,
+		MaxWords:      r.MaxWords,
+		MaxSentByNode: r.MaxSentByNode,
+		BTvSize:       r.NsetSize,
+	}
+}
+
+// Alive reports whether v is in the network.
+func (n *Network) Alive(v NodeID) bool { return n.s.Alive(graph.NodeID(v)) }
+
+// NumAlive returns the live processor count.
+func (n *Network) NumAlive() int { return n.s.NumAlive() }
+
+// Nodes returns the live processors in ascending order.
+func (n *Network) Nodes() []NodeID {
+	live := n.s.LiveNodes()
+	out := make([]NodeID, len(live))
+	for i, v := range live {
+		out[i] = NodeID(v)
+	}
+	return out
+}
+
+// Edges returns the current actual network's edges.
+func (n *Network) Edges() []Edge {
+	es := n.s.Physical().Edges()
+	out := make([]Edge, len(es))
+	for i, e := range es {
+		out[i] = Edge{U: NodeID(e.U), V: NodeID(e.V)}
+	}
+	return out
+}
+
+// Degree returns v's degree in the actual network.
+func (n *Network) Degree(v NodeID) int {
+	return n.s.Physical().Degree(graph.NodeID(v))
+}
+
+// Distance returns the hop distance between live processors in the
+// actual network, or -1 if unreachable.
+func (n *Network) Distance(u, v NodeID) int {
+	return n.s.Physical().Distance(graph.NodeID(u), graph.NodeID(v))
+}
+
+// Verify revalidates the entire distributed state from scratch (record
+// consistency, haft validity, representatives, degree and connectivity
+// invariants). A healthy network always returns nil.
+func (n *Network) Verify() error { return n.s.Verify() }

@@ -1,0 +1,96 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+)
+
+func star(n int) []Edge {
+	edges := make([]Edge, n-1)
+	for i := 1; i < n; i++ {
+		edges[i-1] = Edge{U: 0, V: NodeID(i)}
+	}
+	return edges
+}
+
+func TestNewAndRepair(t *testing.T) {
+	net, err := New(star(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumAlive() != 16 {
+		t.Fatalf("alive = %d", net.NumAlive())
+	}
+	if err := net.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	rc := net.LastRepair()
+	if rc.Deleted != 0 || rc.DegreePrime != 15 || rc.BTvSize != 15 {
+		t.Fatalf("repair cost = %+v", rc)
+	}
+	if rc.Messages == 0 || rc.Rounds == 0 || rc.MaxWords == 0 {
+		t.Fatalf("missing accounting: %+v", rc)
+	}
+	// Lemma 4 shape with a generous constant.
+	if lim := 40 * 15 * math.Log2(16); float64(rc.Messages) > lim {
+		t.Fatalf("messages %d > %v", rc.Messages, lim)
+	}
+}
+
+func TestRejectsSelfLoop(t *testing.T) {
+	if _, err := New([]Edge{{U: 1, V: 1}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestInsertAndAccessors(t *testing.T) {
+	net, err := New([]Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Insert(9, []NodeID{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if net.Alive(1) || !net.Alive(9) {
+		t.Fatal("liveness wrong")
+	}
+	nodes := net.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if d := net.Distance(0, 2); d < 1 || d > 2 {
+		t.Fatalf("distance(0,2) = %d", d)
+	}
+	if net.Degree(9) < 2 {
+		t.Fatalf("degree(9) = %d", net.Degree(9))
+	}
+	if len(net.Edges()) == 0 {
+		t.Fatal("no edges")
+	}
+}
+
+func TestParallelToggle(t *testing.T) {
+	run := func(parallel bool) RepairCost {
+		net, err := New(star(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetParallel(parallel)
+		if err := net.Delete(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return net.LastRepair()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("modes diverge: %+v vs %+v", a, b)
+	}
+}

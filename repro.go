@@ -1,0 +1,231 @@
+// Package repro is a Go implementation of the Forgiving Graph (Hayes,
+// Saia, Trehan: "The Forgiving Graph: a distributed data structure for
+// low stretch under adversarial attack", PODC 2009).
+//
+// A Network is a self-healing overlay: an adversary repeatedly inserts
+// nodes with arbitrary connections or deletes arbitrary nodes, and after
+// every deletion the data structure adds a few edges so that, at all
+// times,
+//
+//   - every pairwise distance is at most log₂(n) times what it would be
+//     in the insertions-only graph G′ (Theorem 1.2), and
+//   - every node's degree is at most a small constant times its degree
+//     in G′ (Theorem 1.1; see DESIGN.md on the constant),
+//
+// while each repair costs only O(d log n) messages of size O(log n) and
+// O(log d · log n) time for a deleted node of degree d (Theorem 1.3).
+//
+// The package is a facade over the reference engine in internal/core;
+// the message-level distributed protocol lives in internal/dist and the
+// experiment harness reproducing the paper's claims in internal/harness.
+//
+// # Quick start
+//
+//	net, err := repro.New([]repro.Edge{{0, 1}, {1, 2}, {2, 3}})
+//	if err != nil { ... }
+//	_ = net.Delete(1)               // adversary kills node 1
+//	d := net.Distance(0, 2)         // still small: the repair spliced 0–2
+//	r := net.StretchReport()        // audit the Theorem 1.2 bound
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// NodeID identifies a node of the network. IDs are chosen by the caller
+// and never reused after deletion.
+type NodeID int64
+
+// Edge is an undirected edge between two nodes.
+type Edge struct {
+	U, V NodeID
+}
+
+// Network is a self-healing Forgiving Graph overlay. It is not safe for
+// concurrent use: the model is a strictly alternating sequence of
+// adversarial operations and repairs.
+type Network struct {
+	e *core.Engine
+}
+
+// New builds a network from an initial edge list. Use NewWithNodes to
+// start with isolated nodes as well; self-loops are rejected.
+func New(edges []Edge) (*Network, error) {
+	return NewWithNodes(nil, edges)
+}
+
+// NewWithNodes builds a network from isolated nodes plus an edge list
+// (endpoints are added implicitly). Self-loops are rejected.
+func NewWithNodes(nodes []NodeID, edges []Edge) (*Network, error) {
+	g0 := graph.New()
+	for _, v := range nodes {
+		g0.AddNode(graph.NodeID(v))
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("repro: self-loop on node %d", e.U)
+		}
+		g0.AddEdge(graph.NodeID(e.U), graph.NodeID(e.V))
+	}
+	return &Network{e: core.NewEngine(g0)}, nil
+}
+
+// Insert adds a node connected to the given live neighbors (possibly
+// none), as an adversarial insertion: the edges join both the actual
+// network and the yardstick graph G′.
+func (n *Network) Insert(v NodeID, nbrs []NodeID) error {
+	conv := make([]graph.NodeID, len(nbrs))
+	for i, x := range nbrs {
+		conv[i] = graph.NodeID(x)
+	}
+	return n.e.Insert(graph.NodeID(v), conv)
+}
+
+// Delete removes a live node and runs the Forgiving Graph repair.
+func (n *Network) Delete(v NodeID) error {
+	return n.e.Delete(graph.NodeID(v))
+}
+
+// Alive reports whether v is currently in the network.
+func (n *Network) Alive(v NodeID) bool { return n.e.Alive(graph.NodeID(v)) }
+
+// NumAlive returns the number of live nodes.
+func (n *Network) NumAlive() int { return n.e.NumAlive() }
+
+// NumEver returns |G′|: every node ever inserted, deleted or not. The
+// stretch bound is log₂ of this quantity.
+func (n *Network) NumEver() int { return n.e.NumEver() }
+
+// Nodes returns the live nodes in ascending order.
+func (n *Network) Nodes() []NodeID {
+	live := n.e.LiveNodes()
+	out := make([]NodeID, len(live))
+	for i, v := range live {
+		out[i] = NodeID(v)
+	}
+	return out
+}
+
+// Edges returns the current actual network's edges (direct edges plus
+// the homomorphic image of the Reconstruction Trees), in canonical
+// sorted order.
+func (n *Network) Edges() []Edge {
+	es := n.e.Physical().Edges()
+	out := make([]Edge, len(es))
+	for i, e := range es {
+		out[i] = Edge{U: NodeID(e.U), V: NodeID(e.V)}
+	}
+	return out
+}
+
+// Neighbors returns v's neighbors in the actual network, ascending.
+func (n *Network) Neighbors(v NodeID) []NodeID {
+	nbrs := n.e.Physical().Neighbors(graph.NodeID(v))
+	out := make([]NodeID, len(nbrs))
+	for i, x := range nbrs {
+		out[i] = NodeID(x)
+	}
+	return out
+}
+
+// Degree returns v's degree in the actual network (0 if absent).
+func (n *Network) Degree(v NodeID) int {
+	return n.e.Physical().Degree(graph.NodeID(v))
+}
+
+// DegreePrime returns v's degree in G′.
+func (n *Network) DegreePrime(v NodeID) int {
+	return n.e.DegreePrime(graph.NodeID(v))
+}
+
+// Distance returns the hop distance between two live nodes in the
+// actual network, or -1 if unreachable.
+func (n *Network) Distance(u, v NodeID) int {
+	return n.e.Physical().Distance(graph.NodeID(u), graph.NodeID(v))
+}
+
+// DistancePrime returns the distance in G′ (deleted nodes count as
+// usable intermediates, per the paper's metric), or -1 if unreachable.
+func (n *Network) DistancePrime(u, v NodeID) int {
+	return n.e.GPrime().Distance(graph.NodeID(u), graph.NodeID(v))
+}
+
+// StretchReport audits Theorem 1.2 exactly over all live pairs.
+type StretchReport struct {
+	// Max is the worst observed dist_G / dist_G′ ratio.
+	Max float64
+	// Bound is the guarantee log₂(NumEver).
+	Bound float64
+	// WorstU, WorstV attain Max.
+	WorstU, WorstV NodeID
+	// Pairs is the number of live pairs measured.
+	Pairs int
+	// Satisfied reports Max <= max(Bound, 1).
+	Satisfied bool
+}
+
+// StretchReport measures the current worst-case stretch. It runs a BFS
+// per live node; use it at experiment scale, not per-operation on huge
+// networks.
+func (n *Network) StretchReport() StretchReport {
+	r := n.e.CheckStretch()
+	return StretchReport{
+		Max:       r.MaxStretch,
+		Bound:     r.Bound,
+		WorstU:    NodeID(r.WorstU),
+		WorstV:    NodeID(r.WorstV),
+		Pairs:     r.Pairs,
+		Satisfied: r.Satisfied(),
+	}
+}
+
+// DegreeReport audits Theorem 1.1.
+type DegreeReport struct {
+	// MaxRatio is the worst actual/G′ degree ratio over live nodes.
+	MaxRatio float64
+	// Worst attains MaxRatio.
+	Worst NodeID
+	// Over3 counts nodes above the paper's stated factor 3 (the hard
+	// bound for the published algorithm is 4; see DESIGN.md).
+	Over3 int
+}
+
+// DegreeReport measures the current degree amplification.
+func (n *Network) DegreeReport() DegreeReport {
+	r := n.e.CheckDegrees()
+	return DegreeReport{MaxRatio: r.MaxRatio, Worst: NodeID(r.Worst), Over3: r.Over3}
+}
+
+// RepairStats describes the most recent deletion's repair.
+type RepairStats struct {
+	// RemovedNodes is how many virtual nodes vanished with the victim.
+	RemovedNodes int
+	// Components is how many pieces the repair merged.
+	Components int
+	// NewHelpers / DiscardedHelpers count helper churn.
+	NewHelpers, DiscardedHelpers int
+	// RTLeaves / RTDepth describe the resulting Reconstruction Tree.
+	RTLeaves, RTDepth int
+}
+
+// LastRepair returns statistics about the most recent deletion.
+func (n *Network) LastRepair() RepairStats {
+	r := n.e.LastRepair()
+	return RepairStats{
+		RemovedNodes:     r.RemovedNodes,
+		Components:       r.Components,
+		NewHelpers:       r.NewHelpers,
+		DiscardedHelpers: r.DiscardedHelpers,
+		RTLeaves:         r.RTLeaves,
+		RTDepth:          r.RTDepth,
+	}
+}
+
+// CheckInvariants revalidates the engine's entire internal state (haft
+// validity, representative bookkeeping, degree and connectivity
+// invariants). It is an assertion for tests and long-running services;
+// a healthy network always returns nil.
+func (n *Network) CheckInvariants() error { return n.e.CheckInvariants() }

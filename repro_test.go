@@ -1,0 +1,157 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndBasicOps(t *testing.T) {
+	net, err := New([]Edge{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumAlive() != 4 || net.NumEver() != 4 {
+		t.Fatalf("alive=%d ever=%d", net.NumAlive(), net.NumEver())
+	}
+	if err := net.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if net.Alive(1) {
+		t.Fatal("1 still alive")
+	}
+	if d := net.Distance(0, 2); d != 1 {
+		t.Fatalf("distance(0,2) = %d, want 1 (repair splice)", d)
+	}
+	if d := net.DistancePrime(0, 2); d != 2 {
+		t.Fatalf("distancePrime(0,2) = %d, want 2", d)
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsSelfLoop(t *testing.T) {
+	if _, err := New([]Edge{{3, 3}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestNewWithNodes(t *testing.T) {
+	net, err := NewWithNodes([]NodeID{7}, []Edge{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Alive(7) || net.NumAlive() != 3 {
+		t.Fatal("isolated node missing")
+	}
+}
+
+func TestInsertAndReports(t *testing.T) {
+	net, err := New([]Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Insert(10, []NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	sr := net.StretchReport()
+	if !sr.Satisfied {
+		t.Fatalf("stretch report: %+v", sr)
+	}
+	if sr.Pairs != 10 { // C(5,2)
+		t.Fatalf("pairs = %d, want 10", sr.Pairs)
+	}
+	dr := net.DegreeReport()
+	if dr.MaxRatio > 4 {
+		t.Fatalf("degree ratio %v > 4", dr.MaxRatio)
+	}
+	rs := net.LastRepair()
+	if rs.RTLeaves != 4 || rs.NewHelpers != 3 {
+		t.Fatalf("repair stats: %+v", rs)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	net, err := New([]Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	nodes := net.Nodes()
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	edges := net.Edges()
+	if len(edges) != 1 || edges[0] != (Edge{0, 2}) {
+		t.Fatalf("edges = %v", edges)
+	}
+	if nbrs := net.Neighbors(0); len(nbrs) != 1 || nbrs[0] != 2 {
+		t.Fatalf("neighbors(0) = %v", nbrs)
+	}
+	if net.Degree(0) != 1 || net.DegreePrime(0) != 1 {
+		t.Fatalf("degrees: %d/%d", net.Degree(0), net.DegreePrime(0))
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	net, err := New([]Edge{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Delete(42); err == nil {
+		t.Fatal("unknown delete accepted")
+	}
+	if err := net.Insert(0, nil); err == nil {
+		t.Fatal("id reuse accepted")
+	}
+	if err := net.Insert(5, []NodeID{99}); err == nil {
+		t.Fatal("edge to unknown node accepted")
+	}
+}
+
+// End-to-end churn through the public API, bounds checked throughout.
+func TestPublicAPIChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var edges []Edge
+	for i := 1; i < 20; i++ {
+		edges = append(edges, Edge{NodeID(rng.Intn(i)), NodeID(i)})
+	}
+	net, err := New(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := NodeID(100)
+	for step := 0; step < 30; step++ {
+		nodes := net.Nodes()
+		if len(nodes) < 2 {
+			break
+		}
+		if rng.Float64() < 0.35 {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			nbrs := []NodeID{a}
+			if b != a {
+				nbrs = append(nbrs, b)
+			}
+			if err := net.Insert(next, nbrs); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		} else {
+			if err := net.Delete(nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := net.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if sr := net.StretchReport(); !sr.Satisfied {
+		t.Fatalf("final stretch: %+v", sr)
+	}
+}
