@@ -14,7 +14,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/bits"
 	"os"
 	"strconv"
 	"strings"
@@ -64,7 +63,7 @@ func leafLabel(n *haft.Node) string {
 func renderBuild(l int) error {
 	h := haft.Build(l, func(i int) any { return fmt.Sprintf("v%d", i) })
 	fmt.Printf("haft(%d): depth=%d = ceil(log2 %d)=%d, %d internal nodes\n\n",
-		l, haft.Depth(h), l, ceilLog2(l), len(haft.Internal(h)))
+		l, haft.Depth(h), l, haft.CeilLog2(l), len(haft.Internal(h)))
 	fmt.Println(haft.Render(h, leafLabel))
 	roots := haft.PrimaryRoots(h)
 	fmt.Printf("primary roots (%d = popcount(%d)):\n", len(roots), l)
@@ -210,11 +209,4 @@ func toEdges(g *graph.Graph) []repro.Edge {
 		out = append(out, repro.Edge{U: repro.NodeID(e.U), V: repro.NodeID(e.V)})
 	}
 	return out
-}
-
-func ceilLog2(l int) int {
-	if l <= 1 {
-		return 0
-	}
-	return bits.Len(uint(l - 1))
 }

@@ -6,17 +6,6 @@ import (
 	"repro/internal/haft"
 )
 
-func TestCeilLog2(t *testing.T) {
-	tests := []struct{ in, want int }{
-		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
-	}
-	for _, tt := range tests {
-		if got := ceilLog2(tt.in); got != tt.want {
-			t.Errorf("ceilLog2(%d) = %d, want %d", tt.in, got, tt.want)
-		}
-	}
-}
-
 func TestLeafLabel(t *testing.T) {
 	leaf := haft.NewLeaf("x")
 	if got := leafLabel(leaf); got != "x" {

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Theorem 1.3 scaling: a deletion of a node with G′-degree d costs
+// O(d log n) messages of size O(log n) bits and O(log d · log n) time.
+// These tests pin the constants observed across scales so regressions
+// in the protocol's asymptotics fail loudly.
+
+// The message constant absorbs the per-fragment overhead (death
+// notification, key probe, and strip each walk one O(log n) path even
+// when d = 1), which dominates small-degree repairs.
+const (
+	msgConstant   = 24 // Messages <= msgConstant * d * log2(n)
+	roundConstant = 10 // Rounds <= roundConstant * log2(d) * log2(n)
+	wordConstant  = 16 // MaxWords <= wordConstant (words of O(log n) bits)
+)
+
+func log2AtLeast1(x int) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(float64(x))
+}
+
+func checkBounds(t *testing.T, rs RecoveryStats, nEver int) {
+	t.Helper()
+	if rs.DegreePrime == 0 {
+		return
+	}
+	d := rs.DegreePrime
+	logn := log2AtLeast1(nEver)
+	if lim := msgConstant * float64(d) * logn; float64(rs.Messages) > lim {
+		t.Fatalf("n=%d d=%d: %d messages > %.1f = %d·d·log2(n)", nEver, d, rs.Messages, lim, msgConstant)
+	}
+	if lim := roundConstant * log2AtLeast1(d) * logn; float64(rs.Rounds) > lim {
+		t.Fatalf("n=%d d=%d: %d rounds > %.1f = %d·log2(d)·log2(n)", nEver, d, rs.Rounds, lim, roundConstant)
+	}
+	if rs.MaxWords > wordConstant {
+		t.Fatalf("n=%d d=%d: message of %d words (want O(1) words of O(log n) bits, <= %d)",
+			nEver, d, rs.MaxWords, wordConstant)
+	}
+}
+
+// TestTheorem13Star deletes the hub of stars of growing size: the
+// paper's worst single repair, d = n-1.
+func TestTheorem13Star(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
+		s := NewSimulation(graph.Star(n))
+		if err := s.Delete(0); err != nil {
+			t.Fatal(err)
+		}
+		checkBounds(t, s.LastRecovery(), n)
+		// And keep attacking the repaired structure: delete whatever now
+		// has the highest degree, twice.
+		for i := 0; i < 2; i++ {
+			phys := s.Physical()
+			live := s.LiveNodes()
+			best, bestDeg := live[0], -1
+			for _, u := range live {
+				if d := phys.Degree(u); d > bestDeg {
+					best, bestDeg = u, d
+				}
+			}
+			if err := s.Delete(best); err != nil {
+				t.Fatal(err)
+			}
+			checkBounds(t, s.LastRecovery(), n)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestTheorem13GNP checks every repair of a long random-deletion
+// campaign on sparse G(n,p) graphs.
+func TestTheorem13GNP(t *testing.T) {
+	for _, n := range []int{32, 64, 128, 256} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := NewSimulation(graph.GNP(n, 4.0/float64(n), rng))
+		for i := 0; i < n/2; i++ {
+			live := s.LiveNodes()
+			if len(live) == 0 {
+				break
+			}
+			if err := s.Delete(live[rng.Intn(len(live))]); err != nil {
+				t.Fatal(err)
+			}
+			checkBounds(t, s.LastRecovery(), s.NumEver())
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestMaxWordsScaling pins the word bound across two orders of
+// magnitude: the largest message must not grow with n at all (it is a
+// constant number of O(log n)-bit scalars).
+func TestMaxWordsScaling(t *testing.T) {
+	worst := 0
+	for _, n := range []int{8, 64, 512} {
+		s := NewSimulation(graph.Star(n))
+		if err := s.Delete(0); err != nil {
+			t.Fatal(err)
+		}
+		if w := s.LastRecovery().MaxWords; w > worst {
+			worst = w
+		}
+	}
+	if worst > wordConstant {
+		t.Fatalf("max message size %d words grows beyond the constant %d", worst, wordConstant)
+	}
+}

@@ -1,0 +1,280 @@
+// Package dist implements the Forgiving Graph as a message-level
+// distributed protocol (the paper's Appendix A) running on the
+// deterministic round-synchronous simulator of internal/simnet.
+//
+// Unlike the reference engine of internal/core — which applies the
+// virtual-graph semantics atomically with global pointers — every
+// processor here keeps only O(1) words per incident G′ edge: its leaf
+// avatar and helper records (internal/haft shapes, Lemma 1) with tree
+// links stored as (owner, edge) addresses. All repair coordination is
+// simnet messages of O(1)–O(log n)-bit words:
+//
+//  1. Death notification. The deleted node's physical neighbors (G′
+//     neighbors plus tree neighbors of its avatars) are informed, per
+//     the model. They detach the dangling links, seed the damage walks,
+//     and grow fresh leaf avatars for the half-dead edges. The
+//     smallest-ID notified processor coordinates (the root of BT_v).
+//  2. Damage walks. Every helper that lost a child propagates a
+//     Breakflag up its parent chain (Algorithm A.5): those nodes no
+//     longer head intact subtrees. Walks stop at already-marked nodes
+//     and announce the fragment roots they reach.
+//  3. Key probes. Each fragment root runs the prefer-left descent that
+//     yields its component's deterministic ordering key.
+//  4. Distributed strip. Fragment roots cascade strip visits downward;
+//     undamaged stored-perfect nodes detach as primary roots and report
+//     O(1)-word descriptors to the leader; damaged or imperfect helpers
+//     retire (Lemma 2).
+//  5. Merge. The leader replays the engine's exact haft.Merge over the
+//     descriptors (Algorithm A.9, binary addition of trees) and
+//     broadcasts the join plan as link instructions.
+//
+// Phases are separated by quiescence of the synchronous network (the
+// synchronizer's timers carry no words and count no messages). The
+// result is behaviorally equivalent to internal/core — the same healed
+// graph on the same operation sequence, which the differential tests
+// assert — while per-repair traffic obeys Theorem 1.3: O(d log n)
+// messages of O(log n) bits and O(log d · log n) rounds for a deleted
+// node of G′-degree d.
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/haft"
+	"repro/internal/simnet"
+)
+
+// RecoveryStats reports the measured cost of one deletion's repair, the
+// quantities Theorem 1.3 / Lemma 4 bound.
+type RecoveryStats struct {
+	// Deleted is the removed processor; DegreePrime its G′ degree (the
+	// d in the bounds).
+	Deleted     NodeID
+	DegreePrime int
+	// Messages and Rounds count protocol traffic and synchronous rounds
+	// until quiescence.
+	Messages int
+	Rounds   int
+	// TotalWords and MaxWords measure message sizes in O(log n)-bit
+	// words.
+	TotalWords int
+	MaxWords   int
+	// MaxSentByNode is the largest number of messages any single
+	// processor sent during the repair.
+	MaxSentByNode int
+	// NsetSize is the number of processors notified of the deletion —
+	// the paper's BT_v coordination set.
+	NsetSize int
+}
+
+// Simulation is a distributed Forgiving Graph: processors exchanging
+// messages over a synchronous network, with per-repair cost accounting.
+// It is not safe for concurrent use; the model is a strictly
+// alternating adversary/repair loop.
+type Simulation struct {
+	net    *simnet.Network
+	gprime *graph.Graph
+	alive  map[NodeID]struct{}
+	dead   map[NodeID]struct{}
+	procs  map[NodeID]*processor
+
+	parallel bool
+	last     RecoveryStats
+}
+
+// NewSimulation builds the distributed network over an initial
+// topology. Per the model there is no pre-processing: processors start
+// knowing only their neighbor lists.
+func NewSimulation(g0 *graph.Graph) *Simulation {
+	s := &Simulation{
+		net:    simnet.New(),
+		gprime: g0.Clone(),
+		alive:  make(map[NodeID]struct{}, g0.NumNodes()),
+		dead:   make(map[NodeID]struct{}),
+		procs:  make(map[NodeID]*processor, g0.NumNodes()),
+	}
+	for _, v := range g0.Nodes() {
+		s.addProcessor(v)
+	}
+	for _, v := range g0.Nodes() {
+		p := s.procs[v]
+		s.gprime.EachNeighbor(v, func(x NodeID) {
+			p.nbrs[x] = struct{}{}
+		})
+	}
+	return s
+}
+
+func (s *Simulation) addProcessor(v NodeID) {
+	p := newProcessor(v)
+	s.procs[v] = p
+	s.alive[v] = struct{}{}
+	s.net.AddNode(v, p.handle)
+}
+
+// SetParallel switches between sequential message delivery (default,
+// the measurement mode) and a goroutine per processor per round. Both
+// modes produce identical results; handlers only touch their own
+// processor's state.
+func (s *Simulation) SetParallel(on bool) { s.parallel = on }
+
+// Alive reports whether processor v is currently in the network.
+func (s *Simulation) Alive(v NodeID) bool {
+	_, ok := s.alive[v]
+	return ok
+}
+
+// NumAlive returns the number of live processors.
+func (s *Simulation) NumAlive() int { return len(s.alive) }
+
+// NumEver returns |G′|: every processor ever inserted, deleted or not.
+func (s *Simulation) NumEver() int { return s.gprime.NumNodes() }
+
+// LiveNodes returns the live processors in ascending order.
+func (s *Simulation) LiveNodes() []NodeID {
+	out := make([]NodeID, 0, len(s.alive))
+	for v := range s.alive {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GPrime returns a snapshot of G′ (insertions only, no deletions
+// applied). The caller owns the copy.
+func (s *Simulation) GPrime() *graph.Graph { return s.gprime.Clone() }
+
+// LastRecovery returns the cost of the most recent deletion's repair.
+func (s *Simulation) LastRecovery() RecoveryStats { return s.last }
+
+// Insert adds processor v connected to the given live neighbors, per
+// the model's adversarial insertion. Insertion triggers no repair and
+// costs no protocol traffic; the new edges join both G′ and the actual
+// network.
+func (s *Simulation) Insert(v NodeID, nbrs []NodeID) error {
+	if s.gprime.HasNode(v) {
+		return fmt.Errorf("dist: insert %d: id already used (ids are never reused)", v)
+	}
+	seen := make(map[NodeID]struct{}, len(nbrs))
+	for _, x := range nbrs {
+		if x == v {
+			return fmt.Errorf("dist: insert %d: self edge", v)
+		}
+		if !s.Alive(x) {
+			return fmt.Errorf("dist: insert %d: neighbor %d is not a live node", v, x)
+		}
+		if _, dup := seen[x]; dup {
+			return fmt.Errorf("dist: insert %d: duplicate neighbor %d", v, x)
+		}
+		seen[x] = struct{}{}
+	}
+	s.gprime.AddNode(v)
+	s.addProcessor(v)
+	p := s.procs[v]
+	for _, x := range nbrs {
+		s.gprime.AddEdge(v, x)
+		p.nbrs[x] = struct{}{}
+		s.procs[x].nbrs[v] = struct{}{}
+	}
+	return nil
+}
+
+// Delete removes processor v and runs the distributed repair to
+// quiescence, recording its cost in LastRecovery.
+func (s *Simulation) Delete(v NodeID) error {
+	if !s.Alive(v) {
+		return fmt.Errorf("dist: delete %d: not a live node", v)
+	}
+	p := s.procs[v]
+
+	// The notification set: everyone holding a link to v — G′ neighbors
+	// (their shared edge just went half-dead) and owners of tree nodes
+	// adjacent to v's avatars (their records now dangle). These are
+	// exactly v's physical neighbors, who detect the deletion per the
+	// model.
+	affected := make(map[NodeID]struct{})
+	addOwner := func(a addr) {
+		if a.ok() && a.Owner != v {
+			affected[a.Owner] = struct{}{}
+		}
+	}
+	for x := range p.nbrs {
+		if _, live := s.alive[x]; live {
+			affected[x] = struct{}{}
+		}
+	}
+	for _, l := range p.leaves {
+		addOwner(l.parent)
+	}
+	for _, h := range p.helpers {
+		addOwner(h.parent)
+		addOwner(h.left)
+		addOwner(h.right)
+	}
+
+	delete(s.alive, v)
+	s.dead[v] = struct{}{}
+	delete(s.procs, v)
+	s.net.RemoveNode(v)
+	s.last = RecoveryStats{Deleted: v, DegreePrime: s.gprime.Degree(v)}
+	if len(affected) == 0 {
+		return nil // isolated in the virtual graph: nothing to repair
+	}
+
+	notify := make([]NodeID, 0, len(affected))
+	for x := range affected {
+		notify = append(notify, x)
+	}
+	sort.Slice(notify, func(i, j int) bool { return notify[i] < notify[j] })
+	leader := notify[0]
+
+	// Each neighbor detects the deletion itself (the model's detection
+	// assumption), so the notification is a self-addressed message:
+	// the word cost is charged, but to the live detector, never to the
+	// vanished processor.
+	s.net.ResetStats()
+	for _, x := range notify {
+		s.net.Send(x, x, msgDeath{V: v, Leader: leader}, wordsDeath)
+	}
+	if err := s.run(); err != nil {
+		return fmt.Errorf("dist: delete %d: notify phase: %w", v, err)
+	}
+	for _, phase := range []struct {
+		name    string
+		trigger any
+	}{
+		{"key", msgStartKeys{}},
+		{"strip", msgStartStrip{}},
+		{"merge", msgStartMerge{}},
+	} {
+		s.net.SendTimer(leader, phase.trigger, 1)
+		if err := s.run(); err != nil {
+			return fmt.Errorf("dist: delete %d: %s phase: %w", v, phase.name, err)
+		}
+	}
+
+	st := s.net.Stats()
+	s.last.Messages = st.Messages
+	s.last.Rounds = st.Rounds
+	s.last.TotalWords = st.TotalWords
+	s.last.MaxWords = st.MaxWords
+	s.last.MaxSentByNode = st.MaxSentByNode
+	s.last.NsetSize = len(affected)
+	return nil
+}
+
+// run steps the network to quiescence in the current delivery mode. The
+// round bound is a generous multiple of the O(log n) depth any single
+// phase can need; hitting it means the protocol is broken.
+func (s *Simulation) run() error {
+	bound := 32*(haft.CeilLog2(s.gprime.NumNodes())+2) + 64
+	var err error
+	if s.parallel {
+		_, err = s.net.RunUntilQuiescentParallel(bound)
+	} else {
+		_, err = s.net.RunUntilQuiescent(bound)
+	}
+	return err
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/haft"
+	"repro/internal/simnet"
+)
+
+// Leader-side merge planning.
+//
+// After the strip phase quiesces, the leader holds every primary-root
+// descriptor. It reassembles core's canonical component order (sort by
+// prefer-left key, keyless components last; left-to-right within a
+// fragment by strip path), replays the exact same haft.Merge over a
+// skeleton of the descriptors, and broadcasts the resulting join tree
+// as O(1)-word link instructions. Reusing haft.Merge — the very
+// function the reference engine calls — is what makes the distributed
+// repair bit-identical to core's on the same operation sequence.
+
+// skel is the payload of a skeleton node: either an existing primary
+// root (node set) or a helper the plan is creating (isNew set), plus
+// the representative leaf this subtree passes on when joined.
+type skel struct {
+	node  addr // existing primary root
+	isNew bool
+	slot  slot // for new helpers: the slot charged by the join
+	rep   slot
+}
+
+func skelOf(n *haft.Node) *skel {
+	s, ok := n.Payload.(*skel)
+	if !ok {
+		panic(fmt.Sprintf("dist: skeleton node with foreign payload %T", n.Payload))
+	}
+	return s
+}
+
+// pathLess orders two strip positions left-to-right. No primary root is
+// an ancestor of another, so two distinct positions always differ
+// within the shorter depth.
+func pathLess(a, b msgDescriptor) bool {
+	n := a.Depth
+	if b.Depth < n {
+		n = b.Depth
+	}
+	for i := 0; i < n; i++ {
+		ab := a.Path >> uint(a.Depth-1-i) & 1
+		bb := b.Path >> uint(b.Depth-1-i) & 1
+		if ab != bb {
+			return ab < bb
+		}
+	}
+	return a.Depth < b.Depth
+}
+
+// orderedDescriptors flattens the components into core's canonical
+// complete-tree order: components sorted by key (keyed ones first,
+// ascending; keyless ones last, by root address), descriptors within a
+// component in left-to-right strip order.
+func (r *repairState) orderedDescriptors() []msgDescriptor {
+	comps := make([]*component, 0, len(r.comps))
+	for _, c := range r.comps {
+		if len(c.descs) == 0 {
+			continue // leafless fragment: contributed nothing
+		}
+		sort.Slice(c.descs, func(i, j int) bool { return pathLess(c.descs[i], c.descs[j]) })
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		a, b := comps[i], comps[j]
+		if a.hasKey != b.hasKey {
+			return a.hasKey
+		}
+		if !a.hasKey {
+			return a.root.less(b.root)
+		}
+		return a.key.less(b.key)
+	})
+	var out []msgDescriptor
+	for _, c := range comps {
+		out = append(out, c.descs...)
+	}
+	return out
+}
+
+// onStartMerge (leader): compute the merge plan and broadcast it.
+func (p *processor) onStartMerge(n *simnet.Network) {
+	rs := p.rep
+	p.rep = nil
+	if rs == nil {
+		return
+	}
+	descs := rs.orderedDescriptors()
+	if len(descs) == 0 {
+		return
+	}
+
+	trees := make([]*haft.Node, len(descs))
+	for i, d := range descs {
+		trees[i] = &haft.Node{
+			IsLeaf:    d.Node.Kind == kindLeaf,
+			Height:    d.Height,
+			LeafCount: d.LeafCount,
+			Payload:   &skel{node: d.Node, rep: d.Rep},
+		}
+	}
+	// The join mirrors core's RepPaper policy: the bigger tree's
+	// representative is charged with simulating the new helper (which
+	// therefore lives on that leaf's slot), and the smaller tree's
+	// representative is passed upward.
+	join := func(bigger, smaller *haft.Node) *haft.Node {
+		return &haft.Node{Payload: &skel{
+			isNew: true,
+			slot:  skelOf(bigger).rep,
+			rep:   skelOf(smaller).rep,
+		}}
+	}
+	root := haft.Merge(trees, join)
+
+	addrOf := func(x *haft.Node) addr {
+		sk := skelOf(x)
+		if sk.isNew {
+			return helperAddr(sk.slot.Owner, sk.slot.Other)
+		}
+		return sk.node
+	}
+	var emit func(x *haft.Node, parent addr)
+	emit = func(x *haft.Node, parent addr) {
+		sk := skelOf(x)
+		if !sk.isNew {
+			if parent.ok() {
+				n.Send(p.id, sk.node.Owner, msgSetParent{Target: sk.node, Parent: parent}, wordsSetParent)
+			}
+			return
+		}
+		self := addrOf(x)
+		n.Send(p.id, sk.slot.Owner, msgCreateHelper{
+			Slot:   sk.slot,
+			Parent: parent,
+			Left:   addrOf(x.Left),
+			Right:  addrOf(x.Right),
+			Rep:    sk.rep,
+			Height: x.Height, LeafCount: x.LeafCount,
+		}, wordsCreateHelper)
+		emit(x.Left, self)
+		emit(x.Right, self)
+	}
+	emit(root, addr{})
+}

@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// NodeID identifies a processor, shared with package graph.
+type NodeID = graph.NodeID
+
+// slot identifies a per-edge avatar exactly as in internal/core: the
+// G′-edge (Owner, Other) seen from Owner's side. Leaf avatar L(v,x) and
+// helper H(v,x) both live in slot {v, x}.
+type slot struct {
+	Owner, Other NodeID
+}
+
+func (s slot) String() string { return fmt.Sprintf("(%d,%d)", s.Owner, s.Other) }
+
+// less orders slots lexicographically, matching core's tie-breaking.
+func (s slot) less(t slot) bool {
+	if s.Owner != t.Owner {
+		return s.Owner < t.Owner
+	}
+	return s.Other < t.Other
+}
+
+// kind distinguishes the two virtual-node flavors sharing a slot.
+type kind uint8
+
+const (
+	kindLeaf kind = iota + 1
+	kindHelper
+)
+
+// addr names a virtual tree node globally: a slot plus the node kind.
+// It is the distributed replacement for core's *haft.Node pointers —
+// two node IDs and a tag, i.e. O(1) words of O(log n) bits. The zero
+// addr means "no such node" (a cleared pointer).
+type addr struct {
+	Owner, Other NodeID
+	Kind         kind
+}
+
+func (a addr) ok() bool   { return a.Kind != 0 }
+func (a addr) slot() slot { return slot{Owner: a.Owner, Other: a.Other} }
+func (a addr) String() string {
+	if !a.ok() {
+		return "-"
+	}
+	k := "L"
+	if a.Kind == kindHelper {
+		k = "H"
+	}
+	return fmt.Sprintf("%s(%d,%d)", k, a.Owner, a.Other)
+}
+
+// less orders addrs lexicographically for deterministic iteration.
+func (a addr) less(b addr) bool {
+	if a.Owner != b.Owner {
+		return a.Owner < b.Owner
+	}
+	if a.Other != b.Other {
+		return a.Other < b.Other
+	}
+	return a.Kind < b.Kind
+}
+
+func leafAddr(owner, other NodeID) addr   { return addr{Owner: owner, Other: other, Kind: kindLeaf} }
+func helperAddr(owner, other NodeID) addr { return addr{Owner: owner, Other: other, Kind: kindHelper} }
+
+// Message vocabulary. Every message is a constant number of O(log n)-bit
+// words (IDs, counts, and one path word whose bit-length is the tree
+// height <= ceil(log2 n)); the words constants below count the scalar
+// fields Lemma 4 would charge for.
+
+// msgDeath is the deletion notification: the model's "neighbors of the
+// deleted node are informed". It is addressed to every physical
+// neighbor of the deleted processor (G′ neighbors plus tree neighbors
+// of its avatars) and names the repair coordinator, the smallest-ID
+// notified processor (the root of the paper's BT_v coordination tree).
+type msgDeath struct {
+	V      NodeID // the deleted processor
+	Leader NodeID
+}
+
+// msgMarkDamaged walks one hop up a parent pointer, marking the target
+// helper damaged (the paper's Breakflag propagation, Algorithm A.5):
+// a node that lost a child no longer heads an intact subtree, and
+// neither does any of its ancestors.
+type msgMarkDamaged struct {
+	Target addr
+	Leader NodeID
+}
+
+// msgRootAnnounce tells the leader about a fragment root: either a
+// survivor cut loose from its parent, or the top of a damage walk.
+type msgRootAnnounce struct {
+	Root addr
+}
+
+// msgFreshLeaf tells the leader a surviving G′-neighbor created its new
+// leaf avatar L(x,v) for the half-dead edge (x,v).
+type msgFreshLeaf struct {
+	Leaf addr
+}
+
+// Phase triggers are local timer payloads delivered to the leader by
+// the synchronizer between quiescent phases; they are not network
+// traffic (simnet timers carry zero words).
+type (
+	msgStartKeys  struct{}
+	msgStartStrip struct{}
+	msgStartMerge struct{}
+)
+
+// msgKeyProbe descends the prefer-left path from a fragment root to
+// find the component's ordering key (core's leftmostLeafSlot walk).
+type msgKeyProbe struct {
+	Comp   addr // fragment root = component identity
+	Target addr
+	Leader NodeID
+}
+
+// msgKeyFound / msgKeyNone report the probe's outcome to the leader.
+type msgKeyFound struct {
+	Comp addr
+	Key  slot
+}
+
+type msgKeyNone struct {
+	Comp addr
+}
+
+// msgStripVisit performs one step of the distributed strip: the target
+// either declares itself a maximal intact complete subtree (a primary
+// root) or discards itself and forwards the visit to its children.
+// Depth/Path encode the position under the fragment root so the leader
+// can restore left-to-right order from out-of-order arrivals.
+type msgStripVisit struct {
+	Comp   addr
+	Target addr
+	Depth  int
+	Path   uint64 // bit per step from the root, 0=left 1=right, MSB first
+	Leader NodeID
+}
+
+// msgDescriptor reports one primary root to the leader: everything the
+// merge needs — identity, size, stored height, and the representative
+// leaf (the free leaf charged when this tree is joined as the bigger
+// side, Algorithm A.9).
+type msgDescriptor struct {
+	Comp      addr
+	Depth     int
+	Path      uint64
+	Node      addr
+	LeafCount int
+	Height    int
+	Rep       slot
+}
+
+// msgCreateHelper instructs a processor to start simulating a fresh
+// helper on the given slot, with fully specified tree links (the
+// leader's merge plan names every neighbor).
+type msgCreateHelper struct {
+	Slot        slot
+	Parent      addr // zero addr for the new RT root
+	Left, Right addr
+	Rep         slot
+	Height      int
+	LeafCount   int
+}
+
+// msgSetParent re-parents an existing node (a primary root adopted by a
+// new helper).
+type msgSetParent struct {
+	Target addr
+	Parent addr
+}
+
+// words counts for the accounting (number of O(log n)-bit scalars).
+const (
+	wordsDeath        = 2
+	wordsMarkDamaged  = 4
+	wordsRootAnnounce = 3
+	wordsFreshLeaf    = 3
+	wordsKeyProbe     = 7
+	wordsKeyFound     = 5
+	wordsKeyNone      = 3
+	wordsStripVisit   = 9
+	wordsDescriptor   = 12
+	wordsCreateHelper = 15
+	wordsSetParent    = 6
+)

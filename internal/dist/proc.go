@@ -1,0 +1,344 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simnet"
+)
+
+// leafRec is a processor's record for one of its leaf avatars L(v,x):
+// the edge to a deleted neighbor plus the avatar's position in its
+// Reconstruction Tree. O(1) words of state per half-dead edge.
+type leafRec struct {
+	parent addr
+}
+
+// helperRec is a processor's record for a helper H(v,x) it simulates:
+// tree links by address, the stored shape fields (Height/LeafCount as
+// in package haft — truthful while the subtree is intact), and the
+// representative leaf this helper would pass on when merged. The
+// damaged flag is transient repair state (the paper's Breakflag).
+type helperRec struct {
+	parent      addr
+	left, right addr
+	height      int
+	leafCount   int
+	rep         slot
+	damaged     bool
+}
+
+// processor is one node of the distributed simulation. Its handler may
+// touch only its own fields (plus the messages it sends), which is what
+// makes the goroutine-per-processor parallel delivery mode safe.
+type processor struct {
+	id   NodeID
+	nbrs map[NodeID]struct{} // G′ neighbors, live or dead
+
+	leaves  map[NodeID]*leafRec   // keyed by the slot's Other endpoint
+	helpers map[NodeID]*helperRec // keyed by the slot's Other endpoint
+
+	// rep is the leader-side scratch for the repair this processor is
+	// currently coordinating (nil otherwise).
+	rep *repairState
+}
+
+// repairState is what the leader of a repair accumulates: announced
+// fragment roots, per-component ordering keys, and primary-root
+// descriptors, all re-sorted canonically before the merge so that
+// arrival order never matters.
+type repairState struct {
+	roots map[addr]struct{}
+	comps map[addr]*component
+}
+
+// component mirrors one entry of core's components list: a fragment
+// root (or a fresh leaf) plus its ordering key and stripped trees.
+type component struct {
+	root   addr
+	key    slot
+	hasKey bool
+	descs  []msgDescriptor
+}
+
+func newProcessor(id NodeID) *processor {
+	return &processor{
+		id:      id,
+		nbrs:    make(map[NodeID]struct{}),
+		leaves:  make(map[NodeID]*leafRec),
+		helpers: make(map[NodeID]*helperRec),
+	}
+}
+
+// handle dispatches one delivered message. It is the simnet.Handler of
+// this processor.
+func (p *processor) handle(n *simnet.Network, m simnet.Message) {
+	switch msg := m.Payload.(type) {
+	case msgDeath:
+		p.onDeath(n, msg)
+	case msgMarkDamaged:
+		p.onMarkDamaged(n, msg)
+	case msgRootAnnounce:
+		p.repair().addRoot(msg.Root)
+	case msgFreshLeaf:
+		p.repair().addFreshLeaf(msg.Leaf)
+	case msgKeyFound:
+		p.repair().setKey(msg.Comp, msg.Key)
+	case msgKeyNone:
+		// The prefer-left descent dead-ended: the component stays
+		// keyless and sorts after every keyed one, as in core.
+	case msgDescriptor:
+		p.repair().addDescriptor(msg)
+	case msgStartKeys:
+		p.onStartKeys(n)
+	case msgStartStrip:
+		p.onStartStrip(n)
+	case msgStartMerge:
+		p.onStartMerge(n)
+	case msgKeyProbe:
+		p.onKeyProbe(n, msg)
+	case msgStripVisit:
+		p.onStripVisit(n, msg)
+	case msgCreateHelper:
+		p.onCreateHelper(msg)
+	case msgSetParent:
+		p.onSetParent(msg)
+	default:
+		panic(fmt.Sprintf("dist: processor %d: unknown message %T", p.id, m.Payload))
+	}
+}
+
+// repair returns the leader scratch, allocating on first use (the
+// leader's own Death processing runs in the same round, before any
+// announcement can arrive).
+func (p *processor) repair() *repairState {
+	if p.rep == nil {
+		p.rep = &repairState{
+			roots: make(map[addr]struct{}),
+			comps: make(map[addr]*component),
+		}
+	}
+	return p.rep
+}
+
+func (r *repairState) addRoot(a addr) { r.roots[a] = struct{}{} }
+
+func (r *repairState) comp(root addr) *component {
+	c, ok := r.comps[root]
+	if !ok {
+		c = &component{root: root}
+		r.comps[root] = c
+	}
+	return c
+}
+
+func (r *repairState) addFreshLeaf(leaf addr) {
+	c := r.comp(leaf)
+	c.key, c.hasKey = leaf.slot(), true
+	c.descs = append(c.descs, msgDescriptor{
+		Comp: leaf, Node: leaf, LeafCount: 1, Height: 0, Rep: leaf.slot(),
+	})
+}
+
+func (r *repairState) setKey(root addr, key slot) {
+	c := r.comp(root)
+	c.key, c.hasKey = key, true
+}
+
+func (r *repairState) addDescriptor(d msgDescriptor) {
+	c := r.comp(d.Comp)
+	c.descs = append(c.descs, d)
+}
+
+// onDeath runs at every physical neighbor of the deleted processor v:
+// detach every record link into v's vanished avatars, seed the damage
+// walks (a helper that lost a child no longer heads an intact subtree),
+// announce fragment roots, and grow the fresh leaf avatar for the
+// half-dead G′ edge (x,v) if there is one.
+func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
+	v, leader := m.V, m.Leader
+	for o, l := range p.leaves {
+		if l.parent.ok() && l.parent.Owner == v {
+			l.parent = addr{}
+			n.Send(p.id, leader, msgRootAnnounce{Root: leafAddr(p.id, o)}, wordsRootAnnounce)
+		}
+	}
+	for o, h := range p.helpers {
+		lostParent, lostChild := false, false
+		if h.parent.ok() && h.parent.Owner == v {
+			h.parent, lostParent = addr{}, true
+		}
+		if h.left.ok() && h.left.Owner == v {
+			h.left, lostChild = addr{}, true
+		}
+		if h.right.ok() && h.right.Owner == v {
+			h.right, lostChild = addr{}, true
+		}
+		if lostChild {
+			h.damaged = true
+		}
+		switch {
+		case lostParent, lostChild && !h.parent.ok():
+			// Cut loose (or a damaged seed that already is a root).
+			n.Send(p.id, leader, msgRootAnnounce{Root: helperAddr(p.id, o)}, wordsRootAnnounce)
+		case lostChild:
+			n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Leader: leader}, wordsMarkDamaged)
+		}
+	}
+	if _, isNbr := p.nbrs[v]; isNbr {
+		if _, dup := p.leaves[v]; dup {
+			panic(fmt.Sprintf("dist: leaf avatar (%d,%d) already exists", p.id, v))
+		}
+		p.leaves[v] = &leafRec{}
+		n.Send(p.id, leader, msgFreshLeaf{Leaf: leafAddr(p.id, v)}, wordsFreshLeaf)
+	}
+}
+
+// onMarkDamaged continues a damage walk through this processor's helper
+// record, stopping at nodes already marked (another walk passed by) and
+// announcing the fragment root at the top.
+func (p *processor) onMarkDamaged(n *simnet.Network, m msgMarkDamaged) {
+	h := p.mustHelper(m.Target)
+	if h.damaged {
+		return
+	}
+	h.damaged = true
+	if h.parent.ok() {
+		n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Leader: m.Leader}, wordsMarkDamaged)
+		return
+	}
+	n.Send(p.id, m.Leader, msgRootAnnounce{Root: m.Target}, wordsRootAnnounce)
+}
+
+// sortedRoots returns the announced fragment roots in deterministic
+// order.
+func (r *repairState) sortedRoots() []addr {
+	roots := make([]addr, 0, len(r.roots))
+	for a := range r.roots {
+		roots = append(roots, a)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].less(roots[j]) })
+	return roots
+}
+
+// onStartKeys (leader): launch one prefer-left key probe per announced
+// fragment root.
+func (p *processor) onStartKeys(n *simnet.Network) {
+	if p.rep == nil {
+		return
+	}
+	for _, root := range p.rep.sortedRoots() {
+		n.Send(p.id, root.Owner, msgKeyProbe{Comp: root, Target: root, Leader: p.id}, wordsKeyProbe)
+	}
+}
+
+// onKeyProbe performs one step of the prefer-left descent (core's
+// leftmostLeafSlot): a leaf is the key; a helper forwards to its left
+// child if present, else its right, and reports a dead end when both
+// children are gone.
+func (p *processor) onKeyProbe(n *simnet.Network, m msgKeyProbe) {
+	if m.Target.Kind == kindLeaf {
+		p.mustLeaf(m.Target)
+		n.Send(p.id, m.Leader, msgKeyFound{Comp: m.Comp, Key: m.Target.slot()}, wordsKeyFound)
+		return
+	}
+	h := p.mustHelper(m.Target)
+	next := h.left
+	if !next.ok() {
+		next = h.right
+	}
+	if !next.ok() {
+		n.Send(p.id, m.Leader, msgKeyNone{Comp: m.Comp}, wordsKeyNone)
+		return
+	}
+	n.Send(p.id, next.Owner, msgKeyProbe{Comp: m.Comp, Target: next, Leader: m.Leader}, wordsKeyProbe)
+}
+
+// onStartStrip (leader): start the distributed strip at every fragment
+// root.
+func (p *processor) onStartStrip(n *simnet.Network) {
+	if p.rep == nil {
+		return
+	}
+	for _, root := range p.rep.sortedRoots() {
+		n.Send(p.id, root.Owner, msgStripVisit{Comp: root, Target: root, Leader: p.id}, wordsStripVisit)
+	}
+}
+
+// onStripVisit decides this node's fate in the strip, exactly as core's
+// stripFast: an undamaged node whose stored fields say perfect is a
+// maximal intact complete subtree (a primary root, reported to the
+// leader); anything else is discarded — the helper retires — and the
+// visit cascades to its children.
+func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
+	report := func(leafCount, height int, rep slot) {
+		n.Send(p.id, m.Leader, msgDescriptor{
+			Comp: m.Comp, Depth: m.Depth, Path: m.Path,
+			Node: m.Target, LeafCount: leafCount, Height: height, Rep: rep,
+		}, wordsDescriptor)
+	}
+	if m.Target.Kind == kindLeaf {
+		l := p.mustLeaf(m.Target)
+		l.parent = addr{}
+		report(1, 0, m.Target.slot())
+		return
+	}
+	h := p.mustHelper(m.Target)
+	if !h.damaged && h.leafCount == 1<<uint(h.height) {
+		h.parent = addr{}
+		report(h.leafCount, h.height, h.rep)
+		return
+	}
+	// Discarded ("marked red"): the helper retires before any join, per
+	// Lemma 3.2 — its slot may be re-chosen for a new helper this very
+	// repair, and the quiescence barrier between the strip and merge
+	// phases guarantees the retirement lands first.
+	delete(p.helpers, m.Target.Other)
+	for dir, c := range [2]addr{h.left, h.right} {
+		if !c.ok() {
+			continue
+		}
+		n.Send(p.id, c.Owner, msgStripVisit{
+			Comp: m.Comp, Target: c,
+			Depth: m.Depth + 1, Path: m.Path<<1 | uint64(dir),
+			Leader: m.Leader,
+		}, wordsStripVisit)
+	}
+}
+
+// onCreateHelper starts simulating a fresh helper with fully wired
+// links from the leader's merge plan.
+func (p *processor) onCreateHelper(m msgCreateHelper) {
+	if _, exists := p.helpers[m.Slot.Other]; exists {
+		panic(fmt.Sprintf("dist: representative mechanism chose occupied slot %v", m.Slot))
+	}
+	p.helpers[m.Slot.Other] = &helperRec{
+		parent: m.Parent, left: m.Left, right: m.Right,
+		height: m.Height, leafCount: m.LeafCount, rep: m.Rep,
+	}
+}
+
+// onSetParent re-parents one of this processor's existing nodes.
+func (p *processor) onSetParent(m msgSetParent) {
+	if m.Target.Kind == kindLeaf {
+		p.mustLeaf(m.Target).parent = m.Parent
+		return
+	}
+	p.mustHelper(m.Target).parent = m.Parent
+}
+
+func (p *processor) mustLeaf(a addr) *leafRec {
+	l, ok := p.leaves[a.Other]
+	if !ok || a.Owner != p.id || a.Kind != kindLeaf {
+		panic(fmt.Sprintf("dist: processor %d: no leaf record for %v", p.id, a))
+	}
+	return l
+}
+
+func (p *processor) mustHelper(a addr) *helperRec {
+	h, ok := p.helpers[a.Other]
+	if !ok || a.Owner != p.id || a.Kind != kindHelper {
+		panic(fmt.Sprintf("dist: processor %d: no helper record for %v", p.id, a))
+	}
+	return h
+}

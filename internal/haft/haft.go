@@ -299,6 +299,15 @@ func validateChildFields(n *Node) error {
 	return validateChildFields(n.Right)
 }
 
+// CeilLog2 returns ⌈log₂ l⌉ (0 for l <= 1): by Lemma 1 the depth of
+// the haft over l leaves.
+func CeilLog2(l int) int {
+	if l <= 1 {
+		return 0
+	}
+	return bits.Len(uint(l - 1))
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

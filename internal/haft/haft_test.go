@@ -55,11 +55,29 @@ func TestDepthLemma(t *testing.T) {
 	}
 }
 
+// ceilLog2 is an independent test-side implementation cross-checked
+// against the exported helper.
 func ceilLog2(l int) int {
 	if l <= 1 {
 		return 0
 	}
 	return bits.Len(uint(l - 1))
+}
+
+func TestCeilLog2(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	for _, tt := range tests {
+		if got := CeilLog2(tt.in); got != tt.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+	for l := 0; l <= 4096; l++ {
+		if CeilLog2(l) != ceilLog2(l) {
+			t.Fatalf("CeilLog2(%d) = %d disagrees with reference %d", l, CeilLog2(l), ceilLog2(l))
+		}
+	}
 }
 
 // Lemma 1 part 2: haft(l) decomposes into popcount(l) complete trees whose

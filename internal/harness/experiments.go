@@ -115,13 +115,6 @@ func ExperimentByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
 }
 
-func ceilLog2(x int) int {
-	if x <= 1 {
-		return 0
-	}
-	return bits.Len(uint(x - 1))
-}
-
 // expHaft: Lemma 1 over a size sweep.
 func expHaft(o Options) []metrics.Table {
 	sizes := []int{1, 2, 3, 5, 7, 8, 21, 64, 100, 255, 256, 1000, 4096, 100000, 1 << 20}
@@ -138,7 +131,7 @@ func expHaft(o Options) []metrics.Table {
 		t.AddRow(
 			metrics.D(l),
 			metrics.D(haft.Depth(h)),
-			metrics.D(ceilLog2(l)),
+			metrics.D(haft.CeilLog2(l)),
 			metrics.D(len(roots)),
 			metrics.D(bits.OnesCount(uint(l))),
 			metrics.D(len(haft.Internal(h))),

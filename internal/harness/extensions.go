@@ -7,6 +7,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/haft"
 	"repro/internal/heal"
 	"repro/internal/metrics"
 )
@@ -155,7 +156,7 @@ func expRTDepth(o Options) []metrics.Table {
 		if rs.RTLeaves == 0 {
 			continue
 		}
-		want := ceilLog2(rs.RTLeaves)
+		want := haft.CeilLog2(rs.RTLeaves)
 		ok := "yes"
 		if rs.RTDepth != want {
 			ok = "VIOLATION"

@@ -1,13 +1,27 @@
 package trace
 
 import (
+	"bytes"
+	"flag"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/adversary"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 )
+
+// update regenerates the golden fixtures from their recipes instead of
+// reading them:
+//
+//	go test ./internal/trace -run TestGoldenTraces -update
+//
+// Regeneration is deliberate: the pinned metrics below must then be
+// re-checked (and consciously re-pinned if repair behavior changed).
+var update = flag.Bool("update", false, "regenerate golden trace fixtures from their recipes")
 
 // golden regression traces: recorded attacks whose final metrics are
 // pinned. The engine is deterministic, so any drift in these numbers
@@ -22,11 +36,84 @@ var goldens = []struct {
 	{"powerlaw40-churn", 30, 36, 1.5, 2.5},
 }
 
+// record replays an adversary against the Forgiving Graph over g0 and
+// returns the recorded trace (the same loop as harness.Runner, which
+// this package cannot import without a cycle).
+func record(t *testing.T, label string, g0 *graph.Graph, adv adversary.Adversary, steps int, seed int64) *Trace {
+	t.Helper()
+	h := fgFactory().New(g0)
+	tr := &Trace{Label: label, G0: g0.Clone()}
+	rng := rand.New(rand.NewSource(seed))
+	nextID := graph.NodeID(0)
+	for _, v := range g0.Nodes() {
+		if v > nextID {
+			nextID = v
+		}
+	}
+	alloc := func() graph.NodeID { nextID++; return nextID }
+	for i := 0; i < steps; i++ {
+		op, ok := adv.Next(h, rng, alloc)
+		if !ok {
+			break
+		}
+		var err error
+		if op.Insert {
+			err = h.Insert(op.V, op.Nbrs)
+		} else {
+			err = h.Delete(op.V)
+		}
+		if err != nil {
+			t.Fatalf("recording %s: op %d (%v): %v", label, i, op, err)
+		}
+		tr.Append(op)
+	}
+	return tr
+}
+
+// recipes deterministically rebuild each fixture.
+func recipes() map[string]func(t *testing.T) *Trace {
+	return map[string]func(t *testing.T) *Trace{
+		"star32-maxdeg": func(t *testing.T) *Trace {
+			return record(t, "star32 vs maxdeg", graph.Star(32), adversary.MaxDegreeDelete{}, 16, 1)
+		},
+		"grid6x6-cutvertex": func(t *testing.T) *Trace {
+			return record(t, "grid6x6 vs cutvertex", graph.Grid(6, 6), adversary.CutVertexDelete{}, 18, 2)
+		},
+		"powerlaw40-churn": func(t *testing.T) *Trace {
+			g0 := graph.PreferentialAttachment(40, 2, rand.New(rand.NewSource(8)))
+			adv := adversary.Churn{InsertP: 0.4, AttachK: 2, Preferential: true, Delete: adversary.RandomDelete{}}
+			return record(t, "powerlaw40 vs churn", g0, adv, 30, 13)
+		},
+	}
+}
+
 func TestGoldenTraces(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := recipes()
 	for _, g := range goldens {
 		g := g
 		t.Run(g.file, func(t *testing.T) {
-			f, err := os.Open(filepath.Join("testdata", g.file+".json"))
+			path := filepath.Join("testdata", g.file+".json")
+			if *update {
+				recipe, ok := rec[g.file]
+				if !ok {
+					t.Fatalf("no recipe for %s", g.file)
+				}
+				// Record fully before touching the committed fixture, so
+				// a failing recipe cannot truncate it.
+				var buf bytes.Buffer
+				if err := recipe(t).Write(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			f, err := os.Open(path)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,6 +148,34 @@ func TestGoldenTraces(t *testing.T) {
 			}
 			if deg.Max > 4 {
 				t.Fatalf("degree ratio %v exceeds hard bound", deg.Max)
+			}
+		})
+	}
+}
+
+// TestGoldenRecipesMatchFixtures guards the -update path itself: the
+// committed fixtures must be exactly what the recipes regenerate, so a
+// fixture can never silently drift away from its documented origin.
+func TestGoldenRecipesMatchFixtures(t *testing.T) {
+	rec := recipes()
+	for _, g := range goldens {
+		g := g
+		t.Run(g.file, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("testdata", g.file+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, err := Read(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recipe, ok := rec[g.file]
+			if !ok {
+				t.Fatalf("no recipe for %s", g.file)
+			}
+			if !tr.Equal(recipe(t)) {
+				t.Fatalf("fixture %s does not match its recipe (regenerate with -update)", g.file)
 			}
 		})
 	}

@@ -28,6 +28,6 @@ func ExampleNetwork_LastRepair() {
 	// Output:
 	// deleted degree: 15
 	// BT_v size: 15
-	// messages: 42
+	// messages: 59
 	// verified: true
 }
