@@ -41,6 +41,7 @@ func BenchmarkExpLower(b *testing.B)    { benchExperiment(b, "EXP-LOWER") }
 func BenchmarkExpCompare(b *testing.B)  { benchExperiment(b, "EXP-COMPARE") }
 func BenchmarkExpChurn(b *testing.B)    { benchExperiment(b, "EXP-CHURN") }
 func BenchmarkExpLocality(b *testing.B) { benchExperiment(b, "EXP-LOCALITY") }
+func BenchmarkExpBatch(b *testing.B)    { benchExperiment(b, "EXP-BATCH") }
 func BenchmarkExpRTDepth(b *testing.B)  { benchExperiment(b, "EXP-RTDEPTH") }
 func BenchmarkExpAblate(b *testing.B)   { benchExperiment(b, "EXP-ABLATE") }
 func BenchmarkExpSpan(b *testing.B)     { benchExperiment(b, "EXP-SPAN") }

@@ -5,10 +5,16 @@
 // the tool for shaking out rare interleavings beyond what unit tests
 // sample.
 //
+// With -batch k > 1, deletions fire in bursts of up to k through the
+// batched-repair pipeline (dist.Simulation.DeleteBatch overlapping
+// independent repairs; core.Engine.DeleteBatch as the sequential
+// reference), with the burst shape picked by -batch-strategy.
+//
 // Usage:
 //
 //	soak [-n N] [-topology NAME] [-steps K] [-seed S] [-insert-p P]
 //	     [-check-every C] [-dist] [-parallel]
+//	     [-batch K] [-batch-strategy random|disjoint|colliding]
 package main
 
 import (
@@ -34,14 +40,16 @@ func main() {
 
 func run() error {
 	var (
-		n        = flag.Int("n", 128, "initial node count")
-		topology = flag.String("topology", "powerlaw", "initial topology")
-		steps    = flag.Int("steps", 2000, "churn steps")
-		seed     = flag.Int64("seed", time.Now().UnixNano(), "random seed (default: time)")
-		insertP  = flag.Float64("insert-p", 0.45, "insertion probability per step")
-		checkEvy = flag.Int("check-every", 25, "full invariant re-validation interval")
-		useDist  = flag.Bool("dist", false, "soak the distributed protocol instead of the engine")
-		parallel = flag.Bool("parallel", false, "with -dist: goroutine-per-processor delivery")
+		n         = flag.Int("n", 128, "initial node count")
+		topology  = flag.String("topology", "powerlaw", "initial topology")
+		steps     = flag.Int("steps", 2000, "churn steps")
+		seed      = flag.Int64("seed", time.Now().UnixNano(), "random seed (default: time)")
+		insertP   = flag.Float64("insert-p", 0.45, "insertion probability per step")
+		checkEvy  = flag.Int("check-every", 25, "full invariant re-validation interval")
+		useDist   = flag.Bool("dist", false, "soak the distributed protocol instead of the engine")
+		parallel  = flag.Bool("parallel", false, "with -dist: goroutine-per-processor delivery")
+		batchK    = flag.Int("batch", 1, "deletions per burst (1 = single-deletion path)")
+		batchName = flag.String("batch-strategy", "random", "burst shape: random, disjoint, or colliding")
 	)
 	flag.Parse()
 
@@ -49,10 +57,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *batchK < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", *batchK)
+	}
+	batchStrat, err := adversary.BatchByName(*batchName)
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	g0 := gen(*n, rng)
-	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v\n",
-		*topology, g0.NumNodes(), *steps, *seed, *useDist, *parallel)
+	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v batch=%d strategy=%s\n",
+		*topology, g0.NumNodes(), *steps, *seed, *useDist, *parallel, *batchK, batchStrat.Name())
 
 	var (
 		target soakTarget
@@ -71,29 +86,62 @@ func run() error {
 		Preferential: true,
 		Delete:       adversary.RandomDelete{},
 	}
+	// In batch mode the insert-vs-burst decision is drawn by the soak
+	// loop itself, so the insert branch must always insert: InsertP 1
+	// keeps churn from drawing a second coin and deleting anyway.
+	inserter := adversary.Churn{InsertP: 1, AttachK: 2, Preferential: true}
 	nextID := graph.NodeID(1 << 20)
 	alloc := func() graph.NodeID { nextID++; return nextID }
 
 	repairMsgs := metrics.NewHistogram(0, 400, 20)
+	batchWaves := metrics.NewHistogram(0, float64(*batchK)+0.25, *batchK+1)
 	degRatios := metrics.NewHistogram(0, 4.25, 17)
 	start := time.Now()
-	deletions := 0
+	deletions, batches := 0, 0
 	for step := 1; step <= *steps; step++ {
-		op, ok := churn.Next(target, rng, alloc)
-		if !ok {
-			fmt.Printf("network empty after %d steps\n", step)
-			break
-		}
-		if op.Insert {
-			if err := target.Insert(op.V, op.Nbrs); err != nil {
-				return fmt.Errorf("step %d: %v: %w", step, op, err)
+		if *batchK > 1 {
+			if rng.Float64() < *insertP {
+				op, ok := inserter.Next(target, rng, alloc)
+				if !ok {
+					fmt.Printf("network empty after %d steps\n", step)
+					break
+				}
+				if err := target.Insert(op.V, op.Nbrs); err != nil {
+					return fmt.Errorf("step %d: %v: %w", step, op, err)
+				}
+			} else {
+				// Burst: delete up to k nodes as one batch.
+				batch := batchStrat.NextBatch(target, rng, *batchK)
+				if len(batch) == 0 {
+					fmt.Printf("network empty after %d steps\n", step)
+					break
+				}
+				if err := target.DeleteBatch(batch); err != nil {
+					return fmt.Errorf("step %d: delete batch %v: %w", step, batch, err)
+				}
+				deletions += len(batch)
+				batches++
+				msgs, waves := target.LastBatchCost()
+				repairMsgs.Observe(float64(msgs))
+				batchWaves.Observe(float64(waves))
 			}
 		} else {
-			if err := target.Delete(op.V); err != nil {
-				return fmt.Errorf("step %d: %v: %w", step, op, err)
+			op, ok := churn.Next(target, rng, alloc)
+			if !ok {
+				fmt.Printf("network empty after %d steps\n", step)
+				break
 			}
-			deletions++
-			repairMsgs.Observe(float64(target.LastRepairMessages()))
+			if op.Insert {
+				if err := target.Insert(op.V, op.Nbrs); err != nil {
+					return fmt.Errorf("step %d: %v: %w", step, op, err)
+				}
+			} else {
+				if err := target.Delete(op.V); err != nil {
+					return fmt.Errorf("step %d: %v: %w", step, op, err)
+				}
+				deletions++
+				repairMsgs.Observe(float64(target.LastRepairMessages()))
+			}
 		}
 		if step%*checkEvy == 0 {
 			if err := target.Validate(); err != nil {
@@ -113,11 +161,18 @@ func run() error {
 		return fmt.Errorf("final validation: %w", err)
 	}
 
-	fmt.Printf("\n%d steps (%d deletions) in %v — all invariants held\n\n",
-		*steps, deletions, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\n%d steps (%d deletions", *steps, deletions)
+	if *batchK > 1 {
+		fmt.Printf(" in %d batches", batches)
+	}
+	fmt.Printf(") in %v — all invariants held\n\n", time.Since(start).Round(time.Millisecond))
 	if *useDist {
-		fmt.Println("repair messages per deletion:")
+		fmt.Println("repair messages per deletion/batch:")
 		fmt.Println(repairMsgs.Render(40))
+	}
+	if *batchK > 1 {
+		fmt.Println("serialization waves per batch:")
+		fmt.Println(batchWaves.Render(40))
 	}
 	fmt.Println("max degree ratio at checkpoints:")
 	fmt.Println(degRatios.Render(40))
@@ -130,8 +185,12 @@ type soakTarget interface {
 	adversary.View
 	Insert(v graph.NodeID, nbrs []graph.NodeID) error
 	Delete(v graph.NodeID) error
+	DeleteBatch(vs []graph.NodeID) error
 	Validate() error
 	LastRepairMessages() int
+	// LastBatchCost returns the messages and serialization waves of the
+	// most recent batch.
+	LastBatchCost() (msgs, waves int)
 }
 
 type engineTarget struct{ e *core.Engine }
@@ -142,9 +201,11 @@ func (t engineTarget) GPrime() *graph.Graph      { return t.e.GPrime() }
 func (t engineTarget) Insert(v graph.NodeID, nbrs []graph.NodeID) error {
 	return t.e.Insert(v, nbrs)
 }
-func (t engineTarget) Delete(v graph.NodeID) error { return t.e.Delete(v) }
-func (t engineTarget) Validate() error             { return t.e.CheckInvariants() }
-func (t engineTarget) LastRepairMessages() int     { return 0 }
+func (t engineTarget) Delete(v graph.NodeID) error         { return t.e.Delete(v) }
+func (t engineTarget) DeleteBatch(vs []graph.NodeID) error { return t.e.DeleteBatch(vs) }
+func (t engineTarget) Validate() error                     { return t.e.CheckInvariants() }
+func (t engineTarget) LastRepairMessages() int             { return 0 }
+func (t engineTarget) LastBatchCost() (int, int)           { return 0, t.e.LastBatchRepair().Batch }
 
 type distTarget struct{ s *dist.Simulation }
 
@@ -154,6 +215,11 @@ func (t distTarget) GPrime() *graph.Graph      { return t.s.GPrime() }
 func (t distTarget) Insert(v graph.NodeID, nbrs []graph.NodeID) error {
 	return t.s.Insert(v, nbrs)
 }
-func (t distTarget) Delete(v graph.NodeID) error { return t.s.Delete(v) }
-func (t distTarget) Validate() error             { return t.s.Verify() }
-func (t distTarget) LastRepairMessages() int     { return t.s.LastRecovery().Messages }
+func (t distTarget) Delete(v graph.NodeID) error         { return t.s.Delete(v) }
+func (t distTarget) DeleteBatch(vs []graph.NodeID) error { return t.s.DeleteBatch(vs) }
+func (t distTarget) Validate() error                     { return t.s.Verify() }
+func (t distTarget) LastRepairMessages() int             { return t.s.LastRecovery().Messages }
+func (t distTarget) LastBatchCost() (int, int) {
+	bs := t.s.LastBatch()
+	return bs.Messages, bs.Waves
+}

@@ -1,0 +1,100 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// staticView wraps a bare graph as an adversary View.
+type staticView struct{ g *graph.Graph }
+
+func (v staticView) LiveNodes() []NodeID   { return v.g.Nodes() }
+func (v staticView) Network() *graph.Graph { return v.g }
+func (v staticView) GPrime() *graph.Graph  { return v.g }
+
+func TestRandomBatchDistinct(t *testing.T) {
+	v := staticView{graph.GNP(40, 0.1, rand.New(rand.NewSource(1)))}
+	rng := rand.New(rand.NewSource(2))
+	for k := 0; k <= 45; k += 9 {
+		b := RandomBatch{}.NextBatch(v, rng, k)
+		want := k
+		if want > 40 {
+			want = 40
+		}
+		if len(b) != want {
+			t.Fatalf("k=%d: got %d victims, want %d", k, len(b), want)
+		}
+		seen := make(map[NodeID]struct{})
+		for _, u := range b {
+			if _, dup := seen[u]; dup {
+				t.Fatalf("k=%d: duplicate victim %d", k, u)
+			}
+			seen[u] = struct{}{}
+		}
+	}
+}
+
+// TestDisjointBatchSeparation: every pair of victims must sit at
+// distance >= 3 in the network, so their closed neighborhoods are
+// vertex-disjoint.
+func TestDisjointBatchSeparation(t *testing.T) {
+	g := graph.Grid(8, 8)
+	v := staticView{g}
+	rng := rand.New(rand.NewSource(3))
+	b := DisjointBatch{}.NextBatch(v, rng, 6)
+	if len(b) < 2 {
+		t.Fatalf("grid 8x8 should admit several disjoint victims, got %v", b)
+	}
+	for i := 0; i < len(b); i++ {
+		for j := i + 1; j < len(b); j++ {
+			if d := g.Distance(b[i], b[j]); d >= 0 && d < 3 {
+				t.Fatalf("victims %d and %d at distance %d < 3 (batch %v)", b[i], b[j], d, b)
+			}
+		}
+	}
+}
+
+// TestCollidingBatchClustered: on a connected network the victims must
+// form one connected cluster, the worst case for walk collisions.
+func TestCollidingBatchClustered(t *testing.T) {
+	g := graph.Grid(6, 6)
+	v := staticView{g}
+	rng := rand.New(rand.NewSource(4))
+	b := CollidingBatch{}.NextBatch(v, rng, 5)
+	if len(b) != 5 {
+		t.Fatalf("got %d victims, want 5", len(b))
+	}
+	sub := graph.New()
+	inBatch := make(map[NodeID]struct{})
+	for _, u := range b {
+		sub.AddNode(u)
+		inBatch[u] = struct{}{}
+	}
+	for _, u := range b {
+		g.EachNeighbor(u, func(w NodeID) {
+			if _, ok := inBatch[w]; ok {
+				sub.AddEdge(u, w)
+			}
+		})
+	}
+	if !sub.Connected() {
+		t.Fatalf("colliding batch %v is not a connected cluster", b)
+	}
+}
+
+func TestBatchByName(t *testing.T) {
+	for _, name := range BatchNames() {
+		s, err := BatchByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() == "" {
+			t.Fatalf("%s: empty name", name)
+		}
+	}
+	if _, err := BatchByName("nope"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

@@ -25,8 +25,9 @@ type Engine struct {
 	// fast strip; tests cross-check the two (see strip.go).
 	structuralStrip bool
 
-	stats Stats
-	last  RepairStats
+	stats     Stats
+	last      RepairStats
+	lastBatch BatchRepairStats
 }
 
 // SetStructuralStrip toggles the reference (structural) strip
@@ -203,6 +204,44 @@ func (e *Engine) Delete(v NodeID) error {
 	e.stats.Deletions++
 	return nil
 }
+
+// DeleteBatch removes every listed processor, repairing after each
+// deletion in canonical (ascending-ID) order. This is the *reference
+// semantics* for batched deletions: the distributed protocol
+// (dist.Simulation.DeleteBatch) overlaps repairs of independent
+// regions and must produce exactly this engine's healed graph — the
+// differential tests assert it. Validation is atomic: either every
+// node is live and distinct and the whole batch applies, or nothing
+// does. A batch of one is exactly Delete. Per-batch aggregates land in
+// LastBatchRepair.
+func (e *Engine) DeleteBatch(vs []NodeID) error {
+	batch := append([]NodeID(nil), vs...)
+	sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+	for i, v := range batch {
+		if i > 0 && batch[i-1] == v {
+			return fmt.Errorf("core: delete batch: duplicate node %d", v)
+		}
+		if !e.Alive(v) {
+			return fmt.Errorf("core: delete batch: node %d is not a live node", v)
+		}
+	}
+	agg := BatchRepairStats{Batch: len(batch)}
+	for _, v := range batch {
+		if err := e.Delete(v); err != nil {
+			return fmt.Errorf("core: delete batch: %w", err)
+		}
+		agg.RemovedNodes += e.last.RemovedNodes
+		agg.Components += e.last.Components
+		agg.NewHelpers += e.last.NewHelpers
+		agg.DiscardedHelpers += e.last.DiscardedHelpers
+	}
+	e.lastBatch = agg
+	return nil
+}
+
+// LastBatchRepair returns aggregate statistics for the most recent
+// DeleteBatch call.
+func (e *Engine) LastBatchRepair() BatchRepairStats { return e.lastBatch }
 
 // repair strips the damaged components and merges them into one RT,
 // recording per-repair statistics.

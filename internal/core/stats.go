@@ -22,6 +22,18 @@ type RepairStats struct {
 	RTDepth int
 }
 
+// BatchRepairStats aggregates the repairs of one DeleteBatch call.
+type BatchRepairStats struct {
+	// Batch is the number of deletions applied.
+	Batch int
+	// RemovedNodes, Components, NewHelpers and DiscardedHelpers sum the
+	// corresponding RepairStats fields over the batch's repairs.
+	RemovedNodes     int
+	Components       int
+	NewHelpers       int
+	DiscardedHelpers int
+}
+
 // Stats accumulates operation counts over an engine's lifetime.
 type Stats struct {
 	Insertions      int

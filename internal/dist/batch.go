@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Batched concurrent deletions.
+//
+// The paper repairs one deletion at a time; under churn they arrive in
+// bursts. DeleteBatch overlaps the repairs of *independent* damaged
+// regions — vertex-disjoint sets of records — so that k disjoint
+// deletions heal in roughly the rounds of one, while repairs whose
+// regions collide serialize exactly as the sequential semantics
+// demand. The reference semantics is core.Engine.DeleteBatch: apply
+// the deletions one at a time in canonical (ascending-ID) order. The
+// differential tests assert the two produce identical healed graphs.
+//
+// The batch runs in two stages:
+//
+//  1. Claim phase (read-only). Every member's would-be damage walk runs
+//     in claim mode: the records the repair would cut, damage, or walk
+//     through are claimed for the member's epoch, mutating nothing.
+//     Two walks colliding on a shared record, or a walk ascending into
+//     another member's dying avatar, report a conflict pair to the
+//     batch coordinator in-band. Links *between* two members (a shared
+//     G′ edge or a tree link between their avatars) are conflicts
+//     detected at notification time, since each member's neighbors
+//     know both ends died.
+//  2. Wave execution. Conflict pairs partition the batch into groups
+//     (connected components); members of distinct groups have disjoint
+//     regions, and a group's own repairs keep its region closed — a
+//     merge only rewires the group's fragments — so groups stay
+//     disjoint for the batch's whole lifetime. Wave w deletes the w-th
+//     smallest member of every group concurrently through the standard
+//     five phases: the younger repair of every conflicting pair runs
+//     in a later wave, serialized behind the older exactly as the
+//     canonical order requires. The quiescence barriers between phases
+//     are shared, so a wave costs the *maximum* rounds any of its
+//     repairs needs, not the sum.
+
+// BatchStats reports the measured cost of one DeleteBatch call.
+type BatchStats struct {
+	// Batch is the number of deletions; Groups the number of
+	// independent conflict groups they formed; Waves the serialization
+	// depth (the largest group); Conflicts the conflict pairs found.
+	Batch     int
+	Groups    int
+	Waves     int
+	Conflicts int
+	// ClaimMessages and ClaimRounds are the share of the totals spent
+	// on the claim phase.
+	ClaimMessages int
+	ClaimRounds   int
+	// Messages, Rounds, TotalWords, MaxWords and MaxSentByNode cover
+	// the whole batch, claim phase included.
+	Messages      int
+	Rounds        int
+	TotalWords    int
+	MaxWords      int
+	MaxSentByNode int
+}
+
+// LastBatch returns the cost of the most recent DeleteBatch call.
+func (s *Simulation) LastBatch() BatchStats { return s.lastBatch }
+
+// DeleteBatch removes every listed processor and repairs the damage,
+// overlapping the repairs of independent regions. It is behaviorally
+// equivalent to deleting the nodes one at a time in ascending order; a
+// batch of one is exactly Delete. Validation is atomic: either the
+// whole batch is applied or no node is touched.
+func (s *Simulation) DeleteBatch(vs []NodeID) error {
+	batch, err := s.validateBatch(vs)
+	if err != nil {
+		return err
+	}
+	switch len(batch) {
+	case 0:
+		s.lastBatch = BatchStats{}
+		return nil
+	case 1:
+		if err := s.Delete(batch[0]); err != nil {
+			return err
+		}
+		rs := s.last
+		s.lastBatch = BatchStats{
+			Batch: 1, Groups: 1, Waves: 1,
+			Messages: rs.Messages, Rounds: rs.Rounds,
+			TotalWords: rs.TotalWords, MaxWords: rs.MaxWords,
+			MaxSentByNode: rs.MaxSentByNode,
+		}
+		return nil
+	}
+
+	s.net.ResetStats()
+	conflicts, err := s.claimPhase(batch)
+	if err != nil {
+		return fmt.Errorf("dist: delete batch: claim phase: %w", err)
+	}
+	claimStats := s.net.Stats()
+
+	groups := groupBatch(batch, conflicts)
+	waves := 0
+	for _, g := range groups {
+		if len(g) > waves {
+			waves = len(g)
+		}
+	}
+	for w := 0; w < waves; w++ {
+		var members []NodeID
+		for _, g := range groups {
+			if w < len(g) {
+				members = append(members, g[w])
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		var reps []*pendingRepair
+		for _, v := range members {
+			if r := s.prepareRepair(v); r != nil {
+				reps = append(reps, r)
+			}
+		}
+		if err := s.runRepairs(reps); err != nil {
+			return fmt.Errorf("dist: delete batch: wave %d: %w", w, err)
+		}
+	}
+
+	st := s.net.Stats()
+	s.lastBatch = BatchStats{
+		Batch:         len(batch),
+		Groups:        len(groups),
+		Waves:         waves,
+		Conflicts:     len(conflicts),
+		ClaimMessages: claimStats.Messages,
+		ClaimRounds:   claimStats.Rounds,
+		Messages:      st.Messages,
+		Rounds:        st.Rounds,
+		TotalWords:    st.TotalWords,
+		MaxWords:      st.MaxWords,
+		MaxSentByNode: st.MaxSentByNode,
+	}
+	return nil
+}
+
+// validateBatch checks the batch atomically — every node live, no
+// duplicates — and returns it in canonical ascending order.
+func (s *Simulation) validateBatch(vs []NodeID) ([]NodeID, error) {
+	batch := append([]NodeID(nil), vs...)
+	sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+	for i, v := range batch {
+		if i > 0 && batch[i-1] == v {
+			return nil, fmt.Errorf("dist: delete batch: duplicate node %d", v)
+		}
+		if !s.Alive(v) {
+			return nil, fmt.Errorf("dist: delete batch: node %d is not a live node", v)
+		}
+	}
+	return batch, nil
+}
+
+// claimPhase runs the read-only conflict discovery: mark every member
+// dying, launch every member's claim walks, and collect the conflict
+// pairs the collisions report. The claim marks are transient; the
+// batch synchronizer clears them (and the coordinator scratch) before
+// execution begins — the paper's zero-word timer convention.
+func (s *Simulation) claimPhase(batch []NodeID) (map[[2]NodeID]struct{}, error) {
+	inBatch := make(map[NodeID]struct{}, len(batch))
+	for _, v := range batch {
+		inBatch[v] = struct{}{}
+		s.procs[v].dying = true
+	}
+	defer func() {
+		for _, v := range batch {
+			if p, ok := s.procs[v]; ok {
+				p.dying = false
+			}
+		}
+		for _, p := range s.claimers.take() {
+			p.claims = nil
+		}
+	}()
+
+	conflicts := make(map[[2]NodeID]struct{})
+	addConflict := func(a, b NodeID) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		conflicts[[2]NodeID{a, b}] = struct{}{}
+	}
+
+	// Split each member's physical neighborhood into live notification
+	// targets and direct member-member conflicts.
+	notify := make(map[NodeID][]NodeID, len(batch)) // epoch -> sorted targets
+	var coord NodeID
+	haveCoord := false
+	for _, v := range batch {
+		var targets []NodeID
+		for x := range s.affectedBy(v) {
+			if _, member := inBatch[x]; member {
+				addConflict(v, x)
+				continue
+			}
+			targets = append(targets, x)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		notify[v] = targets
+		if len(targets) > 0 && (!haveCoord || targets[0] < coord) {
+			coord, haveCoord = targets[0], true
+		}
+	}
+	if !haveCoord {
+		// No live non-member is affected by any deletion: every record
+		// link runs between members, so all conflicts are the direct
+		// ones already collected.
+		return conflicts, nil
+	}
+
+	for _, v := range batch {
+		for _, x := range notify[v] {
+			s.net.Send(x, x, msgClaimDeath{V: v, Coord: coord}, wordsClaimDeath)
+		}
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	if cp := s.procs[coord]; cp.batch != nil {
+		for pair := range cp.batch.conflicts {
+			addConflict(pair[0], pair[1])
+		}
+		cp.batch = nil
+	}
+	return conflicts, nil
+}
+
+// groupBatch partitions the batch into conflict groups (connected
+// components of the conflict pairs), each group sorted ascending —
+// the canonical serialization order — and the groups ordered by their
+// smallest member.
+func groupBatch(batch []NodeID, conflicts map[[2]NodeID]struct{}) [][]NodeID {
+	parent := make(map[NodeID]NodeID, len(batch))
+	for _, v := range batch {
+		parent[v] = v
+	}
+	var find func(v NodeID) NodeID
+	find = func(v NodeID) NodeID {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	for pair := range conflicts {
+		a, b := find(pair[0]), find(pair[1])
+		if a != b {
+			if a > b {
+				a, b = b, a
+			}
+			parent[b] = a
+		}
+	}
+	members := make(map[NodeID][]NodeID)
+	for _, v := range batch { // batch is sorted, so groups come out sorted
+		r := find(v)
+		members[r] = append(members[r], v)
+	}
+	roots := make([]NodeID, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	groups := make([][]NodeID, 0, len(roots))
+	for _, r := range roots {
+		groups = append(groups, members[r])
+	}
+	return groups
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// BenchmarkBatchedDelete measures the batched-deletion pipeline on a
+// powerlaw-1024 network: one batch of k random live nodes per
+// iteration, fresh network each time (repair cost depends on
+// accumulated Reconstruction Trees, so iterations must be
+// comparable). The custom metrics expose what the throughput claim is
+// about: rounds per batch must grow with conflicts, not with k.
+// Baselines live in BENCH_dist.json at the repo root.
+func BenchmarkBatchedDelete(b *testing.B) {
+	base := graph.PreferentialAttachment(1024, 3, rand.New(rand.NewSource(42)))
+	for _, k := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds, msgs, waves float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := NewSimulation(base)
+				rng := rand.New(rand.NewSource(int64(i)))
+				batch := pickBatch(s.LiveNodes(), rng, k)
+				b.StartTimer()
+				if err := s.DeleteBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				bs := s.LastBatch()
+				rounds += float64(bs.Rounds)
+				msgs += float64(bs.Messages)
+				waves += float64(bs.Waves)
+			}
+			n := float64(b.N)
+			b.ReportMetric(rounds/n, "rounds/batch")
+			b.ReportMetric(msgs/n, "msgs/batch")
+			b.ReportMetric(waves/n, "waves/batch")
+		})
+	}
+}
+
+// BenchmarkPhysicalSnapshot pins the win of the incrementally
+// maintained physical graph: snapshotting it versus reconstructing it
+// from every record of every processor, on a churned network.
+func BenchmarkPhysicalSnapshot(b *testing.B) {
+	build := func() *Simulation {
+		s := NewSimulation(graph.PreferentialAttachment(2048, 3, rand.New(rand.NewSource(7))))
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 64; i++ {
+			live := s.LiveNodes()
+			if err := s.Delete(live[rng.Intn(len(live))]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	b.Run("incremental", func(b *testing.B) {
+		s := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s.Physical().NumNodes() == 0 {
+				b.Fatal("empty snapshot")
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		s := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s.rebuildPhysical().NumNodes() == 0 {
+				b.Fatal("empty snapshot")
+			}
+		}
+	})
+}

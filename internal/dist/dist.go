@@ -35,6 +35,12 @@
 // assert — while per-repair traffic obeys Theorem 1.3: O(d log n)
 // messages of O(log n) bits and O(log d · log n) rounds for a deleted
 // node of G′-degree d.
+//
+// Deletions arriving in bursts run through DeleteBatch, which overlaps
+// the repairs of independent damaged regions: every message carries its
+// repair's epoch, a read-only claim phase detects colliding regions
+// in-band, and only conflicting repairs serialize (see batch.go). A
+// batch of one is exactly Delete.
 package dist
 
 import (
@@ -80,8 +86,18 @@ type Simulation struct {
 	dead   map[NodeID]struct{}
 	procs  map[NodeID]*processor
 
-	parallel bool
-	last     RecoveryStats
+	// Incrementally maintained physical network (see physical.go).
+	phys     *graph.Graph
+	physMult map[graph.Edge]int
+	dirty    *dirtyList
+
+	// claimers tracks processors holding transient claim marks during a
+	// batch's conflict-discovery phase (see batch.go).
+	claimers *dirtyList
+
+	parallel  bool
+	last      RecoveryStats
+	lastBatch BatchStats
 }
 
 // NewSimulation builds the distributed network over an initial
@@ -95,6 +111,8 @@ func NewSimulation(g0 *graph.Graph) *Simulation {
 		dead:   make(map[NodeID]struct{}),
 		procs:  make(map[NodeID]*processor, g0.NumNodes()),
 	}
+	s.initPhys(g0)
+	s.claimers = &dirtyList{}
 	for _, v := range g0.Nodes() {
 		s.addProcessor(v)
 	}
@@ -109,6 +127,8 @@ func NewSimulation(g0 *graph.Graph) *Simulation {
 
 func (s *Simulation) addProcessor(v NodeID) {
 	p := newProcessor(v)
+	p.dirty = s.dirty
+	p.claimers = s.claimers
 	s.procs[v] = p
 	s.alive[v] = struct{}{}
 	s.net.AddNode(v, p.handle)
@@ -172,28 +192,32 @@ func (s *Simulation) Insert(v NodeID, nbrs []NodeID) error {
 	}
 	s.gprime.AddNode(v)
 	s.addProcessor(v)
+	s.phys.AddNode(v)
 	p := s.procs[v]
 	for _, x := range nbrs {
 		s.gprime.AddEdge(v, x)
 		p.nbrs[x] = struct{}{}
 		s.procs[x].nbrs[v] = struct{}{}
+		s.physAdd(v, x)
 	}
 	return nil
 }
 
-// Delete removes processor v and runs the distributed repair to
-// quiescence, recording its cost in LastRecovery.
-func (s *Simulation) Delete(v NodeID) error {
-	if !s.Alive(v) {
-		return fmt.Errorf("dist: delete %d: not a live node", v)
-	}
-	p := s.procs[v]
+// pendingRepair is one deletion whose repair is about to run: the
+// processors to notify (the paper's BT_v set) and the elected leader.
+// The deleted node's ID doubles as the repair's epoch.
+type pendingRepair struct {
+	v      NodeID
+	leader NodeID
+	notify []NodeID
+}
 
-	// The notification set: everyone holding a link to v — G′ neighbors
-	// (their shared edge just went half-dead) and owners of tree nodes
-	// adjacent to v's avatars (their records now dangle). These are
-	// exactly v's physical neighbors, who detect the deletion per the
-	// model.
+// affectedBy returns the processors holding a link to v — its G′
+// neighbors plus owners of tree nodes adjacent to its avatars. These
+// are exactly v's physical neighbors, who detect the deletion per the
+// model.
+func (s *Simulation) affectedBy(v NodeID) map[NodeID]struct{} {
+	p := s.procs[v]
 	affected := make(map[NodeID]struct{})
 	addOwner := func(a addr) {
 		if a.ok() && a.Owner != v {
@@ -213,61 +237,123 @@ func (s *Simulation) Delete(v NodeID) error {
 		addOwner(h.left)
 		addOwner(h.right)
 	}
+	return affected
+}
 
+// removeProcessor takes v out of the network: its live G′ edges and the
+// physical images of its records' parent links disappear with it (the
+// dangling links on surviving neighbors are cleared — and logged — by
+// their death handlers).
+func (s *Simulation) removeProcessor(v NodeID) {
+	p := s.procs[v]
+	s.gprime.EachNeighbor(v, func(x NodeID) {
+		if _, live := s.alive[x]; live && x != v {
+			s.physDel(v, x)
+		}
+	})
+	for _, l := range p.leaves {
+		if l.parent.ok() {
+			s.physDel(v, l.parent.Owner)
+		}
+	}
+	for _, h := range p.helpers {
+		if h.parent.ok() {
+			s.physDel(v, h.parent.Owner)
+		}
+	}
 	delete(s.alive, v)
 	s.dead[v] = struct{}{}
 	delete(s.procs, v)
 	s.net.RemoveNode(v)
-	s.last = RecoveryStats{Deleted: v, DegreePrime: s.gprime.Degree(v)}
-	if len(affected) == 0 {
-		return nil // isolated in the virtual graph: nothing to repair
-	}
+	s.phys.RemoveNode(v)
+}
 
+// prepareRepair removes v from the network and elects the repair
+// leader, returning nil when v was isolated in the virtual graph
+// (nothing to repair).
+func (s *Simulation) prepareRepair(v NodeID) *pendingRepair {
+	affected := s.affectedBy(v)
+	s.removeProcessor(v)
+	if len(affected) == 0 {
+		return nil
+	}
 	notify := make([]NodeID, 0, len(affected))
 	for x := range affected {
 		notify = append(notify, x)
 	}
 	sort.Slice(notify, func(i, j int) bool { return notify[i] < notify[j] })
-	leader := notify[0]
+	return &pendingRepair{v: v, leader: notify[0], notify: notify}
+}
 
+// runRepairs drives a set of repairs — of mutually independent damaged
+// regions — through the five protocol phases concurrently. The global
+// quiescence barriers are shared: each phase ends when every repair's
+// traffic for it has drained, so the total rounds are the maximum any
+// single repair needs, not the sum.
+func (s *Simulation) runRepairs(reps []*pendingRepair) error {
+	if len(reps) == 0 {
+		return nil
+	}
 	// Each neighbor detects the deletion itself (the model's detection
 	// assumption), so the notification is a self-addressed message:
 	// the word cost is charged, but to the live detector, never to the
 	// vanished processor.
-	s.net.ResetStats()
-	for _, x := range notify {
-		s.net.Send(x, x, msgDeath{V: v, Leader: leader}, wordsDeath)
+	for _, r := range reps {
+		for _, x := range r.notify {
+			s.net.Send(x, x, msgDeath{V: r.v, Leader: r.leader}, wordsDeath)
+		}
 	}
 	if err := s.run(); err != nil {
-		return fmt.Errorf("dist: delete %d: notify phase: %w", v, err)
+		return fmt.Errorf("notify phase: %w", err)
 	}
 	for _, phase := range []struct {
 		name    string
-		trigger any
+		trigger func(epoch NodeID) any
 	}{
-		{"key", msgStartKeys{}},
-		{"strip", msgStartStrip{}},
-		{"merge", msgStartMerge{}},
+		{"key", func(e NodeID) any { return msgStartKeys{Epoch: e} }},
+		{"strip", func(e NodeID) any { return msgStartStrip{Epoch: e} }},
+		{"merge", func(e NodeID) any { return msgStartMerge{Epoch: e} }},
 	} {
-		s.net.SendTimer(leader, phase.trigger, 1)
+		for _, r := range reps {
+			s.net.SendTimer(r.leader, phase.trigger(r.v), 1)
+		}
 		if err := s.run(); err != nil {
-			return fmt.Errorf("dist: delete %d: %s phase: %w", v, phase.name, err)
+			return fmt.Errorf("%s phase: %w", phase.name, err)
 		}
 	}
+	return nil
+}
 
+// Delete removes processor v and runs the distributed repair to
+// quiescence, recording its cost in LastRecovery.
+func (s *Simulation) Delete(v NodeID) error {
+	if !s.Alive(v) {
+		return fmt.Errorf("dist: delete %d: not a live node", v)
+	}
+	s.last = RecoveryStats{Deleted: v, DegreePrime: s.gprime.Degree(v)}
+	rep := s.prepareRepair(v)
+	if rep == nil {
+		return nil // isolated in the virtual graph: nothing to repair
+	}
+	s.net.ResetStats()
+	if err := s.runRepairs([]*pendingRepair{rep}); err != nil {
+		return fmt.Errorf("dist: delete %d: %w", v, err)
+	}
 	st := s.net.Stats()
 	s.last.Messages = st.Messages
 	s.last.Rounds = st.Rounds
 	s.last.TotalWords = st.TotalWords
 	s.last.MaxWords = st.MaxWords
 	s.last.MaxSentByNode = st.MaxSentByNode
-	s.last.NsetSize = len(affected)
+	s.last.NsetSize = len(rep.notify)
 	return nil
 }
 
-// run steps the network to quiescence in the current delivery mode. The
-// round bound is a generous multiple of the O(log n) depth any single
-// phase can need; hitting it means the protocol is broken.
+// run steps the network to quiescence in the current delivery mode,
+// then folds the processors' pending physical-graph edits into the
+// maintained network. The round bound is a generous multiple of the
+// O(log n) depth any single phase can need; hitting it means the
+// protocol is broken.
 func (s *Simulation) run() error {
 	bound := 32*(haft.CeilLog2(s.gprime.NumNodes())+2) + 64
 	var err error
@@ -276,5 +362,6 @@ func (s *Simulation) run() error {
 	} else {
 		_, err = s.net.RunUntilQuiescent(bound)
 	}
+	s.drainPhys()
 	return err
 }

@@ -85,10 +85,14 @@ func (r *repairState) orderedDescriptors() []msgDescriptor {
 	return out
 }
 
-// onStartMerge (leader): compute the merge plan and broadcast it.
-func (p *processor) onStartMerge(n *simnet.Network) {
-	rs := p.rep
-	p.rep = nil
+// onStartMerge (leader): compute the merge plan for one repair and
+// broadcast it. Concurrent repairs of a batch merge independently —
+// each epoch's scratch holds only its own components, so two repairs
+// sharing a leader still produce exactly the plans they would have
+// produced with separate leaders.
+func (p *processor) onStartMerge(n *simnet.Network, epoch NodeID) {
+	rs := p.reps[epoch]
+	delete(p.reps, epoch)
 	if rs == nil {
 		return
 	}

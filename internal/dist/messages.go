@@ -75,13 +75,21 @@ func helperAddr(owner, other NodeID) addr { return addr{Owner: owner, Other: oth
 // height <= ceil(log2 n)); the words constants below count the scalar
 // fields Lemma 4 would charge for.
 
+// Repair messages carry an Epoch: the identity of the deletion whose
+// repair they belong to (the deleted processor's ID, unique for the
+// batch's lifetime since IDs are never reused). Repairs of independent
+// damaged regions run concurrently during a batched deletion, and the
+// epoch is how a processor — which may be notified by several repairs
+// at once — files each message under the right leader scratch. A single
+// Delete is a batch of one; its epoch is the deleted node.
+
 // msgDeath is the deletion notification: the model's "neighbors of the
 // deleted node are informed". It is addressed to every physical
 // neighbor of the deleted processor (G′ neighbors plus tree neighbors
 // of its avatars) and names the repair coordinator, the smallest-ID
 // notified processor (the root of the paper's BT_v coordination tree).
 type msgDeath struct {
-	V      NodeID // the deleted processor
+	V      NodeID // the deleted processor (also the repair's epoch)
 	Leader NodeID
 }
 
@@ -91,28 +99,32 @@ type msgDeath struct {
 // neither does any of its ancestors.
 type msgMarkDamaged struct {
 	Target addr
+	Epoch  NodeID
 	Leader NodeID
 }
 
 // msgRootAnnounce tells the leader about a fragment root: either a
 // survivor cut loose from its parent, or the top of a damage walk.
 type msgRootAnnounce struct {
-	Root addr
+	Root  addr
+	Epoch NodeID
 }
 
 // msgFreshLeaf tells the leader a surviving G′-neighbor created its new
 // leaf avatar L(x,v) for the half-dead edge (x,v).
 type msgFreshLeaf struct {
-	Leaf addr
+	Leaf  addr
+	Epoch NodeID
 }
 
 // Phase triggers are local timer payloads delivered to the leader by
 // the synchronizer between quiescent phases; they are not network
-// traffic (simnet timers carry zero words).
+// traffic (simnet timers carry zero words). Each names the repair it
+// advances; concurrent repairs sharing a leader get one trigger each.
 type (
-	msgStartKeys  struct{}
-	msgStartStrip struct{}
-	msgStartMerge struct{}
+	msgStartKeys  struct{ Epoch NodeID }
+	msgStartStrip struct{ Epoch NodeID }
+	msgStartMerge struct{ Epoch NodeID }
 )
 
 // msgKeyProbe descends the prefer-left path from a fragment root to
@@ -120,17 +132,20 @@ type (
 type msgKeyProbe struct {
 	Comp   addr // fragment root = component identity
 	Target addr
+	Epoch  NodeID
 	Leader NodeID
 }
 
 // msgKeyFound / msgKeyNone report the probe's outcome to the leader.
 type msgKeyFound struct {
-	Comp addr
-	Key  slot
+	Comp  addr
+	Key   slot
+	Epoch NodeID
 }
 
 type msgKeyNone struct {
-	Comp addr
+	Comp  addr
+	Epoch NodeID
 }
 
 // msgStripVisit performs one step of the distributed strip: the target
@@ -143,6 +158,7 @@ type msgStripVisit struct {
 	Target addr
 	Depth  int
 	Path   uint64 // bit per step from the root, 0=left 1=right, MSB first
+	Epoch  NodeID
 	Leader NodeID
 }
 
@@ -157,7 +173,41 @@ type msgDescriptor struct {
 	Node      addr
 	LeafCount int
 	Height    int
+	Epoch     NodeID
 	Rep       slot
+}
+
+// Batched-deletion claim phase. Before any repair of a batch mutates
+// state, every repair walks the exact region its damage walks and strip
+// would touch, read-only, claiming each record for its epoch. Two walks
+// colliding on a shared record — or a walk running into another batch
+// member's dying avatar — expose a dependence between the two repairs,
+// which the batch coordinator resolves by serializing the younger
+// (larger-epoch) repair into a later wave. Claims are transient; the
+// batch synchronizer clears them before execution begins.
+
+// msgClaimDeath is the claim-phase counterpart of msgDeath: the
+// receiver claims every record of its own that the deletion of V would
+// cut or damage, and launches claim walks up the parent chains its
+// damage walks would follow.
+type msgClaimDeath struct {
+	V     NodeID // the batch member being probed (also the epoch)
+	Coord NodeID // the batch coordinator collecting conflicts
+}
+
+// msgClaimWalk ascends one parent link in claim mode, mirroring
+// msgMarkDamaged without mutating repair state.
+type msgClaimWalk struct {
+	Target addr
+	Epoch  NodeID
+	Coord  NodeID
+}
+
+// msgConflict reports to the batch coordinator that the repairs of
+// epochs A and B touch a common record (or one walked into the other's
+// dying processor) and therefore must not run concurrently.
+type msgConflict struct {
+	A, B NodeID
 }
 
 // msgCreateHelper instructs a processor to start simulating a fresh
@@ -180,16 +230,22 @@ type msgSetParent struct {
 }
 
 // words counts for the accounting (number of O(log n)-bit scalars).
+// The epoch tag costs one word on every message that carries it; the
+// merge-plan instructions (create-helper, set-parent) are final
+// mutations that need no scratch lookup and stay untagged.
 const (
-	wordsDeath        = 2
-	wordsMarkDamaged  = 4
-	wordsRootAnnounce = 3
-	wordsFreshLeaf    = 3
-	wordsKeyProbe     = 7
-	wordsKeyFound     = 5
-	wordsKeyNone      = 3
-	wordsStripVisit   = 9
-	wordsDescriptor   = 12
+	wordsDeath        = 2 // V doubles as the epoch
+	wordsMarkDamaged  = 5
+	wordsRootAnnounce = 4
+	wordsFreshLeaf    = 4
+	wordsKeyProbe     = 8
+	wordsKeyFound     = 6
+	wordsKeyNone      = 4
+	wordsStripVisit   = 10
+	wordsDescriptor   = 13
 	wordsCreateHelper = 15
 	wordsSetParent    = 6
+	wordsClaimDeath   = 2
+	wordsClaimWalk    = 5
+	wordsConflict     = 2
 )

@@ -18,7 +18,10 @@ type leafRec struct {
 // tree links by address, the stored shape fields (Height/LeafCount as
 // in package haft — truthful while the subtree is intact), and the
 // representative leaf this helper would pass on when merged. The
-// damaged flag is transient repair state (the paper's Breakflag).
+// damaged flag is transient repair state (the paper's Breakflag),
+// tagged with the epoch of the repair that set it: two concurrent
+// repairs marking the same helper would mean the batch conflict
+// detector failed, which the handlers treat as a protocol bug.
 type helperRec struct {
 	parent      addr
 	left, right addr
@@ -26,6 +29,18 @@ type helperRec struct {
 	leafCount   int
 	rep         slot
 	damaged     bool
+	depoch      NodeID // the epoch that set damaged
+}
+
+// physEdit is one pending update to the simulation's incrementally
+// maintained physical graph: the tree-edge image (owner, peer) appeared
+// or disappeared because this processor's record changed a parent link.
+// Handlers append to their own processor's log — never to shared state,
+// which is what keeps the parallel delivery mode race-free — and the
+// simulation drains the logs after each quiescent run.
+type physEdit struct {
+	add  bool
+	a, b NodeID
 }
 
 // processor is one node of the distributed simulation. Its handler may
@@ -38,9 +53,35 @@ type processor struct {
 	leaves  map[NodeID]*leafRec   // keyed by the slot's Other endpoint
 	helpers map[NodeID]*helperRec // keyed by the slot's Other endpoint
 
-	// rep is the leader-side scratch for the repair this processor is
-	// currently coordinating (nil otherwise).
-	rep *repairState
+	// reps is the leader-side scratch, one per repair this processor is
+	// currently coordinating, keyed by epoch. Concurrent repairs of a
+	// batch may elect the same leader; the epoch tag on every message
+	// keeps their scratches separate.
+	reps map[NodeID]*repairState
+
+	// Batched-deletion transient state. dying marks a batch member
+	// awaiting its wave (it answers claim walks with conflict reports
+	// instead of participating); claims records which epoch claimed
+	// each of this processor's records during the batch's claim phase
+	// (the processor registers in claimers on first claim so the batch
+	// synchronizer can clear exactly the touched processors); batch is
+	// the coordinator-side conflict accumulator.
+	dying    bool
+	claims   map[addr]NodeID
+	claimers *dirtyList
+	batch    *batchScratch
+
+	// physLog accumulates this processor's pending physical-graph edits
+	// (see physEdit); dirty is where the processor registers itself on
+	// its first pending edit so the simulation drains only loggers.
+	physLog []physEdit
+	dirty   *dirtyList
+}
+
+// batchScratch is what the batch coordinator accumulates during the
+// claim phase: the set of conflicting epoch pairs.
+type batchScratch struct {
+	conflicts map[[2]NodeID]struct{}
 }
 
 // repairState is what the leader of a repair accumulates: announced
@@ -79,22 +120,22 @@ func (p *processor) handle(n *simnet.Network, m simnet.Message) {
 	case msgMarkDamaged:
 		p.onMarkDamaged(n, msg)
 	case msgRootAnnounce:
-		p.repair().addRoot(msg.Root)
+		p.repair(msg.Epoch).addRoot(msg.Root)
 	case msgFreshLeaf:
-		p.repair().addFreshLeaf(msg.Leaf)
+		p.repair(msg.Epoch).addFreshLeaf(msg.Leaf)
 	case msgKeyFound:
-		p.repair().setKey(msg.Comp, msg.Key)
+		p.repair(msg.Epoch).setKey(msg.Comp, msg.Key)
 	case msgKeyNone:
 		// The prefer-left descent dead-ended: the component stays
 		// keyless and sorts after every keyed one, as in core.
 	case msgDescriptor:
-		p.repair().addDescriptor(msg)
+		p.repair(msg.Epoch).addDescriptor(msg)
 	case msgStartKeys:
-		p.onStartKeys(n)
+		p.onStartKeys(n, msg.Epoch)
 	case msgStartStrip:
-		p.onStartStrip(n)
+		p.onStartStrip(n, msg.Epoch)
 	case msgStartMerge:
-		p.onStartMerge(n)
+		p.onStartMerge(n, msg.Epoch)
 	case msgKeyProbe:
 		p.onKeyProbe(n, msg)
 	case msgStripVisit:
@@ -103,22 +144,51 @@ func (p *processor) handle(n *simnet.Network, m simnet.Message) {
 		p.onCreateHelper(msg)
 	case msgSetParent:
 		p.onSetParent(msg)
+	case msgClaimDeath:
+		p.onClaimDeath(n, msg)
+	case msgClaimWalk:
+		p.onClaimWalk(n, msg)
+	case msgConflict:
+		p.batchState().addConflict(msg.A, msg.B)
 	default:
 		panic(fmt.Sprintf("dist: processor %d: unknown message %T", p.id, m.Payload))
 	}
 }
 
-// repair returns the leader scratch, allocating on first use (the
-// leader's own Death processing runs in the same round, before any
-// announcement can arrive).
-func (p *processor) repair() *repairState {
-	if p.rep == nil {
-		p.rep = &repairState{
+// repair returns the leader scratch for one epoch, allocating on first
+// use (the leader's own Death processing runs in the same round, before
+// any announcement can arrive).
+func (p *processor) repair(epoch NodeID) *repairState {
+	if p.reps == nil {
+		p.reps = make(map[NodeID]*repairState)
+	}
+	r, ok := p.reps[epoch]
+	if !ok {
+		r = &repairState{
 			roots: make(map[addr]struct{}),
 			comps: make(map[addr]*component),
 		}
+		p.reps[epoch] = r
 	}
-	return p.rep
+	return r
+}
+
+// batchState returns the coordinator scratch, allocating on first use.
+func (p *processor) batchState() *batchScratch {
+	if p.batch == nil {
+		p.batch = &batchScratch{conflicts: make(map[[2]NodeID]struct{})}
+	}
+	return p.batch
+}
+
+func (b *batchScratch) addConflict(a, c NodeID) {
+	if a == c {
+		return
+	}
+	if a > c {
+		a, c = c, a
+	}
+	b.conflicts[[2]NodeID{a, c}] = struct{}{}
 }
 
 func (r *repairState) addRoot(a addr) { r.roots[a] = struct{}{} }
@@ -150,6 +220,35 @@ func (r *repairState) addDescriptor(d msgDescriptor) {
 	c.descs = append(c.descs, d)
 }
 
+// logPhys appends a pending physical-graph edit for the tree-edge image
+// (p.id, peer). Self-images (a processor adjacent to a node it
+// simulates itself) collapse in the homomorphism and are not logged.
+func (p *processor) logPhys(add bool, peer NodeID) {
+	if peer == p.id {
+		return
+	}
+	if len(p.physLog) == 0 {
+		p.dirty.add(p)
+	}
+	p.physLog = append(p.physLog, physEdit{add: add, a: p.id, b: peer})
+}
+
+// clearParent empties a record's parent field, logging the lost
+// physical edge image if one was set.
+func (p *processor) clearLeafParent(l *leafRec) {
+	if l.parent.ok() {
+		p.logPhys(false, l.parent.Owner)
+		l.parent = addr{}
+	}
+}
+
+func (p *processor) clearHelperParent(h *helperRec) {
+	if h.parent.ok() {
+		p.logPhys(false, h.parent.Owner)
+		h.parent = addr{}
+	}
+}
+
 // onDeath runs at every physical neighbor of the deleted processor v:
 // detach every record link into v's vanished avatars, seed the damage
 // walks (a helper that lost a child no longer heads an intact subtree),
@@ -159,14 +258,15 @@ func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
 	v, leader := m.V, m.Leader
 	for o, l := range p.leaves {
 		if l.parent.ok() && l.parent.Owner == v {
-			l.parent = addr{}
-			n.Send(p.id, leader, msgRootAnnounce{Root: leafAddr(p.id, o)}, wordsRootAnnounce)
+			p.clearLeafParent(l)
+			n.Send(p.id, leader, msgRootAnnounce{Root: leafAddr(p.id, o), Epoch: v}, wordsRootAnnounce)
 		}
 	}
 	for o, h := range p.helpers {
 		lostParent, lostChild := false, false
 		if h.parent.ok() && h.parent.Owner == v {
-			h.parent, lostParent = addr{}, true
+			p.clearHelperParent(h)
+			lostParent = true
 		}
 		if h.left.ok() && h.left.Owner == v {
 			h.left, lostChild = addr{}, true
@@ -175,14 +275,14 @@ func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
 			h.right, lostChild = addr{}, true
 		}
 		if lostChild {
-			h.damaged = true
+			p.markDamaged(h, helperAddr(p.id, o), v)
 		}
 		switch {
 		case lostParent, lostChild && !h.parent.ok():
 			// Cut loose (or a damaged seed that already is a root).
-			n.Send(p.id, leader, msgRootAnnounce{Root: helperAddr(p.id, o)}, wordsRootAnnounce)
+			n.Send(p.id, leader, msgRootAnnounce{Root: helperAddr(p.id, o), Epoch: v}, wordsRootAnnounce)
 		case lostChild:
-			n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Leader: leader}, wordsMarkDamaged)
+			n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Epoch: v, Leader: leader}, wordsMarkDamaged)
 		}
 	}
 	if _, isNbr := p.nbrs[v]; isNbr {
@@ -190,24 +290,41 @@ func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
 			panic(fmt.Sprintf("dist: leaf avatar (%d,%d) already exists", p.id, v))
 		}
 		p.leaves[v] = &leafRec{}
-		n.Send(p.id, leader, msgFreshLeaf{Leaf: leafAddr(p.id, v)}, wordsFreshLeaf)
+		n.Send(p.id, leader, msgFreshLeaf{Leaf: leafAddr(p.id, v), Epoch: v}, wordsFreshLeaf)
 	}
 }
 
+// markDamaged sets the Breakflag for one epoch, panicking if a
+// different repair already holds it: concurrent repairs never share a
+// record (the batch claim phase serializes any two that would), so a
+// cross-epoch collision here is a conflict-detector bug, not a state to
+// recover from.
+func (p *processor) markDamaged(h *helperRec, self addr, epoch NodeID) {
+	if h.damaged && h.depoch != epoch {
+		panic(fmt.Sprintf("dist: helper %v double-stripped: damaged by concurrent epochs %d and %d",
+			self, h.depoch, epoch))
+	}
+	h.damaged, h.depoch = true, epoch
+}
+
 // onMarkDamaged continues a damage walk through this processor's helper
-// record, stopping at nodes already marked (another walk passed by) and
-// announcing the fragment root at the top.
+// record, stopping at nodes already marked (another walk of the same
+// repair passed by) and announcing the fragment root at the top.
 func (p *processor) onMarkDamaged(n *simnet.Network, m msgMarkDamaged) {
 	h := p.mustHelper(m.Target)
 	if h.damaged {
+		if h.depoch != m.Epoch {
+			panic(fmt.Sprintf("dist: helper %v double-stripped: damaged by concurrent epochs %d and %d",
+				m.Target, h.depoch, m.Epoch))
+		}
 		return
 	}
-	h.damaged = true
+	h.damaged, h.depoch = true, m.Epoch
 	if h.parent.ok() {
-		n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Leader: m.Leader}, wordsMarkDamaged)
+		n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Epoch: m.Epoch, Leader: m.Leader}, wordsMarkDamaged)
 		return
 	}
-	n.Send(p.id, m.Leader, msgRootAnnounce{Root: m.Target}, wordsRootAnnounce)
+	n.Send(p.id, m.Leader, msgRootAnnounce{Root: m.Target, Epoch: m.Epoch}, wordsRootAnnounce)
 }
 
 // sortedRoots returns the announced fragment roots in deterministic
@@ -222,13 +339,14 @@ func (r *repairState) sortedRoots() []addr {
 }
 
 // onStartKeys (leader): launch one prefer-left key probe per announced
-// fragment root.
-func (p *processor) onStartKeys(n *simnet.Network) {
-	if p.rep == nil {
+// fragment root of the given repair.
+func (p *processor) onStartKeys(n *simnet.Network, epoch NodeID) {
+	rs := p.reps[epoch]
+	if rs == nil {
 		return
 	}
-	for _, root := range p.rep.sortedRoots() {
-		n.Send(p.id, root.Owner, msgKeyProbe{Comp: root, Target: root, Leader: p.id}, wordsKeyProbe)
+	for _, root := range rs.sortedRoots() {
+		n.Send(p.id, root.Owner, msgKeyProbe{Comp: root, Target: root, Epoch: epoch, Leader: p.id}, wordsKeyProbe)
 	}
 }
 
@@ -239,7 +357,7 @@ func (p *processor) onStartKeys(n *simnet.Network) {
 func (p *processor) onKeyProbe(n *simnet.Network, m msgKeyProbe) {
 	if m.Target.Kind == kindLeaf {
 		p.mustLeaf(m.Target)
-		n.Send(p.id, m.Leader, msgKeyFound{Comp: m.Comp, Key: m.Target.slot()}, wordsKeyFound)
+		n.Send(p.id, m.Leader, msgKeyFound{Comp: m.Comp, Key: m.Target.slot(), Epoch: m.Epoch}, wordsKeyFound)
 		return
 	}
 	h := p.mustHelper(m.Target)
@@ -248,20 +366,21 @@ func (p *processor) onKeyProbe(n *simnet.Network, m msgKeyProbe) {
 		next = h.right
 	}
 	if !next.ok() {
-		n.Send(p.id, m.Leader, msgKeyNone{Comp: m.Comp}, wordsKeyNone)
+		n.Send(p.id, m.Leader, msgKeyNone{Comp: m.Comp, Epoch: m.Epoch}, wordsKeyNone)
 		return
 	}
-	n.Send(p.id, next.Owner, msgKeyProbe{Comp: m.Comp, Target: next, Leader: m.Leader}, wordsKeyProbe)
+	n.Send(p.id, next.Owner, msgKeyProbe{Comp: m.Comp, Target: next, Epoch: m.Epoch, Leader: m.Leader}, wordsKeyProbe)
 }
 
 // onStartStrip (leader): start the distributed strip at every fragment
-// root.
-func (p *processor) onStartStrip(n *simnet.Network) {
-	if p.rep == nil {
+// root of the given repair.
+func (p *processor) onStartStrip(n *simnet.Network, epoch NodeID) {
+	rs := p.reps[epoch]
+	if rs == nil {
 		return
 	}
-	for _, root := range p.rep.sortedRoots() {
-		n.Send(p.id, root.Owner, msgStripVisit{Comp: root, Target: root, Leader: p.id}, wordsStripVisit)
+	for _, root := range rs.sortedRoots() {
+		n.Send(p.id, root.Owner, msgStripVisit{Comp: root, Target: root, Epoch: epoch, Leader: p.id}, wordsStripVisit)
 	}
 }
 
@@ -273,19 +392,23 @@ func (p *processor) onStartStrip(n *simnet.Network) {
 func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
 	report := func(leafCount, height int, rep slot) {
 		n.Send(p.id, m.Leader, msgDescriptor{
-			Comp: m.Comp, Depth: m.Depth, Path: m.Path,
+			Comp: m.Comp, Depth: m.Depth, Path: m.Path, Epoch: m.Epoch,
 			Node: m.Target, LeafCount: leafCount, Height: height, Rep: rep,
 		}, wordsDescriptor)
 	}
 	if m.Target.Kind == kindLeaf {
 		l := p.mustLeaf(m.Target)
-		l.parent = addr{}
+		p.clearLeafParent(l)
 		report(1, 0, m.Target.slot())
 		return
 	}
 	h := p.mustHelper(m.Target)
+	if h.damaged && h.depoch != m.Epoch {
+		panic(fmt.Sprintf("dist: helper %v stripped by epoch %d while damaged by epoch %d",
+			m.Target, m.Epoch, h.depoch))
+	}
 	if !h.damaged && h.leafCount == 1<<uint(h.height) {
-		h.parent = addr{}
+		p.clearHelperParent(h)
 		report(h.leafCount, h.height, h.rep)
 		return
 	}
@@ -293,6 +416,7 @@ func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
 	// Lemma 3.2 — its slot may be re-chosen for a new helper this very
 	// repair, and the quiescence barrier between the strip and merge
 	// phases guarantees the retirement lands first.
+	p.clearHelperParent(h)
 	delete(p.helpers, m.Target.Other)
 	for dir, c := range [2]addr{h.left, h.right} {
 		if !c.ok() {
@@ -301,6 +425,7 @@ func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
 		n.Send(p.id, c.Owner, msgStripVisit{
 			Comp: m.Comp, Target: c,
 			Depth: m.Depth + 1, Path: m.Path<<1 | uint64(dir),
+			Epoch:  m.Epoch,
 			Leader: m.Leader,
 		}, wordsStripVisit)
 	}
@@ -316,15 +441,89 @@ func (p *processor) onCreateHelper(m msgCreateHelper) {
 		parent: m.Parent, left: m.Left, right: m.Right,
 		height: m.Height, leafCount: m.LeafCount, rep: m.Rep,
 	}
+	if m.Parent.ok() {
+		p.logPhys(true, m.Parent.Owner)
+	}
 }
 
 // onSetParent re-parents one of this processor's existing nodes.
 func (p *processor) onSetParent(m msgSetParent) {
 	if m.Target.Kind == kindLeaf {
-		p.mustLeaf(m.Target).parent = m.Parent
+		l := p.mustLeaf(m.Target)
+		p.clearLeafParent(l)
+		l.parent = m.Parent
+	} else {
+		h := p.mustHelper(m.Target)
+		p.clearHelperParent(h)
+		h.parent = m.Parent
+	}
+	if m.Parent.ok() {
+		p.logPhys(true, m.Parent.Owner)
+	}
+}
+
+// claim records that epoch e's repair will touch record a, reporting a
+// conflict to the batch coordinator when another epoch got there first.
+// It returns false when the claim walk should stop here (the record was
+// already claimed, by anyone).
+func (p *processor) claim(n *simnet.Network, a addr, e, coord NodeID) bool {
+	if p.claims == nil {
+		p.claims = make(map[addr]NodeID)
+		p.claimers.add(p)
+	}
+	if prev, ok := p.claims[a]; ok {
+		if prev != e {
+			n.Send(p.id, coord, msgConflict{A: prev, B: e}, wordsConflict)
+		}
+		return false
+	}
+	p.claims[a] = e
+	return true
+}
+
+// onClaimDeath is the read-only mirror of onDeath: claim every record
+// the deletion of V would cut loose or damage, and launch claim walks
+// along the paths the damage walks would ascend. Nothing mutates; the
+// only outputs are claim marks and conflict reports.
+func (p *processor) onClaimDeath(n *simnet.Network, m msgClaimDeath) {
+	v, coord := m.V, m.Coord
+	for o, l := range p.leaves {
+		if l.parent.ok() && l.parent.Owner == v {
+			p.claim(n, leafAddr(p.id, o), v, coord)
+		}
+	}
+	for o, h := range p.helpers {
+		lostParent := h.parent.ok() && h.parent.Owner == v
+		lostChild := (h.left.ok() && h.left.Owner == v) || (h.right.ok() && h.right.Owner == v)
+		if !lostParent && !lostChild {
+			continue
+		}
+		self := helperAddr(p.id, o)
+		cont := p.claim(n, self, v, coord)
+		// The damage walk ascends only from nodes that lost a child and
+		// still have a parent; mirror exactly that.
+		if cont && lostChild && !lostParent && h.parent.ok() {
+			n.Send(p.id, h.parent.Owner, msgClaimWalk{Target: h.parent, Epoch: v, Coord: coord}, wordsClaimWalk)
+		}
+	}
+}
+
+// onClaimWalk ascends one parent link in claim mode. Walking into a
+// dying processor (another batch member awaiting its own wave) exposes
+// a dependence between the two repairs, exactly as the execution-time
+// walk would have found its avatar missing.
+func (p *processor) onClaimWalk(n *simnet.Network, m msgClaimWalk) {
+	if p.dying {
+		n.Send(p.id, m.Coord, msgConflict{A: p.id, B: m.Epoch}, wordsConflict)
 		return
 	}
-	p.mustHelper(m.Target).parent = m.Parent
+	h := p.mustHelper(m.Target)
+	if !p.claim(n, m.Target, m.Epoch, m.Coord) {
+		return
+	}
+	if h.parent.ok() {
+		n.Send(p.id, h.parent.Owner, msgClaimWalk{Target: h.parent, Epoch: m.Epoch, Coord: m.Coord}, wordsClaimWalk)
+	}
 }
 
 func (p *processor) mustLeaf(a addr) *leafRec {

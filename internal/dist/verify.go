@@ -7,45 +7,14 @@ import (
 	"repro/internal/haft"
 )
 
-// Physical returns the current actual network G_T: live G′ edges plus
-// the Reconstruction Tree edges mapped onto the simulating processors,
-// with self-loops and parallel edges collapsed — the same homomorphic
-// image core.Engine.Physical computes from its pointer structure. The
-// caller owns the returned graph.
-func (s *Simulation) Physical() *graph.Graph {
-	g := graph.New()
-	for v := range s.alive {
-		g.AddNode(v)
-	}
-	for v := range s.alive {
-		s.gprime.EachNeighbor(v, func(x NodeID) {
-			if _, live := s.alive[x]; live {
-				g.AddEdge(v, x)
-			}
-		})
-	}
-	for id, p := range s.procs {
-		for _, l := range p.leaves {
-			if l.parent.ok() && l.parent.Owner != id {
-				g.AddEdge(id, l.parent.Owner)
-			}
-		}
-		for _, h := range p.helpers {
-			if h.parent.ok() && h.parent.Owner != id {
-				g.AddEdge(id, h.parent.Owner)
-			}
-		}
-	}
-	return g
-}
-
 // Verify revalidates the entire distributed state from scratch: record
 // consistency (every tree link mutual, no dangling addresses, no
-// leftover repair flags), the virtual-graph invariants core checks
-// (leaf characterization, helper-per-slot, valid hafts with the right
-// helper census, representative correctness), the hard degree bound,
-// and connectivity equivalence with G′. A healthy network always
-// returns nil.
+// leftover repair flags or batch scratch), the virtual-graph invariants
+// core checks (leaf characterization, helper-per-slot, valid hafts with
+// the right helper census, representative correctness), the
+// incrementally maintained physical graph against a from-scratch
+// reconstruction, the hard degree bound, and connectivity equivalence
+// with G′. A healthy network always returns nil.
 func (s *Simulation) Verify() error {
 	// Record-level checks and global index.
 	idx := make(map[addr]*haft.Node)
@@ -53,8 +22,20 @@ func (s *Simulation) Verify() error {
 		if _, live := s.alive[id]; !live {
 			return fmt.Errorf("dist: processor %d has records but is not alive", id)
 		}
-		if p.rep != nil {
+		if len(p.reps) != 0 {
 			return fmt.Errorf("dist: processor %d holds leftover repair scratch", id)
+		}
+		if p.dying {
+			return fmt.Errorf("dist: processor %d still marked dying", id)
+		}
+		if p.claims != nil {
+			return fmt.Errorf("dist: processor %d holds leftover claim marks", id)
+		}
+		if p.batch != nil {
+			return fmt.Errorf("dist: processor %d holds leftover batch coordinator scratch", id)
+		}
+		if len(p.physLog) != 0 {
+			return fmt.Errorf("dist: processor %d holds undrained physical-graph edits", id)
 		}
 		for o := range p.leaves {
 			if !s.gprime.HasEdge(id, o) {
@@ -196,8 +177,14 @@ func (s *Simulation) Verify() error {
 		}
 	}
 
-	// Hard degree bound and connectivity equivalence with G′.
-	phys := s.Physical()
+	// The incrementally maintained physical graph must match the
+	// from-scratch reconstruction, then satisfy the hard degree bound
+	// and connectivity equivalence with G′. The checks below only read,
+	// so the maintained graph is used directly, no snapshot.
+	if err := s.checkPhysIncremental(); err != nil {
+		return err
+	}
+	phys := s.phys
 	for v := range s.alive {
 		dp := s.gprime.Degree(v)
 		if got := phys.Degree(v); got > 4*dp {

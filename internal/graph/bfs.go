@@ -29,6 +29,26 @@ func (g *Graph) BFS(src NodeID) map[NodeID]int {
 	return dist
 }
 
+// BFSOrder returns the vertices reachable from src in breadth-first
+// order, src first, visiting each frontier's neighbors in ascending ID
+// order so that the result is deterministic. An absent src yields nil.
+func (g *Graph) BFSOrder(src NodeID) []NodeID {
+	if !g.HasNode(src) {
+		return nil
+	}
+	seen := map[NodeID]struct{}{src: {}}
+	order := []NodeID{src}
+	for i := 0; i < len(order); i++ {
+		for _, v := range g.Neighbors(order[i]) {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				order = append(order, v)
+			}
+		}
+	}
+	return order
+}
+
 // Distance returns the hop distance between u and v, or Unreachable if no
 // path exists (or either endpoint is absent). It runs a bidirectional-free
 // plain BFS from u, stopping early when v is settled.

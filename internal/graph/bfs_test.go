@@ -213,3 +213,21 @@ func TestAllPairsDistancesAgainstFloydWarshall(t *testing.T) {
 		}
 	}
 }
+
+func TestBFSOrder(t *testing.T) {
+	g := Grid(3, 3) // ids 0..8, row-major
+	order := g.BFSOrder(4)
+	if len(order) != 9 || order[0] != 4 {
+		t.Fatalf("BFSOrder(4) = %v", order)
+	}
+	dist := g.BFS(4)
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if dist[a] > dist[b] || (dist[a] == dist[b] && a > b) {
+			t.Fatalf("BFSOrder(4) not breadth-first ascending: %v", order)
+		}
+	}
+	if g.BFSOrder(99) != nil {
+		t.Fatal("BFSOrder of an absent vertex must be nil")
+	}
+}

@@ -85,6 +85,12 @@ func Experiments() []Experiment {
 			Run:   expLocality,
 		},
 		{
+			ID:    "EXP-BATCH",
+			Title: "Batched concurrent deletions (churn throughput)",
+			Claim: "repairs of independent regions overlap: rounds track serialization depth, not batch size",
+			Run:   expBatch,
+		},
+		{
 			ID:    "EXP-RTDEPTH",
 			Title: "Reconstruction Tree depth (Lemma 1, dynamically)",
 			Claim: "every RT produced by a repair has depth ceil(log2 leaves)",

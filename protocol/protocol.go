@@ -83,6 +83,43 @@ func (n *Network) Insert(v NodeID, nbrs []NodeID) error {
 // quiescence.
 func (n *Network) Delete(v NodeID) error { return n.s.Delete(graph.NodeID(v)) }
 
+// BatchCost reports the measured cost of one batched deletion.
+type BatchCost struct {
+	// Batch is the number of deletions; Groups how many independent
+	// conflict groups they formed (repairs of distinct groups ran
+	// concurrently); Waves the serialization depth; Conflicts the
+	// number of conflicting repair pairs detected.
+	Batch     int
+	Groups    int
+	Waves     int
+	Conflicts int
+	// Messages and Rounds cover the whole batch, including the
+	// conflict-discovery claim phase.
+	Messages int
+	Rounds   int
+}
+
+// DeleteBatch removes several processors at once, overlapping the
+// repairs of independent damaged regions; repairs whose regions
+// collide serialize automatically. The healed graph is identical to
+// deleting the nodes one at a time in ascending order.
+func (n *Network) DeleteBatch(vs []NodeID) error {
+	conv := make([]graph.NodeID, len(vs))
+	for i, v := range vs {
+		conv[i] = graph.NodeID(v)
+	}
+	return n.s.DeleteBatch(conv)
+}
+
+// LastBatch returns the cost of the most recent DeleteBatch call.
+func (n *Network) LastBatch() BatchCost {
+	b := n.s.LastBatch()
+	return BatchCost{
+		Batch: b.Batch, Groups: b.Groups, Waves: b.Waves,
+		Conflicts: b.Conflicts, Messages: b.Messages, Rounds: b.Rounds,
+	}
+}
+
 // LastRepair returns the cost of the most recent deletion's repair.
 func (n *Network) LastRepair() RepairCost {
 	r := n.s.LastRecovery()

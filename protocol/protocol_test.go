@@ -94,3 +94,43 @@ func TestParallelToggle(t *testing.T) {
 		t.Fatalf("modes diverge: %+v vs %+v", a, b)
 	}
 }
+
+func TestDeleteBatch(t *testing.T) {
+	// Two stars joined by a long path: the two hubs damage disjoint
+	// regions, so their repairs overlap in a single wave.
+	var edges []Edge
+	for i := 1; i < 8; i++ {
+		edges = append(edges, Edge{U: 100, V: NodeID(100 + i)})
+		edges = append(edges, Edge{U: 200, V: NodeID(200 + i)})
+	}
+	edges = append(edges, Edge{U: 101, V: 150}, Edge{U: 150, V: 151},
+		Edge{U: 151, V: 152}, Edge{U: 152, V: 201})
+	net, err := New(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.DeleteBatch([]NodeID{100, 200}); err != nil {
+		t.Fatal(err)
+	}
+	bc := net.LastBatch()
+	if bc.Batch != 2 || bc.Groups != 2 || bc.Waves != 1 {
+		t.Fatalf("batch cost = %+v, want 2 deletions in 2 groups, 1 wave", bc)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Colliding pair: a hub and its ray serialize into 2 waves.
+	net2, err := New(star(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net2.DeleteBatch([]NodeID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if bc := net2.LastBatch(); bc.Groups != 1 || bc.Waves != 2 {
+		t.Fatalf("hub+ray batch cost = %+v, want 1 group, 2 waves", bc)
+	}
+	if err := net2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
