@@ -42,6 +42,7 @@ func BenchmarkExpCompare(b *testing.B)  { benchExperiment(b, "EXP-COMPARE") }
 func BenchmarkExpChurn(b *testing.B)    { benchExperiment(b, "EXP-CHURN") }
 func BenchmarkExpLocality(b *testing.B) { benchExperiment(b, "EXP-LOCALITY") }
 func BenchmarkExpBatch(b *testing.B)    { benchExperiment(b, "EXP-BATCH") }
+func BenchmarkExpBW(b *testing.B)       { benchExperiment(b, "EXP-BW") }
 func BenchmarkExpRTDepth(b *testing.B)  { benchExperiment(b, "EXP-RTDEPTH") }
 func BenchmarkExpAblate(b *testing.B)   { benchExperiment(b, "EXP-ABLATE") }
 func BenchmarkExpSpan(b *testing.B)     { benchExperiment(b, "EXP-SPAN") }

@@ -1,0 +1,223 @@
+// Command benchcheck compares `go test -bench` output against the
+// recorded baseline in BENCH_dist.json and fails on regressions. It is
+// the CI gate for the perf numbers the repo publishes: wall-time
+// (ns/op) may drift with runner noise, so it gets a loose tolerance;
+// protocol message counts are deterministic under a pinned -benchtime,
+// so they get a tight one.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchtime=50x ./internal/dist | \
+//	    benchcheck -baseline BENCH_dist.json [-ns-tol 0.30] [-msgs-tol 0.05]
+//
+// Baseline benchmarks absent from the input are skipped (the CI job
+// runs a subset); input benchmarks absent from the baseline are
+// reported so a missing re-record is visible. At least one comparison
+// must happen or the check fails.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_dist.json", "baseline JSON file")
+		inputPath    = flag.String("input", "-", "bench output to check (- = stdin)")
+		nsTol        = flag.Float64("ns-tol", 0.30, "allowed fractional ns/op regression")
+		msgsTol      = flag.Float64("msgs-tol", 0.05, "allowed fractional message-count regression")
+	)
+	flag.Parse()
+
+	baseline, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var input io.Reader = os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+	if err := check(baseline, input, *nsTol, *msgsTol, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+	os.Exit(1)
+}
+
+// baselineFile mirrors BENCH_dist.json: metadata plus one metrics
+// object per benchmark. Metric fields beyond "name" are numeric and
+// compared by key.
+type baselineFile struct {
+	Benchmarks []map[string]any `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output:
+// name, iteration count, then (value, unit) pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.+)$`)
+
+// parseBench extracts name -> metric key -> value from bench output.
+// The trailing -N GOMAXPROCS suffix is stripped from names; units map
+// to the baseline's snake_case keys (ns/op -> ns_per_op, msgs/batch ->
+// msgs_per_batch, B/op -> bytes_per_op, ...).
+func parseBench(r io.Reader) (map[string]map[string]float64, []string, error) {
+	out := make(map[string]map[string]float64)
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		fields := strings.Fields(m[2])
+		if len(fields)%2 != 0 {
+			return nil, nil, fmt.Errorf("odd metric fields in %q", sc.Text())
+		}
+		metrics := make(map[string]float64, len(fields)/2)
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad value %q in %q", fields[i], sc.Text())
+			}
+			metrics[metricKey(fields[i+1])] = v
+		}
+		if _, dup := out[name]; !dup {
+			order = append(order, name)
+		}
+		out[name] = metrics
+	}
+	return out, order, sc.Err()
+}
+
+func metricKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	default:
+		return strings.ReplaceAll(unit, "/", "_per_")
+	}
+}
+
+// tolerance returns the allowed fractional deviation for a metric key
+// and whether the check is two-sided. ns/op is one-sided (faster is
+// fine, runners are noisy); message counts are deterministic protocol
+// properties, so moving in *either* direction beyond tolerance means
+// the protocol changed and the baseline is stale. Informational
+// metrics return -1.
+func tolerance(key string, nsTol, msgsTol float64) (tol float64, twoSided bool) {
+	switch {
+	case key == "ns_per_op":
+		return nsTol, false
+	case strings.HasPrefix(key, "msgs_"):
+		return msgsTol, true
+	default:
+		return -1, false
+	}
+}
+
+func check(baseline []byte, input io.Reader, nsTol, msgsTol float64, out io.Writer) error {
+	var base baselineFile
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	got, _, err := parseBench(input)
+	if err != nil {
+		return fmt.Errorf("parsing bench output: %w", err)
+	}
+
+	compared := 0
+	var failures []string
+	covered := make(map[string]bool)
+	for _, entry := range base.Benchmarks {
+		name, _ := entry["name"].(string)
+		if name == "" {
+			return fmt.Errorf("baseline entry without name: %v", entry)
+		}
+		cur, ran := got[name]
+		if !ran {
+			fmt.Fprintf(out, "skip  %-40s not in this run\n", name)
+			continue
+		}
+		covered[name] = true
+		keys := make([]string, 0, len(entry))
+		for k := range entry {
+			if k != "name" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			want, ok := entry[key].(float64)
+			if !ok {
+				continue // non-numeric metadata
+			}
+			tol, twoSided := tolerance(key, nsTol, msgsTol)
+			if tol < 0 {
+				continue
+			}
+			have, ok := cur[key]
+			if !ok {
+				failures = append(failures,
+					fmt.Sprintf("%s: metric %s in baseline but missing from run", name, key))
+				continue
+			}
+			compared++
+			upper := want * (1 + tol)
+			lower := want * (1 - tol)
+			status := "ok  "
+			switch {
+			case have > upper:
+				status = "FAIL"
+				failures = append(failures,
+					fmt.Sprintf("%s: %s regressed: %.4g > baseline %.4g (+%.0f%% allowed)",
+						name, key, have, want, 100*tol))
+			case twoSided && have < lower:
+				status = "FAIL"
+				failures = append(failures,
+					fmt.Sprintf("%s: %s deviates below baseline: %.4g < %.4g (±%.0f%%; deterministic counts moving either way mean the protocol changed — re-record the baseline)",
+						name, key, have, want, 100*tol))
+			}
+			fmt.Fprintf(out, "%s  %-40s %-18s %12.4g  baseline %12.4g  limit %12.4g\n",
+				status, name, key, have, want, upper)
+		}
+	}
+	for name := range got {
+		if !covered[name] {
+			fmt.Fprintf(out, "note  %-40s has no baseline (add it to the JSON on the next re-record)\n", name)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark overlapped the baseline — wrong -bench filter or stale names")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(out, "benchcheck: %d comparisons passed\n", compared)
+	return nil
+}

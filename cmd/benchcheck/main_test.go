@@ -1,0 +1,107 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseline = `{
+  "benchmarks": [
+    {"name": "BenchmarkBatchedDelete/k=1", "ns_per_op": 40000, "msgs_per_batch": 20.0, "rounds_per_batch": 6.0},
+    {"name": "BenchmarkBandwidthRepair/B=1", "ns_per_op": 300000, "msgs_per_repair": 400.0},
+    {"name": "BenchmarkPhysicalSnapshot/incremental", "ns_per_op": 1000000}
+  ]
+}`
+
+func run(t *testing.T, input string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := check([]byte(baseline), strings.NewReader(input), 0.30, 0.05, &out)
+	return out.String(), err
+}
+
+func TestPassesWithinTolerance(t *testing.T) {
+	out, err := run(t, `
+goos: linux
+BenchmarkBatchedDelete/k=1-8    50    45000 ns/op    20.5 msgs/batch    6.000 rounds/batch    12000 B/op    150 allocs/op
+BenchmarkBandwidthRepair/B=1-8  50    310000 ns/op   400.0 msgs/repair
+PASS
+`)
+	if err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "skip") || !strings.Contains(out, "BenchmarkPhysicalSnapshot/incremental") {
+		t.Fatalf("baseline not in run was not reported as skipped:\n%s", out)
+	}
+}
+
+func TestFailsOnNsRegression(t *testing.T) {
+	// 40000 * 1.30 = 52000; 60000 is a regression.
+	out, err := run(t, `
+BenchmarkBatchedDelete/k=1-8    50    60000 ns/op    20.0 msgs/batch
+`)
+	if err == nil {
+		t.Fatalf("synthetic ns/op regression passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "ns_per_op regressed") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+}
+
+func TestFailsOnMessageRegression(t *testing.T) {
+	// 20 * 1.05 = 21; 22 messages is a protocol regression even though
+	// the wall time improved.
+	out, err := run(t, `
+BenchmarkBatchedDelete/k=1-8    50    30000 ns/op    22.0 msgs/batch
+`)
+	if err == nil {
+		t.Fatalf("synthetic message-count regression passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "msgs_per_batch regressed") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+}
+
+func TestFailsOnMissingMetric(t *testing.T) {
+	out, err := run(t, `
+BenchmarkBatchedDelete/k=1-8    50    30000 ns/op
+`)
+	if err == nil {
+		t.Fatalf("run missing a gated baseline metric passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "missing from run") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+}
+
+func TestFailsOnNoOverlap(t *testing.T) {
+	if _, err := run(t, "BenchmarkSomethingElse-8  10  5 ns/op\n"); err == nil {
+		t.Fatal("zero-overlap run passed: the gate would be vacuous")
+	}
+}
+
+func TestImprovementsPass(t *testing.T) {
+	// Faster wall time passes outright; message counts may drift only
+	// within the two-sided tolerance.
+	out, err := run(t, `
+BenchmarkBatchedDelete/k=1-8    50    20000 ns/op    19.5 msgs/batch
+BenchmarkBandwidthRepair/B=1-8  50    200000 ns/op   399.0 msgs/repair
+`)
+	if err != nil {
+		t.Fatalf("improvement flagged as regression: %v\n%s", err, out)
+	}
+}
+
+func TestFailsOnMessageDeviationBelow(t *testing.T) {
+	// 20 * 0.95 = 19; a drop to 15 means the protocol silently stopped
+	// doing work the baseline records — stale baseline, not a win.
+	out, err := run(t, `
+BenchmarkBatchedDelete/k=1-8    50    30000 ns/op    15.0 msgs/batch
+`)
+	if err == nil {
+		t.Fatalf("deterministic message count fell 25%% and passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "deviates below baseline") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+}

@@ -30,11 +30,12 @@ func main() {
 
 func run() error {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		quick  = flag.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
-		seed   = flag.Int64("seed", 42, "random seed for every sweep")
-		csvDir = flag.String("csv", "", "directory to write per-table CSV files")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		runIDs    = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick     = flag.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
+		seed      = flag.Int64("seed", 42, "random seed for every sweep")
+		csvDir    = flag.String("csv", "", "directory to write per-table CSV files")
+		bandwidth = flag.Int("bandwidth", 0, "extra per-edge cap (words/round) for the EXP-BW sweep")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func run() error {
 		}
 	}
 
-	opts := harness.Options{Quick: *quick, Seed: *seed}
+	opts := harness.Options{Quick: *quick, Seed: *seed, Bandwidth: *bandwidth}
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("### %s — %s\n", e.ID, e.Title)

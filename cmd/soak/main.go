@@ -10,11 +10,18 @@
 // independent repairs; core.Engine.DeleteBatch as the sequential
 // reference), with the burst shape picked by -batch-strategy.
 //
+// With -dist -bandwidth B, every network edge carries at most B
+// message-words per round (the congestion model): repairs heal to the
+// same graph, only rounds and the congestion counters change, which
+// the soak reports at the end. -no-spread disables the repair leader's
+// paced instruction bursts for comparison.
+//
 // Usage:
 //
 //	soak [-n N] [-topology NAME] [-steps K] [-seed S] [-insert-p P]
 //	     [-check-every C] [-dist] [-parallel]
 //	     [-batch K] [-batch-strategy random|disjoint|colliding]
+//	     [-bandwidth B] [-no-spread]
 package main
 
 import (
@@ -50,6 +57,8 @@ func run() error {
 		parallel  = flag.Bool("parallel", false, "with -dist: goroutine-per-processor delivery")
 		batchK    = flag.Int("batch", 1, "deletions per burst (1 = single-deletion path)")
 		batchName = flag.String("batch-strategy", "random", "burst shape: random, disjoint, or colliding")
+		bandwidth = flag.Int("bandwidth", 0, "with -dist: per-edge cap in words/round (0 = unlimited)")
+		noSpread  = flag.Bool("no-spread", false, "with -bandwidth: disable the leader's paced instruction bursts")
 	)
 	flag.Parse()
 
@@ -64,10 +73,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *bandwidth < 0 {
+		return fmt.Errorf("-bandwidth must be >= 0, got %d", *bandwidth)
+	}
+	if *bandwidth > 0 && !*useDist {
+		return fmt.Errorf("-bandwidth applies to the distributed protocol only; add -dist")
+	}
+	if *noSpread && *bandwidth == 0 {
+		return fmt.Errorf("-no-spread only matters under a finite bandwidth; add -bandwidth")
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	g0 := gen(*n, rng)
-	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v batch=%d strategy=%s\n",
-		*topology, g0.NumNodes(), *steps, *seed, *useDist, *parallel, *batchK, batchStrat.Name())
+	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v batch=%d strategy=%s bandwidth=%d spread=%v\n",
+		*topology, g0.NumNodes(), *steps, *seed, *useDist, *parallel, *batchK, batchStrat.Name(),
+		*bandwidth, !*noSpread)
 
 	var (
 		target soakTarget
@@ -75,6 +94,8 @@ func run() error {
 	if *useDist {
 		s := dist.NewSimulation(g0)
 		s.SetParallel(*parallel)
+		s.SetBandwidth(*bandwidth)
+		s.SetSpread(!*noSpread)
 		target = distTarget{s}
 	} else {
 		target = engineTarget{core.NewEngine(g0)}
@@ -96,6 +117,7 @@ func run() error {
 	repairMsgs := metrics.NewHistogram(0, 400, 20)
 	batchWaves := metrics.NewHistogram(0, float64(*batchK)+0.25, *batchK+1)
 	degRatios := metrics.NewHistogram(0, 4.25, 17)
+	var cong metrics.Congestion
 	start := time.Now()
 	deletions, batches := 0, 0
 	for step := 1; step <= *steps; step++ {
@@ -124,6 +146,7 @@ func run() error {
 				msgs, waves := target.LastBatchCost()
 				repairMsgs.Observe(float64(msgs))
 				batchWaves.Observe(float64(waves))
+				cong = cong.Merge(target.LastCongestion(true))
 			}
 		} else {
 			op, ok := churn.Next(target, rng, alloc)
@@ -141,6 +164,7 @@ func run() error {
 				}
 				deletions++
 				repairMsgs.Observe(float64(target.LastRepairMessages()))
+				cong = cong.Merge(target.LastCongestion(false))
 			}
 		}
 		if step%*checkEvy == 0 {
@@ -176,6 +200,11 @@ func run() error {
 	}
 	fmt.Println("max degree ratio at checkpoints:")
 	fmt.Println(degRatios.Render(40))
+	if *bandwidth > 0 {
+		fmt.Printf("congestion at B=%d: %d congested of %d repair rounds (%.1f%%), max edge backlog %d words, %d queued word-rounds\n",
+			*bandwidth, cong.CongestionRounds, cong.Rounds, 100*cong.CongestedFrac(),
+			cong.MaxEdgeBacklog, cong.QueuedWords)
+	}
 	return nil
 }
 
@@ -191,6 +220,10 @@ type soakTarget interface {
 	// LastBatchCost returns the messages and serialization waves of the
 	// most recent batch.
 	LastBatchCost() (msgs, waves int)
+	// LastCongestion returns the congestion counters of the most recent
+	// batch (batch true) or single deletion (batch false); zero for the
+	// engine and under unlimited bandwidth.
+	LastCongestion(batch bool) metrics.Congestion
 }
 
 type engineTarget struct{ e *core.Engine }
@@ -206,6 +239,9 @@ func (t engineTarget) DeleteBatch(vs []graph.NodeID) error { return t.e.DeleteBa
 func (t engineTarget) Validate() error                     { return t.e.CheckInvariants() }
 func (t engineTarget) LastRepairMessages() int             { return 0 }
 func (t engineTarget) LastBatchCost() (int, int)           { return 0, t.e.LastBatchRepair().Batch }
+func (t engineTarget) LastCongestion(bool) metrics.Congestion {
+	return metrics.Congestion{}
+}
 
 type distTarget struct{ s *dist.Simulation }
 
@@ -222,4 +258,13 @@ func (t distTarget) LastRepairMessages() int             { return t.s.LastRecove
 func (t distTarget) LastBatchCost() (int, int) {
 	bs := t.s.LastBatch()
 	return bs.Messages, bs.Waves
+}
+func (t distTarget) LastCongestion(batch bool) metrics.Congestion {
+	var c metrics.Congestion
+	if batch {
+		bs := t.s.LastBatch()
+		return c.Add(bs.QueuedWords, bs.MaxEdgeBacklog, bs.CongestionRounds, bs.Rounds)
+	}
+	rs := t.s.LastRecovery()
+	return c.Add(rs.QueuedWords, rs.MaxEdgeBacklog, rs.CongestionRounds, rs.Rounds)
 }

@@ -142,6 +142,48 @@ func (RTTargetDelete) Next(v View, _ *rand.Rand, _ func() NodeID) (Op, bool) {
 	return Op{V: best}, true
 }
 
+// HubBacklogDelete targets the live node whose repair maximizes
+// per-edge backlog under finite bandwidth. Every physical neighbor of
+// the victim answers the death notification with record traffic —
+// fresh-leaf and fragment-root announcements — that funnels into the
+// repair leader's incident edges within the same rounds, and a
+// neighbor holding several records that reference the victim (its leaf
+// avatar plus helpers, accumulated by earlier deletions) stacks
+// multiple messages on one edge. The score is therefore the victim's
+// physical degree plus its count of already-dead G′ neighbors (each
+// one a slot whose records amplify the fan-in); ties break toward the
+// smallest ID so runs are deterministic.
+type HubBacklogDelete struct{}
+
+// Name implements Adversary.
+func (HubBacklogDelete) Name() string { return "hub-backlog-delete" }
+
+// Next implements Adversary.
+func (HubBacklogDelete) Next(v View, _ *rand.Rand, _ func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	liveSet := make(map[NodeID]struct{}, len(live))
+	for _, u := range live {
+		liveSet[u] = struct{}{}
+	}
+	net, gp := v.Network(), v.GPrime()
+	best, bestScore := live[0], -1
+	for _, u := range live { // ascending, so strict > keeps the smallest ID
+		dead := 0
+		gp.EachNeighbor(u, func(w NodeID) {
+			if _, ok := liveSet[w]; !ok {
+				dead++
+			}
+		})
+		if score := net.Degree(u) + dead; score > bestScore {
+			best, bestScore = u, score
+		}
+	}
+	return Op{V: best}, true
+}
+
 // CenterDelete kills the node of minimum eccentricity in the largest
 // component — the center attack that maximizes path damage.
 type CenterDelete struct{}
@@ -306,14 +348,16 @@ func ByName(name string) (Adversary, error) {
 		return CenterDelete{}, nil
 	case "cutvertex":
 		return CutVertexDelete{}, nil
+	case "hub-backlog":
+		return HubBacklogDelete{}, nil
 	default:
-		return nil, fmt.Errorf("adversary: unknown strategy %q (want random, maxdeg, mindeg, rt-target, center, or cutvertex)", name)
+		return nil, fmt.Errorf("adversary: unknown strategy %q (want random, maxdeg, mindeg, rt-target, center, cutvertex, or hub-backlog)", name)
 	}
 }
 
 // Names lists the strategies ByName accepts.
 func Names() []string {
-	return []string{"random", "maxdeg", "mindeg", "rt-target", "center", "cutvertex"}
+	return []string{"random", "maxdeg", "mindeg", "rt-target", "center", "cutvertex", "hub-backlog"}
 }
 
 func sortNodeIDs(ids []NodeID) {

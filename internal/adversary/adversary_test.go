@@ -195,3 +195,28 @@ func TestOpString(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+func TestHubBacklogDelete(t *testing.T) {
+	// On a fresh star the hub is the unique backlog maximizer.
+	op, ok := HubBacklogDelete{}.Next(viewOf(graph.Star(8)), nil, nil)
+	if !ok || op.Insert || op.V != 0 {
+		t.Fatalf("star pick = %v, want delete 0", op)
+	}
+	// Dead G' neighbors outrank raw degree: node 1 keeps degree 2 but
+	// its G' neighbors 3 and 4 are gone (their records pile onto its
+	// edges during the next repair), while node 2 has degree 2 and no
+	// dead neighbors. The view's actual network lost nodes 3 and 4.
+	gp := graph.New()
+	gp.AddEdge(1, 2)
+	gp.AddEdge(1, 3)
+	gp.AddEdge(1, 4)
+	gp.AddEdge(2, 5)
+	net := graph.New()
+	net.AddEdge(1, 2)
+	net.AddEdge(2, 5)
+	net.AddEdge(1, 5)
+	op, ok = HubBacklogDelete{}.Next(fakeView{net: net, gp: gp}, nil, nil)
+	if !ok || op.V != 1 {
+		t.Fatalf("pick = %v, want delete 1 (2 dead G' neighbors)", op)
+	}
+}

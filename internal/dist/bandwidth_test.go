@@ -1,0 +1,313 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Tests for the protocol under per-edge bandwidth limits: the healed
+// graph must be identical for every finite cap (only rounds change),
+// the star hub repair must expose congestion, and the leader's send
+// pacing must shrink the per-edge backlog it causes.
+
+// replayAtBandwidth drives a deterministic insert/delete schedule
+// through a simulation with the given cap and returns the final
+// simulation plus total messages and rounds.
+func replayAtBandwidth(t *testing.T, g0 *graph.Graph, ops int, seed int64, bandwidth int, spread bool) (*Simulation, int, int) {
+	t.Helper()
+	s := NewSimulation(g0)
+	s.SetBandwidth(bandwidth)
+	s.SetSpread(spread)
+	rng := rand.New(rand.NewSource(seed))
+	nextID := NodeID(30_000)
+	msgs, rounds := 0, 0
+	for i := 0; i < ops; i++ {
+		live := s.LiveNodes()
+		if len(live) == 0 {
+			break
+		}
+		if rng.Float64() < 0.3 {
+			v := nextID
+			nextID++
+			k := 1 + rng.Intn(3)
+			if k > len(live) {
+				k = len(live)
+			}
+			var nbrs []NodeID
+			for _, idx := range rng.Perm(len(live))[:k] {
+				nbrs = append(nbrs, live[idx])
+			}
+			if err := s.Insert(v, nbrs); err != nil {
+				t.Fatalf("op %d: insert: %v", i, err)
+			}
+		} else {
+			v := live[rng.Intn(len(live))]
+			if err := s.Delete(v); err != nil {
+				t.Fatalf("op %d: delete %d (B=%d): %v", i, v, bandwidth, err)
+			}
+			rs := s.LastRecovery()
+			msgs += rs.Messages
+			rounds += rs.Rounds
+		}
+	}
+	return s, msgs, rounds
+}
+
+// TestBandwidthEquivalenceAcrossB is the core honesty claim: for every
+// differential-equivalence topology family, every finite per-edge
+// bandwidth converges to the same healed graph as B=∞ with the same
+// message count — only the round count may grow.
+func TestBandwidthEquivalenceAcrossB(t *testing.T) {
+	topologies := []struct {
+		name string
+		gen  func(rng *rand.Rand) *graph.Graph
+		ops  int
+	}{
+		{"star", func(*rand.Rand) *graph.Graph { return graph.Star(24) }, 24},
+		{"path", func(*rand.Rand) *graph.Graph { return graph.Path(20) }, 20},
+		{"grid", func(*rand.Rand) *graph.Graph { return graph.Grid(5, 5) }, 24},
+		{"gnp", func(rng *rand.Rand) *graph.Graph { return graph.GNP(32, 0.15, rng) }, 28},
+		{"powerlaw", func(rng *rand.Rand) *graph.Graph { return graph.PreferentialAttachment(28, 2, rng) }, 28},
+	}
+	for _, topo := range topologies {
+		topo := topo
+		t.Run(topo.name, func(t *testing.T) {
+			for seed := int64(0); seed < 2; seed++ {
+				g0 := topo.gen(rand.New(rand.NewSource(500 + seed)))
+				ref, refMsgs, refRounds := replayAtBandwidth(t, g0, topo.ops, 11*seed+1, 0, true)
+				for _, B := range []int{1, 3, 16} {
+					s, msgs, rounds := replayAtBandwidth(t, g0, topo.ops, 11*seed+1, B, true)
+					if !s.Physical().Equal(ref.Physical()) {
+						t.Fatalf("seed %d B=%d: healed graph diverges from B=inf", seed, B)
+					}
+					if msgs != refMsgs {
+						t.Errorf("seed %d B=%d: %d messages, want %d (bandwidth must delay, not change, traffic)",
+							seed, B, msgs, refMsgs)
+					}
+					if rounds < refRounds {
+						t.Errorf("seed %d B=%d: %d rounds < unlimited %d", seed, B, rounds, refRounds)
+					}
+					if err := s.Verify(); err != nil {
+						t.Fatalf("seed %d B=%d: %v", seed, B, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStarHubCongestionAndSpread is the headline scenario: deleting
+// the star-16 hub at B=1 must register congestion — the simulator is
+// finally honest about the repair's per-edge hotspot — and pacing the
+// leader's instruction bursts must shrink the deepest edge backlog
+// without changing the healed graph.
+func TestStarHubCongestionAndSpread(t *testing.T) {
+	repair := func(bandwidth int, spread bool) (*Simulation, RecoveryStats) {
+		s := NewSimulation(graph.Star(16))
+		s.SetBandwidth(bandwidth)
+		s.SetSpread(spread)
+		if err := s.Delete(0); err != nil {
+			t.Fatal(err)
+		}
+		return s, s.LastRecovery()
+	}
+
+	ref, inf := repair(0, true)
+	sBurst, burst := repair(1, false)
+	sPaced, paced := repair(1, true)
+
+	if burst.CongestionRounds == 0 {
+		t.Error("star-16 hub repair at B=1 shows no congestion: the hotspot is invisible")
+	}
+	if burst.MaxEdgeBacklog == 0 {
+		t.Error("star-16 hub repair at B=1 shows no edge backlog")
+	}
+	if paced.MaxEdgeBacklog >= burst.MaxEdgeBacklog {
+		t.Errorf("leader pacing did not shrink the backlog: paced %d >= burst %d",
+			paced.MaxEdgeBacklog, burst.MaxEdgeBacklog)
+	}
+	if burst.Messages != inf.Messages || paced.Messages != inf.Messages {
+		t.Errorf("message counts diverge: inf %d, burst %d, paced %d",
+			inf.Messages, burst.Messages, paced.Messages)
+	}
+	if burst.Rounds < inf.Rounds || paced.Rounds < inf.Rounds {
+		t.Errorf("finite bandwidth took fewer rounds than unlimited: inf %d, burst %d, paced %d",
+			inf.Rounds, burst.Rounds, paced.Rounds)
+	}
+	for name, s := range map[string]*Simulation{"burst": sBurst, "paced": sPaced} {
+		if !s.Physical().Equal(ref.Physical()) {
+			t.Errorf("%s: healed graph diverges from B=inf", name)
+		}
+		if err := s.Verify(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if inf.CongestionRounds != 0 || inf.QueuedWords != 0 || inf.MaxEdgeBacklog != 0 {
+		t.Errorf("unlimited bandwidth reported congestion: %+v", inf)
+	}
+}
+
+// TestBandwidthBatchEquivalence: batches under a finite cap heal to
+// the same graph as the sequential core reference, in both delivery
+// modes.
+func TestBandwidthBatchEquivalence(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		g0 := graph.PreferentialAttachment(28, 3, rand.New(rand.NewSource(91)))
+		s := NewSimulation(g0)
+		s.SetParallel(parallel)
+		s.SetBandwidth(2)
+		e := core.NewEngine(g0)
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < 6; i++ {
+			live := s.LiveNodes()
+			if len(live) == 0 {
+				break
+			}
+			batch := pickBatch(live, rng, 1+rng.Intn(4))
+			if err := s.DeleteBatch(batch); err != nil {
+				t.Fatalf("parallel=%v batch %v: %v", parallel, batch, err)
+			}
+			if err := e.DeleteBatch(batch); err != nil {
+				t.Fatalf("core batch %v: %v", batch, err)
+			}
+			if !s.Physical().Equal(e.Physical()) {
+				t.Fatalf("parallel=%v batch %v: healed graphs diverge", parallel, batch)
+			}
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBandwidthSequentialVsParallelDelivery: with a finite cap both
+// delivery modes must still produce identical graphs and stats —
+// congestion counters included.
+func TestBandwidthSequentialVsParallelDelivery(t *testing.T) {
+	g0 := graph.PreferentialAttachment(32, 3, rand.New(rand.NewSource(33)))
+	seq := NewSimulation(g0)
+	seq.SetBandwidth(1)
+	par := NewSimulation(g0)
+	par.SetBandwidth(1)
+	par.SetParallel(true)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5; i++ {
+		live := seq.LiveNodes()
+		if len(live) == 0 {
+			break
+		}
+		batch := pickBatch(live, rng, 1+rng.Intn(4))
+		if err := seq.DeleteBatch(batch); err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+		if err := par.DeleteBatch(batch); err != nil {
+			t.Fatalf("parallel: %v", err)
+		}
+		if seq.LastBatch() != par.LastBatch() {
+			t.Fatalf("batch %v: stats diverge between delivery modes:\n%+v\n%+v",
+				batch, seq.LastBatch(), par.LastBatch())
+		}
+		if !seq.Physical().Equal(par.Physical()) {
+			t.Fatalf("batch %v: graphs diverge between delivery modes", batch)
+		}
+	}
+}
+
+// TestClaimAbortSavesMessages: a batch that is one conflict group by
+// adjacency alone (the star hub plus two of its rays) must skip its
+// claim traffic entirely when the early abort is on, and still heal to
+// exactly the sequential reference.
+func TestClaimAbortSavesMessages(t *testing.T) {
+	run := func(abort bool) (*Simulation, BatchStats) {
+		s := NewSimulation(graph.Star(16))
+		s.SetParallel(true)
+		s.SetClaimAbort(abort)
+		if err := s.DeleteBatch([]NodeID{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		return s, s.LastBatch()
+	}
+	sOn, on := run(true)
+	sOff, off := run(false)
+
+	if !on.ClaimAborted {
+		t.Error("hub+rays batch did not abort its claim phase")
+	}
+	if off.ClaimAborted {
+		t.Error("abort reported with the early abort disabled")
+	}
+	if on.ClaimMessages != 0 {
+		t.Errorf("aborted claim phase still delivered %d messages, want 0 (direct conflicts decide before any traffic)",
+			on.ClaimMessages)
+	}
+	if off.ClaimMessages == 0 {
+		t.Error("full claim phase delivered no messages: the savings baseline is vacuous")
+	}
+	if on.Messages >= off.Messages {
+		t.Errorf("early abort saved nothing: %d messages with abort vs %d without", on.Messages, off.Messages)
+	}
+	if on.Groups != 1 || on.Waves != 3 {
+		t.Errorf("aborted batch ran %d groups / %d waves, want 1 / 3 (fully sequential)", on.Groups, on.Waves)
+	}
+	e := core.NewEngine(graph.Star(16))
+	if err := e.DeleteBatch([]NodeID{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*Simulation{"abort-on": sOn, "abort-off": sOff} {
+		if !s.Physical().Equal(e.Physical()) {
+			t.Errorf("%s: healed graph diverges from the sequential reference", name)
+		}
+		if err := s.Verify(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestClaimAbortMidFlight exercises the in-flight abort: a colliding
+// cluster whose members are connected only through shared records (not
+// direct adjacency) needs the claim walks to discover the single
+// group, and the abort must then drop the still-undelivered remainder.
+func TestClaimAbortMidFlight(t *testing.T) {
+	// Churn a powerlaw network so deep Reconstruction Trees exist, then
+	// delete a BFS cluster around a hub.
+	build := func(abort bool) (*Simulation, BatchStats) {
+		g0 := graph.PreferentialAttachment(48, 3, rand.New(rand.NewSource(5)))
+		s := NewSimulation(g0)
+		s.SetParallel(true)
+		s.SetClaimAbort(abort)
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; i < 12; i++ {
+			live := s.LiveNodes()
+			if err := s.Delete(live[rng.Intn(len(live))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		live := s.LiveNodes()
+		phys := s.Physical()
+		hub, hubDeg := live[0], -1
+		for _, u := range live {
+			if d := phys.Degree(u); d > hubDeg {
+				hub, hubDeg = u, d
+			}
+		}
+		batch := collidingBatch(s, hub, live, 5)
+		if err := s.DeleteBatch(batch); err != nil {
+			t.Fatalf("batch %v: %v", batch, err)
+		}
+		return s, s.LastBatch()
+	}
+	sOn, on := build(true)
+	sOff, off := build(false)
+	if on.Messages > off.Messages {
+		t.Errorf("abort-on spent more messages than abort-off: %d vs %d", on.Messages, off.Messages)
+	}
+	if !sOn.Physical().Equal(sOff.Physical()) {
+		t.Fatal("healed graphs diverge between abort modes")
+	}
+	if err := sOn.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,9 +49,13 @@ type BatchStats struct {
 	Waves     int
 	Conflicts int
 	// ClaimMessages and ClaimRounds are the share of the totals spent
-	// on the claim phase.
+	// on the claim phase. ClaimAborted reports that conflict discovery
+	// stopped early: the batch was proven to be one conflict group, so
+	// the remaining claim traffic was dropped undelivered and the batch
+	// fell back to fully sequential waves.
 	ClaimMessages int
 	ClaimRounds   int
+	ClaimAborted  bool
 	// Messages, Rounds, TotalWords, MaxWords and MaxSentByNode cover
 	// the whole batch, claim phase included.
 	Messages      int
@@ -59,6 +63,12 @@ type BatchStats struct {
 	TotalWords    int
 	MaxWords      int
 	MaxSentByNode int
+	// QueuedWords, MaxEdgeBacklog and CongestionRounds mirror the
+	// simulator's congestion counters over the whole batch (zero under
+	// unlimited bandwidth).
+	QueuedWords      int
+	MaxEdgeBacklog   int
+	CongestionRounds int
 }
 
 // LastBatch returns the cost of the most recent DeleteBatch call.
@@ -87,13 +97,16 @@ func (s *Simulation) DeleteBatch(vs []NodeID) error {
 			Batch: 1, Groups: 1, Waves: 1,
 			Messages: rs.Messages, Rounds: rs.Rounds,
 			TotalWords: rs.TotalWords, MaxWords: rs.MaxWords,
-			MaxSentByNode: rs.MaxSentByNode,
+			MaxSentByNode:    rs.MaxSentByNode,
+			QueuedWords:      rs.QueuedWords,
+			MaxEdgeBacklog:   rs.MaxEdgeBacklog,
+			CongestionRounds: rs.CongestionRounds,
 		}
 		return nil
 	}
 
 	s.net.ResetStats()
-	conflicts, err := s.claimPhase(batch)
+	conflicts, claimAborted, err := s.claimPhase(batch)
 	if err != nil {
 		return fmt.Errorf("dist: delete batch: claim phase: %w", err)
 	}
@@ -127,17 +140,21 @@ func (s *Simulation) DeleteBatch(vs []NodeID) error {
 
 	st := s.net.Stats()
 	s.lastBatch = BatchStats{
-		Batch:         len(batch),
-		Groups:        len(groups),
-		Waves:         waves,
-		Conflicts:     len(conflicts),
-		ClaimMessages: claimStats.Messages,
-		ClaimRounds:   claimStats.Rounds,
-		Messages:      st.Messages,
-		Rounds:        st.Rounds,
-		TotalWords:    st.TotalWords,
-		MaxWords:      st.MaxWords,
-		MaxSentByNode: st.MaxSentByNode,
+		Batch:            len(batch),
+		Groups:           len(groups),
+		Waves:            waves,
+		Conflicts:        len(conflicts),
+		ClaimMessages:    claimStats.Messages,
+		ClaimRounds:      claimStats.Rounds,
+		ClaimAborted:     claimAborted,
+		Messages:         st.Messages,
+		Rounds:           st.Rounds,
+		TotalWords:       st.TotalWords,
+		MaxWords:         st.MaxWords,
+		MaxSentByNode:    st.MaxSentByNode,
+		QueuedWords:      st.QueuedWords,
+		MaxEdgeBacklog:   st.MaxEdgeBacklog,
+		CongestionRounds: st.CongestionRounds,
 	}
 	return nil
 }
@@ -163,7 +180,16 @@ func (s *Simulation) validateBatch(vs []NodeID) ([]NodeID, error) {
 // pairs the collisions report. The claim marks are transient; the
 // batch synchronizer clears them (and the coordinator scratch) before
 // execution begins — the paper's zero-word timer convention.
-func (s *Simulation) claimPhase(batch []NodeID) (map[[2]NodeID]struct{}, error) {
+//
+// With the early abort enabled (the default), the synchronizer watches
+// the accumulating conflict pairs between rounds: the moment they
+// union the whole batch into one conflict group, every further claim
+// message is moot — the batch serializes fully either way — so the
+// remaining traffic is dropped undelivered and aborted is returned
+// true. On a pathological burst whose members are pairwise adjacent
+// the direct conflicts alone decide this before a single claim message
+// is sent.
+func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{}, aborted bool, err error) {
 	inBatch := make(map[NodeID]struct{}, len(batch))
 	for _, v := range batch {
 		inBatch[v] = struct{}{}
@@ -180,7 +206,7 @@ func (s *Simulation) claimPhase(batch []NodeID) (map[[2]NodeID]struct{}, error) 
 		}
 	}()
 
-	conflicts := make(map[[2]NodeID]struct{})
+	conflicts = make(map[[2]NodeID]struct{})
 	addConflict := func(a, b NodeID) {
 		if a == b {
 			return
@@ -211,11 +237,17 @@ func (s *Simulation) claimPhase(batch []NodeID) (map[[2]NodeID]struct{}, error) 
 			coord, haveCoord = targets[0], true
 		}
 	}
+	oneGroup := func() bool { return len(groupBatch(batch, conflicts)) == 1 }
+	if s.claimAbort && oneGroup() {
+		// Adjacency alone already chains the whole batch together; skip
+		// the claim traffic entirely.
+		return conflicts, true, nil
+	}
 	if !haveCoord {
 		// No live non-member is affected by any deletion: every record
 		// link runs between members, so all conflicts are the direct
 		// ones already collected.
-		return conflicts, nil
+		return conflicts, false, nil
 	}
 
 	for _, v := range batch {
@@ -223,16 +255,49 @@ func (s *Simulation) claimPhase(batch []NodeID) (map[[2]NodeID]struct{}, error) 
 			s.net.Send(x, x, msgClaimDeath{V: v, Coord: coord}, wordsClaimDeath)
 		}
 	}
-	if err := s.run(); err != nil {
-		return nil, err
+	if !s.claimAbort {
+		if err := s.run(); err != nil {
+			return nil, false, err
+		}
+		s.foldCoordConflicts(coord, addConflict)
+		return conflicts, false, nil
 	}
+
+	// Step manually so the synchronizer can abort between rounds. The
+	// coordinator's partial conflict set is merged in after every round;
+	// parallel delivery is round-identical to sequential, so the abort
+	// round — and with it the batch's stats — is the same in both modes.
+	bound := s.roundBound()
+	for rounds := 0; s.net.Pending() > 0; rounds++ {
+		if rounds >= bound {
+			return nil, false, fmt.Errorf("claim discovery not quiescent after %d rounds", bound)
+		}
+		if s.parallel {
+			s.net.ParallelStep()
+		} else {
+			s.net.Step()
+		}
+		s.foldCoordConflicts(coord, addConflict)
+		if oneGroup() {
+			s.net.DropPending()
+			aborted = true
+			break
+		}
+	}
+	s.drainPhys() // claim walks log no edits; drained for symmetry with run
+	return conflicts, aborted, nil
+}
+
+// foldCoordConflicts merges the batch coordinator's accumulated
+// conflict reports into the synchronizer's set and clears the scratch
+// so nothing leaks into a later batch's discovery.
+func (s *Simulation) foldCoordConflicts(coord NodeID, addConflict func(a, b NodeID)) {
 	if cp := s.procs[coord]; cp.batch != nil {
 		for pair := range cp.batch.conflicts {
 			addConflict(pair[0], pair[1])
 		}
 		cp.batch = nil
 	}
-	return conflicts, nil
 }
 
 // groupBatch partitions the batch into conflict groups (connected

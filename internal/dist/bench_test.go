@@ -43,6 +43,75 @@ func BenchmarkBatchedDelete(b *testing.B) {
 	}
 }
 
+// BenchmarkBandwidthRepair measures one hub repair on a powerlaw-1024
+// network under per-edge bandwidth caps: B=0 is the unlimited paper
+// model, the finite caps exercise the congestion model and the
+// leader's paced instruction fan-out. The deleted hub is the same
+// deterministic node every iteration (fresh network each time), so the
+// message count is exact and the regression gate in CI can hold it to
+// a tight tolerance; rounds grow as B shrinks while messages must not
+// move at all.
+func BenchmarkBandwidthRepair(b *testing.B) {
+	base := graph.PreferentialAttachment(1024, 3, rand.New(rand.NewSource(42)))
+	// Churn a template once to find the post-churn physical hub; every
+	// iteration replays the same churn, so the state under measurement
+	// is identical each time. Deleting a hub of the *churned* network
+	// hits existing Reconstruction Trees: neighbors answer the death
+	// notification with several records' worth of traffic on the same
+	// leader-bound edges, which is exactly the congestion under test.
+	churn := func() *Simulation {
+		s := NewSimulation(base)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 32; i++ {
+			live := s.LiveNodes()
+			if err := s.Delete(live[rng.Intn(len(live))]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s
+	}
+	hub, hubDeg := graph.NodeID(0), -1
+	{
+		s := churn()
+		phys := s.Physical()
+		for _, v := range s.LiveNodes() {
+			if d := phys.Degree(v); d > hubDeg {
+				hub, hubDeg = v, d
+			}
+		}
+	}
+	for _, bw := range []struct {
+		name  string
+		words int
+	}{
+		{"B=inf", 0},
+		{"B=4", 4},
+		{"B=1", 1},
+	} {
+		b.Run(bw.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var rounds, msgs, congested float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := churn()
+				s.SetBandwidth(bw.words)
+				b.StartTimer()
+				if err := s.Delete(hub); err != nil {
+					b.Fatal(err)
+				}
+				rs := s.LastRecovery()
+				rounds += float64(rs.Rounds)
+				msgs += float64(rs.Messages)
+				congested += float64(rs.CongestionRounds)
+			}
+			n := float64(b.N)
+			b.ReportMetric(rounds/n, "rounds/repair")
+			b.ReportMetric(msgs/n, "msgs/repair")
+			b.ReportMetric(congested/n, "congested/repair")
+		})
+	}
+}
+
 // BenchmarkPhysicalSnapshot pins the win of the incrementally
 // maintained physical graph: snapshotting it versus reconstructing it
 // from every record of every processor, on a churned network.

@@ -73,6 +73,14 @@ type RecoveryStats struct {
 	// NsetSize is the number of processors notified of the deletion —
 	// the paper's BT_v coordination set.
 	NsetSize int
+	// QueuedWords, MaxEdgeBacklog and CongestionRounds mirror the
+	// simulator's congestion counters for this repair: words deferred
+	// by the per-edge bandwidth limit (round-weighted), the deepest
+	// single-edge backlog, and the number of congested rounds. All zero
+	// under the default unlimited bandwidth.
+	QueuedWords      int
+	MaxEdgeBacklog   int
+	CongestionRounds int
 }
 
 // Simulation is a distributed Forgiving Graph: processors exchanging
@@ -95,6 +103,14 @@ type Simulation struct {
 	// batch's conflict-discovery phase (see batch.go).
 	claimers *dirtyList
 
+	// bandwidth is the per-edge words-per-round cap (0 = unlimited);
+	// spread paces the leader's instruction bursts under a finite cap;
+	// claimAbort lets a batch's claim phase stop early once the whole
+	// batch is known to be one conflict group.
+	bandwidth  int
+	spread     bool
+	claimAbort bool
+
 	parallel  bool
 	last      RecoveryStats
 	lastBatch BatchStats
@@ -113,6 +129,8 @@ func NewSimulation(g0 *graph.Graph) *Simulation {
 	}
 	s.initPhys(g0)
 	s.claimers = &dirtyList{}
+	s.spread = true
+	s.claimAbort = true
 	for _, v := range g0.Nodes() {
 		s.addProcessor(v)
 	}
@@ -129,6 +147,8 @@ func (s *Simulation) addProcessor(v NodeID) {
 	p := newProcessor(v)
 	p.dirty = s.dirty
 	p.claimers = s.claimers
+	p.budget = s.bandwidth
+	p.spread = s.spread
 	s.procs[v] = p
 	s.alive[v] = struct{}{}
 	s.net.AddNode(v, p.handle)
@@ -139,6 +159,50 @@ func (s *Simulation) addProcessor(v NodeID) {
 // modes produce identical results; handlers only touch their own
 // processor's state.
 func (s *Simulation) SetParallel(on bool) { s.parallel = on }
+
+// SetBandwidth caps every network edge at the given number of
+// message-words per round (0, the default, is unlimited — the paper's
+// model). Under a finite cap excess traffic queues FIFO per edge and
+// spills into later rounds: the healed graph is identical for every
+// cap, only rounds (and the congestion counters in the stats) change.
+func (s *Simulation) SetBandwidth(words int) {
+	s.bandwidth = words
+	s.net.SetBandwidth(words)
+	for _, p := range s.procs {
+		p.budget = words
+	}
+}
+
+// SetEdgeBandwidth overrides the capacity of one directed edge,
+// modeling heterogeneous links; words <= 0 clears the override. The
+// leader's send pacing budgets against the global cap only, so a
+// narrower per-edge cap shows up as network backlog rather than
+// sender-side queueing.
+func (s *Simulation) SetEdgeBandwidth(from, to NodeID, words int) {
+	s.net.SetEdgeBandwidth(from, to, words)
+}
+
+// SetSpread toggles sender-side pacing of the repair leader's
+// instruction bursts (key probes, strip visits, and the merge plan's
+// link instructions). Default on: under a finite bandwidth the leader
+// trickles at most the edge budget per destination per round from a
+// local outbox instead of dumping the whole burst into the network,
+// which shrinks MaxEdgeBacklog without changing the healed graph. Off
+// reproduces the bursty behavior, useful for measuring the hotspot the
+// pacing removes. No effect under unlimited bandwidth.
+func (s *Simulation) SetSpread(on bool) {
+	s.spread = on
+	for _, p := range s.procs {
+		p.spread = on
+	}
+}
+
+// SetClaimAbort toggles the batched-deletion claim phase's early
+// abort (default on): once conflict discovery proves the whole batch
+// is one conflict group, the remaining claim traffic is moot — the
+// batch falls back to fully sequential waves either way — so the
+// synchronizer drops it instead of delivering it.
+func (s *Simulation) SetClaimAbort(on bool) { s.claimAbort = on }
 
 // Alive reports whether processor v is currently in the network.
 func (s *Simulation) Alive(v NodeID) bool {
@@ -297,7 +361,10 @@ func (s *Simulation) runRepairs(reps []*pendingRepair) error {
 	// Each neighbor detects the deletion itself (the model's detection
 	// assumption), so the notification is a self-addressed message:
 	// the word cost is charged, but to the live detector, never to the
-	// vanished processor.
+	// vanished processor. Under a finite bandwidth the fan-out spreads
+	// across rounds by the network's own per-edge FIFO — a detector
+	// notified by several repairs of a wave absorbs one budget's worth
+	// per round.
 	for _, r := range reps {
 		for _, x := range r.notify {
 			s.net.Send(x, x, msgDeath{V: r.v, Leader: r.leader}, wordsDeath)
@@ -346,16 +413,33 @@ func (s *Simulation) Delete(v NodeID) error {
 	s.last.MaxWords = st.MaxWords
 	s.last.MaxSentByNode = st.MaxSentByNode
 	s.last.NsetSize = len(rep.notify)
+	s.last.QueuedWords = st.QueuedWords
+	s.last.MaxEdgeBacklog = st.MaxEdgeBacklog
+	s.last.CongestionRounds = st.CongestionRounds
 	return nil
+}
+
+// roundBound is the quiescence bound for one phase: a generous
+// multiple of the O(log n) depth any single phase can need, plus —
+// under a finite per-edge bandwidth — slack for the rounds a congested
+// edge takes to drain. A phase's total traffic is O(d log n) words
+// with d < n, an edge carries at least B words (or one message) per
+// round, so the slack below is far beyond any honest run; hitting the
+// bound still means the protocol is broken, never that it is slow.
+func (s *Simulation) roundBound() int {
+	logn := haft.CeilLog2(s.gprime.NumNodes()) + 2
+	bound := 32*logn + 64
+	if B := s.bandwidth; B > 0 {
+		bound += 64 * (s.gprime.NumNodes() + 2) * logn / B
+	}
+	return bound
 }
 
 // run steps the network to quiescence in the current delivery mode,
 // then folds the processors' pending physical-graph edits into the
-// maintained network. The round bound is a generous multiple of the
-// O(log n) depth any single phase can need; hitting it means the
-// protocol is broken.
+// maintained network.
 func (s *Simulation) run() error {
-	bound := 32*(haft.CeilLog2(s.gprime.NumNodes())+2) + 64
+	bound := s.roundBound()
 	var err error
 	if s.parallel {
 		_, err = s.net.RunUntilQuiescentParallel(bound)

@@ -130,17 +130,22 @@ func (p *processor) onStartMerge(n *simnet.Network, epoch NodeID) {
 		}
 		return sk.node
 	}
+	// The join plan is the leader's biggest burst — O(d) instructions,
+	// several per destination when one processor hosts multiple slots —
+	// so it goes out paced: under finite bandwidth the leader trickles
+	// at most the edge budget per destination per round from its outbox
+	// instead of stacking the whole plan as network backlog.
 	var emit func(x *haft.Node, parent addr)
 	emit = func(x *haft.Node, parent addr) {
 		sk := skelOf(x)
 		if !sk.isNew {
 			if parent.ok() {
-				n.Send(p.id, sk.node.Owner, msgSetParent{Target: sk.node, Parent: parent}, wordsSetParent)
+				p.sendPaced(n, sk.node.Owner, msgSetParent{Target: sk.node, Parent: parent}, wordsSetParent)
 			}
 			return
 		}
 		self := addrOf(x)
-		n.Send(p.id, sk.slot.Owner, msgCreateHelper{
+		p.sendPaced(n, sk.slot.Owner, msgCreateHelper{
 			Slot:   sk.slot,
 			Parent: parent,
 			Left:   addrOf(x.Left),

@@ -127,6 +127,13 @@ type (
 	msgStartMerge struct{ Epoch NodeID }
 )
 
+// msgFlushOutbox is the local timer a pacing processor schedules to
+// continue draining its outbox on the next round (see sendPaced).
+// Like the phase triggers it is a zero-word wake-up, not network
+// traffic; the queued messages themselves are charged normally when
+// they are actually sent.
+type msgFlushOutbox struct{}
+
 // msgKeyProbe descends the prefer-left path from a fragment root to
 // find the component's ordering key (core's leftmostLeafSlot walk).
 type msgKeyProbe struct {

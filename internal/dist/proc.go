@@ -76,6 +76,29 @@ type processor struct {
 	// its first pending edit so the simulation drains only loggers.
 	physLog []physEdit
 	dirty   *dirtyList
+
+	// Send pacing under finite bandwidth (see sendPaced). budget is the
+	// network's per-edge words-per-round cap (0 = unlimited), spread
+	// whether this processor paces its bursts at all; outbox holds the
+	// sends awaiting an open slot with outQueued counting them per
+	// destination (per-destination FIFO in O(1) per send),
+	// flushScheduled whether a flush timer is already pending, and
+	// outRound/outUsed track the words already sent per destination in
+	// the current round.
+	budget         int
+	spread         bool
+	outbox         []outMsg
+	outQueued      map[NodeID]int
+	flushScheduled bool
+	outRound       int
+	outUsed        map[NodeID]int
+}
+
+// outMsg is one send waiting in a pacing processor's outbox.
+type outMsg struct {
+	to      NodeID
+	payload any
+	words   int
 }
 
 // batchScratch is what the batch coordinator accumulates during the
@@ -150,6 +173,8 @@ func (p *processor) handle(n *simnet.Network, m simnet.Message) {
 		p.onClaimWalk(n, msg)
 	case msgConflict:
 		p.batchState().addConflict(msg.A, msg.B)
+	case msgFlushOutbox:
+		p.onFlushOutbox(n)
 	default:
 		panic(fmt.Sprintf("dist: processor %d: unknown message %T", p.id, m.Payload))
 	}
@@ -220,6 +245,75 @@ func (r *repairState) addDescriptor(d msgDescriptor) {
 	c.descs = append(c.descs, d)
 }
 
+// sendPaced sends a protocol message, holding it in a local outbox
+// when the network's per-edge bandwidth budget for this destination is
+// already spent this round. The repair leader's bursts — key probes,
+// strip visits, and above all the merge plan's instruction fan-out —
+// route through here: instead of dumping O(d) messages into the
+// network in one round (and letting them pile up as edge backlog), the
+// leader trickles at most the edge budget per destination per round
+// and wakes itself with a zero-word timer to continue. Per-destination
+// FIFO order is preserved, so paced delivery reorders nothing the
+// network's own spill-over would not. With unlimited bandwidth (or
+// pacing off) this is exactly Send.
+func (p *processor) sendPaced(n *simnet.Network, to NodeID, payload any, words int) {
+	if p.budget <= 0 || !p.spread {
+		n.Send(p.id, to, payload, words)
+		return
+	}
+	p.rollOutRound(n)
+	if used := p.outUsed[to]; p.outQueued[to] == 0 && (used == 0 || used+words <= p.budget) {
+		p.outUsed[to] = used + words
+		n.Send(p.id, to, payload, words)
+		return
+	}
+	if p.outQueued == nil {
+		p.outQueued = make(map[NodeID]int)
+	}
+	p.outQueued[to]++
+	p.outbox = append(p.outbox, outMsg{to: to, payload: payload, words: words})
+	if !p.flushScheduled {
+		p.flushScheduled = true
+		n.SendTimer(p.id, msgFlushOutbox{}, 1)
+	}
+}
+
+// onFlushOutbox drains the outbox: oldest first, at most the edge
+// budget per destination per round (but always at least one message
+// per destination, matching the network's own progress rule),
+// rescheduling itself while messages remain.
+func (p *processor) onFlushOutbox(n *simnet.Network) {
+	p.flushScheduled = false
+	p.rollOutRound(n)
+	var keep []outMsg
+	blocked := make(map[NodeID]bool)
+	for _, m := range p.outbox {
+		used := p.outUsed[m.to]
+		if blocked[m.to] || (used > 0 && used+m.words > p.budget) {
+			blocked[m.to] = true // preserve per-destination FIFO
+			keep = append(keep, m)
+			continue
+		}
+		p.outUsed[m.to] = used + m.words
+		p.outQueued[m.to]--
+		n.Send(p.id, m.to, m.payload, m.words)
+	}
+	p.outbox = keep
+	if len(keep) > 0 {
+		p.flushScheduled = true
+		n.SendTimer(p.id, msgFlushOutbox{}, 1)
+	}
+}
+
+// rollOutRound resets the per-destination words-sent accounting when a
+// new round begins.
+func (p *processor) rollOutRound(n *simnet.Network) {
+	if p.outRound != n.Round() || p.outUsed == nil {
+		p.outRound = n.Round()
+		p.outUsed = make(map[NodeID]int)
+	}
+}
+
 // logPhys appends a pending physical-graph edit for the tree-edge image
 // (p.id, peer). Self-images (a processor adjacent to a node it
 // simulates itself) collapse in the homomorphism and are not logged.
@@ -249,6 +343,21 @@ func (p *processor) clearHelperParent(h *helperRec) {
 	}
 }
 
+// sortedRecordKeys returns a record map's keys ascending. Handlers
+// that emit one message per record must walk their records in this
+// canonical order: several of those messages often share a destination
+// (and so an edge), and under a finite bandwidth the send order
+// decides which of them spills into the next round — map iteration
+// order would make rounds and congestion stats vary run to run.
+func sortedRecordKeys[T any](m map[NodeID]T) []NodeID {
+	keys := make([]NodeID, 0, len(m))
+	for o := range m {
+		keys = append(keys, o)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
 // onDeath runs at every physical neighbor of the deleted processor v:
 // detach every record link into v's vanished avatars, seed the damage
 // walks (a helper that lost a child no longer heads an intact subtree),
@@ -256,13 +365,15 @@ func (p *processor) clearHelperParent(h *helperRec) {
 // half-dead G′ edge (x,v) if there is one.
 func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
 	v, leader := m.V, m.Leader
-	for o, l := range p.leaves {
+	for _, o := range sortedRecordKeys(p.leaves) {
+		l := p.leaves[o]
 		if l.parent.ok() && l.parent.Owner == v {
 			p.clearLeafParent(l)
 			n.Send(p.id, leader, msgRootAnnounce{Root: leafAddr(p.id, o), Epoch: v}, wordsRootAnnounce)
 		}
 	}
-	for o, h := range p.helpers {
+	for _, o := range sortedRecordKeys(p.helpers) {
+		h := p.helpers[o]
 		lostParent, lostChild := false, false
 		if h.parent.ok() && h.parent.Owner == v {
 			p.clearHelperParent(h)
@@ -339,14 +450,15 @@ func (r *repairState) sortedRoots() []addr {
 }
 
 // onStartKeys (leader): launch one prefer-left key probe per announced
-// fragment root of the given repair.
+// fragment root of the given repair. The probes are a leader burst and
+// go out paced under finite bandwidth.
 func (p *processor) onStartKeys(n *simnet.Network, epoch NodeID) {
 	rs := p.reps[epoch]
 	if rs == nil {
 		return
 	}
 	for _, root := range rs.sortedRoots() {
-		n.Send(p.id, root.Owner, msgKeyProbe{Comp: root, Target: root, Epoch: epoch, Leader: p.id}, wordsKeyProbe)
+		p.sendPaced(n, root.Owner, msgKeyProbe{Comp: root, Target: root, Epoch: epoch, Leader: p.id}, wordsKeyProbe)
 	}
 }
 
@@ -373,14 +485,14 @@ func (p *processor) onKeyProbe(n *simnet.Network, m msgKeyProbe) {
 }
 
 // onStartStrip (leader): start the distributed strip at every fragment
-// root of the given repair.
+// root of the given repair, paced like every leader burst.
 func (p *processor) onStartStrip(n *simnet.Network, epoch NodeID) {
 	rs := p.reps[epoch]
 	if rs == nil {
 		return
 	}
 	for _, root := range rs.sortedRoots() {
-		n.Send(p.id, root.Owner, msgStripVisit{Comp: root, Target: root, Epoch: epoch, Leader: p.id}, wordsStripVisit)
+		p.sendPaced(n, root.Owner, msgStripVisit{Comp: root, Target: root, Epoch: epoch, Leader: p.id}, wordsStripVisit)
 	}
 }
 
@@ -487,12 +599,14 @@ func (p *processor) claim(n *simnet.Network, a addr, e, coord NodeID) bool {
 // only outputs are claim marks and conflict reports.
 func (p *processor) onClaimDeath(n *simnet.Network, m msgClaimDeath) {
 	v, coord := m.V, m.Coord
-	for o, l := range p.leaves {
+	for _, o := range sortedRecordKeys(p.leaves) {
+		l := p.leaves[o]
 		if l.parent.ok() && l.parent.Owner == v {
 			p.claim(n, leafAddr(p.id, o), v, coord)
 		}
 	}
-	for o, h := range p.helpers {
+	for _, o := range sortedRecordKeys(p.helpers) {
+		h := p.helpers[o]
 		lostParent := h.parent.ok() && h.parent.Owner == v
 		lostChild := (h.left.ok() && h.left.Owner == v) || (h.right.ok() && h.right.Owner == v)
 		if !lostParent && !lostChild {

@@ -22,6 +22,9 @@ type Options struct {
 	Quick bool
 	// Seed drives every random choice; runs are reproducible.
 	Seed int64
+	// Bandwidth adds one extra per-edge cap (words/round) to the
+	// EXP-BW sweep when positive; 0 leaves the default sweep.
+	Bandwidth int
 }
 
 // Experiment is one entry of DESIGN.md's per-experiment index.
@@ -89,6 +92,12 @@ func Experiments() []Experiment {
 			Title: "Batched concurrent deletions (churn throughput)",
 			Claim: "repairs of independent regions overlap: rounds track serialization depth, not batch size",
 			Run:   expBatch,
+		},
+		{
+			ID:    "EXP-BW",
+			Title: "Bandwidth-limited repair (congestion model)",
+			Claim: "finite per-edge bandwidth changes rounds, never messages or the healed graph; leader pacing shrinks edge backlog",
+			Run:   expBW,
 		},
 		{
 			ID:    "EXP-RTDEPTH",

@@ -186,6 +186,44 @@ func Degrees(actual, gprime *graph.Graph, live []NodeID) DegreeResult {
 	return res
 }
 
+// Congestion aggregates the bandwidth-limited simulator's congestion
+// counters across one or more repairs: round-weighted words deferred
+// by full edges, the deepest single-edge backlog seen, congested
+// rounds, and total rounds. The zero value is an empty sample.
+type Congestion struct {
+	QueuedWords      int
+	MaxEdgeBacklog   int
+	CongestionRounds int
+	Rounds           int
+}
+
+// Add folds one repair's counters into the aggregate: sums for the
+// totals, max for the backlog depth.
+func (c Congestion) Add(queuedWords, maxEdgeBacklog, congestionRounds, rounds int) Congestion {
+	c.QueuedWords += queuedWords
+	c.CongestionRounds += congestionRounds
+	c.Rounds += rounds
+	if maxEdgeBacklog > c.MaxEdgeBacklog {
+		c.MaxEdgeBacklog = maxEdgeBacklog
+	}
+	return c
+}
+
+// Merge folds another aggregate in, with the same sum/max semantics
+// as Add.
+func (c Congestion) Merge(o Congestion) Congestion {
+	return c.Add(o.QueuedWords, o.MaxEdgeBacklog, o.CongestionRounds, o.Rounds)
+}
+
+// CongestedFrac returns the fraction of rounds that deferred traffic
+// (0 for an empty sample).
+func (c Congestion) CongestedFrac() float64 {
+	if c.Rounds == 0 {
+		return 0
+	}
+	return float64(c.CongestionRounds) / float64(c.Rounds)
+}
+
 // LargestComponentFrac returns the fraction of live nodes in the largest
 // connected component of the actual network (1.0 when connected, 0 for
 // an empty network). Used to quantify how badly no-heal shatters.

@@ -187,3 +187,22 @@ func TestFormatters(t *testing.T) {
 		t.Fatalf("D = %q", D(42))
 	}
 }
+
+func TestCongestionAggregate(t *testing.T) {
+	var c Congestion
+	if c.CongestedFrac() != 0 {
+		t.Fatal("empty sample has nonzero congested fraction")
+	}
+	c = c.Add(10, 4, 2, 8)
+	c = c.Add(5, 9, 1, 4)
+	c = c.Add(0, 3, 0, 6)
+	if c.QueuedWords != 15 || c.CongestionRounds != 3 || c.Rounds != 18 {
+		t.Fatalf("aggregate = %+v", c)
+	}
+	if c.MaxEdgeBacklog != 9 {
+		t.Fatalf("MaxEdgeBacklog = %d, want max 9", c.MaxEdgeBacklog)
+	}
+	if got, want := c.CongestedFrac(), 3.0/18.0; got != want {
+		t.Fatalf("CongestedFrac = %v, want %v", got, want)
+	}
+}

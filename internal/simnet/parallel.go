@@ -46,6 +46,9 @@ func (n *Network) ParallelStep() int {
 		}
 		return a.seq < b.seq
 	})
+	// The bandwidth filter runs on the sorted batch before fan-out, so
+	// both delivery modes defer exactly the same messages.
+	batch = n.applyBandwidth(batch)
 
 	// Group by receiver, preserving per-receiver order.
 	type group struct {
@@ -114,20 +117,32 @@ func (n *Network) ParallelStep() int {
 
 	// Merge shadow queues in receiver order, re-sequencing so that the
 	// next round's delivery order is identical to the sequential
-	// schedule.
+	// schedule. Messages and timers are interleaved by their shadow
+	// sequence numbers: a handler that alternates Send and SendTimer
+	// (the outbox pacing does) must yield the same relative order a
+	// sequential round would have assigned, because for self-addressed
+	// traffic the (receiver, sender) sort key ties and the sequence
+	// decides delivery order.
 	for _, shadow := range shadows {
 		if shadow == nil {
 			continue
 		}
-		for _, m := range shadow.queue {
+		qi, fi := 0, 0
+		for qi < len(shadow.queue) || fi < len(shadow.future) {
+			takeMsg := fi >= len(shadow.future) ||
+				(qi < len(shadow.queue) && shadow.queue[qi].seq < shadow.future[fi].msg.seq)
 			n.seq++
-			m.seq = n.seq
-			n.queue = append(n.queue, m)
-		}
-		for _, t := range shadow.future {
-			n.seq++
-			t.msg.seq = n.seq
-			n.future = append(n.future, t)
+			if takeMsg {
+				m := shadow.queue[qi]
+				qi++
+				m.seq = n.seq
+				n.queue = append(n.queue, m)
+			} else {
+				t := shadow.future[fi]
+				fi++
+				t.msg.seq = n.seq
+				n.future = append(n.future, t)
+			}
 		}
 	}
 	return delivered

@@ -12,6 +12,22 @@
 // receivers ordered by (receiver, sender, send sequence). Handlers run
 // sequentially, so no locking is needed; determinism makes protocol runs
 // reproducible and directly comparable with the reference engine.
+//
+// # Bandwidth
+//
+// By default every queued message is delivered in the next round
+// regardless of sender load — the paper's model, but dishonest about
+// per-link capacity: a hotspot that serializes O(d log n) sends pays no
+// round-count price. SetBandwidth imposes a per-edge capacity of B
+// message-words per round (SetEdgeBandwidth overrides single directed
+// edges, modeling heterogeneous links). Excess traffic queues FIFO per
+// edge and spills deterministically into later rounds; an edge always
+// carries at least its oldest queued message per round, so a message
+// larger than B occupies the edge for a whole round rather than
+// starving (store-and-forward with a one-packet minimum). Timers are
+// local wake-ups and never consume bandwidth. With the default
+// unlimited bandwidth the behavior is bit-for-bit the historical one;
+// the congestion counters in Stats stay zero.
 package simnet
 
 import (
@@ -57,12 +73,29 @@ type Stats struct {
 	// processor (the paper's "communication per node" metric counts
 	// bits; multiply by MaxWords for a bound).
 	MaxSentByNode int
+	// QueuedWords accumulates, per round, the words deferred by the
+	// per-edge bandwidth limit; a message stuck behind a full edge for
+	// k rounds contributes k times its size, so the counter weights
+	// backlog by how long it lingered.
+	QueuedWords int
+	// MaxEdgeBacklog is the largest number of words left queued on a
+	// single edge at any round boundary — the hotspot depth.
+	MaxEdgeBacklog int
+	// CongestionRounds counts rounds in which at least one message was
+	// deferred for lack of bandwidth.
+	CongestionRounds int
 }
 
 // futureMsg is a timer waiting for its due round.
 type futureMsg struct {
 	due int
 	msg Message
+}
+
+// edgeKey identifies a directed edge for capacity accounting. Capacity
+// is directional: the two directions of a link are separate channels.
+type edgeKey struct {
+	from, to NodeID
 }
 
 // Network is a set of processors exchanging messages in lock-step
@@ -73,6 +106,11 @@ type Network struct {
 	future   []futureMsg // timers scheduled further ahead
 	round    int
 	seq      int
+
+	// bandwidth caps every edge at this many words per round; 0 means
+	// unlimited. edgeCap overrides single directed edges.
+	bandwidth int
+	edgeCap   map[edgeKey]int
 
 	stats   Stats
 	sentBy  map[NodeID]int
@@ -109,6 +147,94 @@ func (n *Network) HasNode(id NodeID) bool {
 
 // Round returns the current round number.
 func (n *Network) Round() int { return n.round }
+
+// SetBandwidth caps every edge at the given number of message-words
+// per round. Zero (the default) restores unlimited delivery. Changing
+// the cap never loses traffic: messages already deferred simply drain
+// under the new budget.
+func (n *Network) SetBandwidth(words int) {
+	if words < 0 {
+		panic(fmt.Sprintf("simnet: negative bandwidth %d", words))
+	}
+	n.bandwidth = words
+}
+
+// Bandwidth returns the global per-edge words-per-round cap (0 =
+// unlimited).
+func (n *Network) Bandwidth() int { return n.bandwidth }
+
+// SetEdgeBandwidth overrides the capacity of one directed edge,
+// modeling heterogeneous links. words <= 0 removes the override,
+// returning the edge to the global cap.
+func (n *Network) SetEdgeBandwidth(from, to NodeID, words int) {
+	e := edgeKey{from: from, to: to}
+	if words <= 0 {
+		delete(n.edgeCap, e)
+		return
+	}
+	if n.edgeCap == nil {
+		n.edgeCap = make(map[edgeKey]int)
+	}
+	n.edgeCap[e] = words
+}
+
+// edgeBudget returns the words-per-round cap of one directed edge
+// (0 = unlimited).
+func (n *Network) edgeBudget(e edgeKey) int {
+	if c, ok := n.edgeCap[e]; ok {
+		return c
+	}
+	return n.bandwidth
+}
+
+// applyBandwidth enforces the per-edge capacity on one round's sorted
+// delivery batch: it returns the messages that fit, re-queues the rest
+// for the next round (they keep their sequence numbers, so per-edge
+// FIFO order and global delivery determinism are preserved), and books
+// the congestion counters. Each edge always passes its oldest queued
+// message, so progress is guaranteed even for messages larger than the
+// cap. Timers bypass the check entirely: they are local wake-ups, not
+// link traffic.
+func (n *Network) applyBandwidth(batch []Message) []Message {
+	if n.bandwidth <= 0 && len(n.edgeCap) == 0 {
+		return batch
+	}
+	used := make(map[edgeKey]int)
+	var backlog map[edgeKey]int
+	out := batch[:0]
+	for _, m := range batch {
+		if !m.timer {
+			e := edgeKey{from: m.From, to: m.To}
+			if cap := n.edgeBudget(e); cap > 0 {
+				// Once an edge has deferred a message, everything later
+				// on that edge this round defers too — a smaller message
+				// must not overtake a larger one, or FIFO breaks.
+				_, full := backlog[e]
+				u := used[e]
+				if full || (u > 0 && u+m.Words > cap) {
+					if backlog == nil {
+						backlog = make(map[edgeKey]int)
+					}
+					backlog[e] += m.Words
+					n.queue = append(n.queue, m)
+					continue
+				}
+				used[e] = u + m.Words
+			}
+		}
+		out = append(out, m)
+	}
+	if len(backlog) > 0 {
+		n.stats.CongestionRounds++
+		for _, w := range backlog {
+			n.stats.QueuedWords += w
+			if w > n.stats.MaxEdgeBacklog {
+				n.stats.MaxEdgeBacklog = w
+			}
+		}
+	}
+	return out
+}
 
 // Send enqueues a message for delivery in the next round. Words must
 // reflect the payload size in O(log n)-bit words and be at least 1.
@@ -164,6 +290,7 @@ func (n *Network) Step() int {
 		}
 		return a.seq < b.seq
 	})
+	batch = n.applyBandwidth(batch)
 	delivered := 0
 	n.stats.Rounds++
 	for _, m := range batch {
@@ -208,8 +335,30 @@ func errNotQuiescent(maxRounds, queued, timers int) error {
 		maxRounds, queued, timers)
 }
 
-// Pending reports how many messages and timers are waiting for delivery.
+// Pending reports how many messages and timers are waiting for
+// delivery, messages deferred by the bandwidth limit included.
 func (n *Network) Pending() int { return len(n.queue) + len(n.future) }
+
+// PendingWords sums the sizes of all waiting network messages,
+// bandwidth-deferred backlog included (timers are free and count 0).
+func (n *Network) PendingWords() int {
+	words := 0
+	for _, m := range n.queue {
+		words += m.Words
+	}
+	return words
+}
+
+// DropPending discards every queued message and timer without
+// delivering them, returning how many were dropped. The batched-repair
+// synchronizer uses it to abort a claim phase whose outcome is already
+// decided; dropped traffic counts neither as delivered nor as
+// addressed-to-dead.
+func (n *Network) DropPending() int {
+	k := len(n.queue) + len(n.future)
+	n.queue, n.future = nil, nil
+	return k
+}
 
 // Dropped returns the number of messages addressed to dead processors.
 func (n *Network) Dropped() int { return n.dropped }

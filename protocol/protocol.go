@@ -44,6 +44,14 @@ type RepairCost struct {
 	MaxSentByNode int
 	// BTvSize is the size of the repair's coordination tree.
 	BTvSize int
+	// QueuedWords, MaxEdgeBacklog and CongestionRounds report the
+	// repair's congestion under a finite per-edge bandwidth (see
+	// SetBandwidth): round-weighted words deferred by full edges, the
+	// deepest single-edge backlog, and how many rounds deferred
+	// anything. All zero under the default unlimited bandwidth.
+	QueuedWords      int
+	MaxEdgeBacklog   int
+	CongestionRounds int
 }
 
 // Network is a distributed Forgiving Graph: every processor holds only
@@ -70,6 +78,26 @@ func New(edges []Edge) (*Network, error) {
 // modes produce identical results.
 func (n *Network) SetParallel(on bool) { n.s.SetParallel(on) }
 
+// SetBandwidth caps every network edge at the given number of
+// message-words per round (0, the default, is unlimited — the paper's
+// model). Excess traffic queues FIFO per edge and spills into later
+// rounds: the healed graph and message counts are identical for every
+// cap; only rounds and the congestion counters in the cost reports
+// change.
+func (n *Network) SetBandwidth(words int) { n.s.SetBandwidth(words) }
+
+// SetEdgeBandwidth overrides the capacity of one directed edge,
+// modeling heterogeneous links; words <= 0 clears the override.
+func (n *Network) SetEdgeBandwidth(from, to NodeID, words int) {
+	n.s.SetEdgeBandwidth(graph.NodeID(from), graph.NodeID(to), words)
+}
+
+// SetSpread toggles sender-side pacing of the repair leader's
+// instruction bursts under a finite bandwidth (default on). Pacing
+// shrinks the per-edge backlog without changing the healed graph; off
+// reproduces the bursty hotspot for measurement.
+func (n *Network) SetSpread(on bool) { n.s.SetSpread(on) }
+
 // Insert adds a processor connected to the given live neighbors.
 func (n *Network) Insert(v NodeID, nbrs []NodeID) error {
 	conv := make([]graph.NodeID, len(nbrs))
@@ -94,9 +122,17 @@ type BatchCost struct {
 	Waves     int
 	Conflicts int
 	// Messages and Rounds cover the whole batch, including the
-	// conflict-discovery claim phase.
-	Messages int
-	Rounds   int
+	// conflict-discovery claim phase. ClaimAborted reports that
+	// conflict discovery stopped early because the batch was proven to
+	// be one conflict group.
+	Messages     int
+	Rounds       int
+	ClaimAborted bool
+	// QueuedWords, MaxEdgeBacklog and CongestionRounds report the
+	// batch's congestion under a finite per-edge bandwidth.
+	QueuedWords      int
+	MaxEdgeBacklog   int
+	CongestionRounds int
 }
 
 // DeleteBatch removes several processors at once, overlapping the
@@ -117,6 +153,10 @@ func (n *Network) LastBatch() BatchCost {
 	return BatchCost{
 		Batch: b.Batch, Groups: b.Groups, Waves: b.Waves,
 		Conflicts: b.Conflicts, Messages: b.Messages, Rounds: b.Rounds,
+		ClaimAborted:     b.ClaimAborted,
+		QueuedWords:      b.QueuedWords,
+		MaxEdgeBacklog:   b.MaxEdgeBacklog,
+		CongestionRounds: b.CongestionRounds,
 	}
 }
 
@@ -124,14 +164,17 @@ func (n *Network) LastBatch() BatchCost {
 func (n *Network) LastRepair() RepairCost {
 	r := n.s.LastRecovery()
 	return RepairCost{
-		Deleted:       NodeID(r.Deleted),
-		DegreePrime:   r.DegreePrime,
-		Messages:      r.Messages,
-		Rounds:        r.Rounds,
-		TotalWords:    r.TotalWords,
-		MaxWords:      r.MaxWords,
-		MaxSentByNode: r.MaxSentByNode,
-		BTvSize:       r.NsetSize,
+		Deleted:          NodeID(r.Deleted),
+		DegreePrime:      r.DegreePrime,
+		Messages:         r.Messages,
+		Rounds:           r.Rounds,
+		TotalWords:       r.TotalWords,
+		MaxWords:         r.MaxWords,
+		MaxSentByNode:    r.MaxSentByNode,
+		BTvSize:          r.NsetSize,
+		QueuedWords:      r.QueuedWords,
+		MaxEdgeBacklog:   r.MaxEdgeBacklog,
+		CongestionRounds: r.CongestionRounds,
 	}
 }
 

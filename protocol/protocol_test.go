@@ -134,3 +134,46 @@ func TestDeleteBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBandwidthFacade(t *testing.T) {
+	// The same hub deletion under unlimited and B=1 bandwidth: the
+	// healed graph must be identical, the congested run must report
+	// congestion, and the unlimited one must not.
+	free, err := New(star(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := free.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	capped, err := New(star(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped.SetBandwidth(1)
+	capped.SetSpread(false) // bursty mode: maximal backlog
+	if err := capped.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+
+	rcFree, rcCapped := free.LastRepair(), capped.LastRepair()
+	if rcFree.CongestionRounds != 0 || rcFree.QueuedWords != 0 {
+		t.Fatalf("unlimited run reported congestion: %+v", rcFree)
+	}
+	if rcCapped.CongestionRounds == 0 || rcCapped.MaxEdgeBacklog == 0 {
+		t.Fatalf("capped run reported no congestion: %+v", rcCapped)
+	}
+	if rcCapped.Messages != rcFree.Messages {
+		t.Fatalf("messages diverge: %d capped vs %d free", rcCapped.Messages, rcFree.Messages)
+	}
+	if rcCapped.Rounds < rcFree.Rounds {
+		t.Fatalf("capped run finished in fewer rounds: %d vs %d", rcCapped.Rounds, rcFree.Rounds)
+	}
+	a, b := free.Edges(), capped.Edges()
+	if len(a) != len(b) {
+		t.Fatalf("healed graphs diverge: %d vs %d edges", len(a), len(b))
+	}
+	if err := capped.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
