@@ -126,15 +126,19 @@ func metricKey(unit string) string {
 
 // tolerance returns the allowed fractional deviation for a metric key
 // and whether the check is two-sided. ns/op is one-sided (faster is
-// fine, runners are noisy); message counts are deterministic protocol
-// properties, so moving in *either* direction beyond tolerance means
-// the protocol changed and the baseline is stale. Informational
-// metrics return -1.
+// fine, runners are noisy); message counts, round counts, and the
+// in-band coordination counters (sync/election rounds) are
+// deterministic protocol properties at a pinned -benchtime, so moving
+// in *either* direction beyond tolerance means the protocol changed
+// and the baseline is stale. Informational metrics return -1.
 func tolerance(key string, nsTol, msgsTol float64) (tol float64, twoSided bool) {
 	switch {
 	case key == "ns_per_op":
 		return nsTol, false
-	case strings.HasPrefix(key, "msgs_"):
+	case strings.HasPrefix(key, "msgs_"),
+		strings.HasPrefix(key, "rounds_"),
+		strings.HasPrefix(key, "syncrounds_"),
+		strings.HasPrefix(key, "electionrounds_"):
 		return msgsTol, true
 	default:
 		return -1, false

@@ -64,7 +64,7 @@ BenchmarkBatchedDelete/k=1-8    50    30000 ns/op    22.0 msgs/batch
 
 func TestFailsOnMissingMetric(t *testing.T) {
 	out, err := run(t, `
-BenchmarkBatchedDelete/k=1-8    50    30000 ns/op
+BenchmarkBatchedDelete/k=1-8    50    30000 ns/op    6.000 rounds/batch
 `)
 	if err == nil {
 		t.Fatalf("run missing a gated baseline metric passed:\n%s", out)
@@ -84,7 +84,7 @@ func TestImprovementsPass(t *testing.T) {
 	// Faster wall time passes outright; message counts may drift only
 	// within the two-sided tolerance.
 	out, err := run(t, `
-BenchmarkBatchedDelete/k=1-8    50    20000 ns/op    19.5 msgs/batch
+BenchmarkBatchedDelete/k=1-8    50    20000 ns/op    19.5 msgs/batch    6.000 rounds/batch
 BenchmarkBandwidthRepair/B=1-8  50    200000 ns/op   399.0 msgs/repair
 `)
 	if err != nil {

@@ -14,14 +14,22 @@
 // message-words per round (the congestion model): repairs heal to the
 // same graph, only rounds and the congestion counters change, which
 // the soak reports at the end. -no-spread disables the repair leader's
-// paced instruction bursts for comparison.
+// paced instruction bursts for comparison. -slow-frac F additionally
+// clamps the lowest-degree fraction F of nodes to 1 word/round on all
+// their links (the EXP-HET heterogeneous capacity map), and
+// -delete slow-link aims the deletions at the narrowest links.
+//
+// Checkpoints run the incremental verification (VerifyDelta: only the
+// state repairs touched since the last check), so soaking at n ≥ 10⁵
+// no longer pays an O(n) revalidation every interval; the final check
+// is always the full one, and -full-check restores it everywhere.
 //
 // Usage:
 //
 //	soak [-n N] [-topology NAME] [-steps K] [-seed S] [-insert-p P]
-//	     [-check-every C] [-dist] [-parallel]
+//	     [-check-every C] [-dist] [-parallel] [-full-check]
 //	     [-batch K] [-batch-strategy random|disjoint|colliding]
-//	     [-bandwidth B] [-no-spread]
+//	     [-delete STRATEGY] [-bandwidth B] [-no-spread] [-slow-frac F]
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/harness"
 	"repro/internal/metrics"
 )
 
@@ -59,6 +68,9 @@ func run() error {
 		batchName = flag.String("batch-strategy", "random", "burst shape: random, disjoint, or colliding")
 		bandwidth = flag.Int("bandwidth", 0, "with -dist: per-edge cap in words/round (0 = unlimited)")
 		noSpread  = flag.Bool("no-spread", false, "with -bandwidth: disable the leader's paced instruction bursts")
+		slowFrac  = flag.Float64("slow-frac", 0, "with -dist: mark this fraction of lowest-degree nodes as slow (node cap 1 word/round); inserted nodes join the slow class with the same probability")
+		deleteStr = flag.String("delete", "random", "single-deletion strategy (see adversary.Names; slow-link targets minimum-capacity links)")
+		fullCheck = flag.Bool("full-check", false, "run the full O(n) verification at every checkpoint instead of the incremental one (the final check is always full)")
 	)
 	flag.Parse()
 
@@ -82,11 +94,21 @@ func run() error {
 	if *noSpread && *bandwidth == 0 {
 		return fmt.Errorf("-no-spread only matters under a finite bandwidth; add -bandwidth")
 	}
+	if *slowFrac < 0 || *slowFrac >= 1 {
+		return fmt.Errorf("-slow-frac must be in [0, 1), got %v", *slowFrac)
+	}
+	if *slowFrac > 0 && !*useDist {
+		return fmt.Errorf("-slow-frac applies to the distributed protocol only; add -dist")
+	}
+	deleter, err := adversary.ByName(*deleteStr)
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	g0 := gen(*n, rng)
-	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v batch=%d strategy=%s bandwidth=%d spread=%v\n",
+	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v batch=%d strategy=%s delete=%s bandwidth=%d spread=%v slow-frac=%v\n",
 		*topology, g0.NumNodes(), *steps, *seed, *useDist, *parallel, *batchK, batchStrat.Name(),
-		*bandwidth, !*noSpread)
+		deleter.Name(), *bandwidth, !*noSpread, *slowFrac)
 
 	var (
 		target soakTarget
@@ -96,6 +118,10 @@ func run() error {
 		s.SetParallel(*parallel)
 		s.SetBandwidth(*bandwidth)
 		s.SetSpread(!*noSpread)
+		if *slowFrac > 0 {
+			slow := harness.MarkSlowNodes(s, *slowFrac)
+			fmt.Printf("soak: %d slow nodes (node cap 1 word/round)\n", slow)
+		}
 		target = distTarget{s}
 	} else {
 		target = engineTarget{core.NewEngine(g0)}
@@ -105,7 +131,7 @@ func run() error {
 		InsertP:      *insertP,
 		AttachK:      2,
 		Preferential: true,
-		Delete:       adversary.RandomDelete{},
+		Delete:       deleter,
 	}
 	// In batch mode the insert-vs-burst decision is drawn by the soak
 	// loop itself, so the insert branch must always insert: InsertP 1
@@ -118,6 +144,7 @@ func run() error {
 	batchWaves := metrics.NewHistogram(0, float64(*batchK)+0.25, *batchK+1)
 	degRatios := metrics.NewHistogram(0, 4.25, 17)
 	var cong metrics.Congestion
+	var coord metrics.Coordination
 	start := time.Now()
 	deletions, batches := 0, 0
 	for step := 1; step <= *steps; step++ {
@@ -130,6 +157,9 @@ func run() error {
 				}
 				if err := target.Insert(op.V, op.Nbrs); err != nil {
 					return fmt.Errorf("step %d: %v: %w", step, op, err)
+				}
+				if *slowFrac > 0 && rng.Float64() < *slowFrac {
+					target.MarkSlow(op.V)
 				}
 			} else {
 				// Burst: delete up to k nodes as one batch.
@@ -147,6 +177,7 @@ func run() error {
 				repairMsgs.Observe(float64(msgs))
 				batchWaves.Observe(float64(waves))
 				cong = cong.Merge(target.LastCongestion(true))
+				coord = coord.Merge(target.LastCoordination(true))
 			}
 		} else {
 			op, ok := churn.Next(target, rng, alloc)
@@ -158,6 +189,9 @@ func run() error {
 				if err := target.Insert(op.V, op.Nbrs); err != nil {
 					return fmt.Errorf("step %d: %v: %w", step, op, err)
 				}
+				if *slowFrac > 0 && rng.Float64() < *slowFrac {
+					target.MarkSlow(op.V)
+				}
 			} else {
 				if err := target.Delete(op.V); err != nil {
 					return fmt.Errorf("step %d: %v: %w", step, op, err)
@@ -165,10 +199,15 @@ func run() error {
 				deletions++
 				repairMsgs.Observe(float64(target.LastRepairMessages()))
 				cong = cong.Merge(target.LastCongestion(false))
+				coord = coord.Merge(target.LastCoordination(false))
 			}
 		}
 		if step%*checkEvy == 0 {
-			if err := target.Validate(); err != nil {
+			check := target.ValidateDelta
+			if *fullCheck {
+				check = target.Validate
+			}
+			if err := check(); err != nil {
 				return fmt.Errorf("step %d: INVARIANT VIOLATION: %w", step, err)
 			}
 			net := target.Network()
@@ -205,6 +244,11 @@ func run() error {
 			*bandwidth, cong.CongestionRounds, cong.Rounds, 100*cong.CongestedFrac(),
 			cong.MaxEdgeBacklog, cong.QueuedWords)
 	}
+	if *useDist {
+		fmt.Printf("in-band coordination: %d election + %d sync messages; %d election / %d sync of %d repair rounds (%.1f%% carried coordination)\n",
+			coord.ElectionMessages, coord.SyncMessages, coord.ElectionRounds, coord.SyncRounds,
+			coord.Rounds, 100*coord.SyncFrac())
+	}
 	return nil
 }
 
@@ -216,6 +260,13 @@ type soakTarget interface {
 	Delete(v graph.NodeID) error
 	DeleteBatch(vs []graph.NodeID) error
 	Validate() error
+	// ValidateDelta is the incremental checkpoint validation: only the
+	// state touched since the last validation (full falls back where no
+	// incremental mode exists).
+	ValidateDelta() error
+	// MarkSlow clamps one node's links to 1 word/round (no-op for the
+	// engine, which has no network).
+	MarkSlow(v graph.NodeID)
 	LastRepairMessages() int
 	// LastBatchCost returns the messages and serialization waves of the
 	// most recent batch.
@@ -224,6 +275,10 @@ type soakTarget interface {
 	// batch (batch true) or single deletion (batch false); zero for the
 	// engine and under unlimited bandwidth.
 	LastCongestion(batch bool) metrics.Congestion
+	// LastCoordination returns the in-band coordination counters
+	// (election/sync rounds and messages) the same way; zero for the
+	// engine, which has no protocol.
+	LastCoordination(batch bool) metrics.Coordination
 }
 
 type engineTarget struct{ e *core.Engine }
@@ -237,10 +292,16 @@ func (t engineTarget) Insert(v graph.NodeID, nbrs []graph.NodeID) error {
 func (t engineTarget) Delete(v graph.NodeID) error         { return t.e.Delete(v) }
 func (t engineTarget) DeleteBatch(vs []graph.NodeID) error { return t.e.DeleteBatch(vs) }
 func (t engineTarget) Validate() error                     { return t.e.CheckInvariants() }
+func (t engineTarget) ValidateDelta() error                { return t.e.CheckInvariants() }
+func (t engineTarget) MarkSlow(graph.NodeID)               {}
 func (t engineTarget) LastRepairMessages() int             { return 0 }
 func (t engineTarget) LastBatchCost() (int, int)           { return 0, t.e.LastBatchRepair().Batch }
 func (t engineTarget) LastCongestion(bool) metrics.Congestion {
 	return metrics.Congestion{}
+}
+
+func (t engineTarget) LastCoordination(bool) metrics.Coordination {
+	return metrics.Coordination{}
 }
 
 type distTarget struct{ s *dist.Simulation }
@@ -254,7 +315,15 @@ func (t distTarget) Insert(v graph.NodeID, nbrs []graph.NodeID) error {
 func (t distTarget) Delete(v graph.NodeID) error         { return t.s.Delete(v) }
 func (t distTarget) DeleteBatch(vs []graph.NodeID) error { return t.s.DeleteBatch(vs) }
 func (t distTarget) Validate() error                     { return t.s.Verify() }
-func (t distTarget) LastRepairMessages() int             { return t.s.LastRecovery().Messages }
+func (t distTarget) ValidateDelta() error                { return t.s.VerifyDelta(8) }
+func (t distTarget) MarkSlow(v graph.NodeID)             { t.s.SetNodeBandwidth(v, 1) }
+
+// EdgeCapacity makes distTarget an adversary.CapacityView, so the
+// slow-link deletion strategy can aim at the narrowest links.
+func (t distTarget) EdgeCapacity(from, to graph.NodeID) int {
+	return t.s.EdgeCapacity(from, to)
+}
+func (t distTarget) LastRepairMessages() int { return t.s.LastRecovery().Messages }
 func (t distTarget) LastBatchCost() (int, int) {
 	bs := t.s.LastBatch()
 	return bs.Messages, bs.Waves
@@ -267,4 +336,14 @@ func (t distTarget) LastCongestion(batch bool) metrics.Congestion {
 	}
 	rs := t.s.LastRecovery()
 	return c.Add(rs.QueuedWords, rs.MaxEdgeBacklog, rs.CongestionRounds, rs.Rounds)
+}
+
+func (t distTarget) LastCoordination(batch bool) metrics.Coordination {
+	var c metrics.Coordination
+	if batch {
+		bs := t.s.LastBatch()
+		return c.Add(bs.ElectionRounds, bs.SyncRounds, bs.ElectionMessages, bs.SyncMessages, bs.Rounds)
+	}
+	rs := t.s.LastRecovery()
+	return c.Add(rs.ElectionRounds, rs.SyncRounds, rs.ElectionMessages, rs.SyncMessages, rs.Rounds)
 }

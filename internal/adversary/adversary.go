@@ -184,6 +184,76 @@ func (HubBacklogDelete) Next(v View, _ *rand.Rand, _ func() NodeID) (Op, bool) {
 	return Op{V: best}, true
 }
 
+// CapacityView extends View with link-capacity knowledge: the
+// effective words-per-round cap of a directed edge (0 = unlimited).
+// The bandwidth-aware adversaries use it to aim at the network's
+// weakest links; against a target that does not expose capacities they
+// degrade gracefully.
+type CapacityView interface {
+	View
+	EdgeCapacity(from, to NodeID) int
+}
+
+// SlowLinkDelete targets minimum-capacity links: it kills the live
+// endpoint of the slowest physical edge whose repair traffic must
+// squeeze through that edge — the death answers, probes, and merge
+// instructions of the victim's neighbors all funnel over their
+// incident links, so deleting next to the narrowest link maximizes the
+// rounds congestion can add. Among the endpoints of minimum-capacity
+// edges it prefers the one with the most incident slow links, then
+// higher degree (more funneled traffic), then the smallest ID for
+// determinism. Falls back to MaxDegreeDelete when the view exposes no
+// finite capacities.
+type SlowLinkDelete struct{}
+
+// Name implements Adversary.
+func (SlowLinkDelete) Name() string { return "slow-link-delete" }
+
+// Next implements Adversary.
+func (SlowLinkDelete) Next(v View, rng *rand.Rand, next func() NodeID) (Op, bool) {
+	live := v.LiveNodes()
+	if len(live) == 0 {
+		return Op{}, false
+	}
+	cv, ok := v.(CapacityView)
+	if !ok {
+		return MaxDegreeDelete{}.Next(v, rng, next)
+	}
+	net := v.Network()
+	// The minimum finite capacity over live physical edges (either
+	// direction: repair traffic flows both ways).
+	minCap := 0
+	for _, u := range live {
+		net.EachNeighbor(u, func(w NodeID) {
+			if c := cv.EdgeCapacity(u, w); c > 0 && (minCap == 0 || c < minCap) {
+				minCap = c
+			}
+		})
+	}
+	if minCap == 0 {
+		return MaxDegreeDelete{}.Next(v, rng, next)
+	}
+	best, bestSlow, bestDeg := NodeID(0), -1, -1
+	for _, u := range live { // ascending, so strict > keeps the smallest ID
+		slow := 0
+		net.EachNeighbor(u, func(w NodeID) {
+			if cv.EdgeCapacity(u, w) == minCap || cv.EdgeCapacity(w, u) == minCap {
+				slow++
+			}
+		})
+		if slow == 0 {
+			continue
+		}
+		if d := net.Degree(u); slow > bestSlow || (slow == bestSlow && d > bestDeg) {
+			best, bestSlow, bestDeg = u, slow, d
+		}
+	}
+	if bestSlow < 0 {
+		return MaxDegreeDelete{}.Next(v, rng, next)
+	}
+	return Op{V: best}, true
+}
+
 // CenterDelete kills the node of minimum eccentricity in the largest
 // component — the center attack that maximizes path damage.
 type CenterDelete struct{}
@@ -350,14 +420,16 @@ func ByName(name string) (Adversary, error) {
 		return CutVertexDelete{}, nil
 	case "hub-backlog":
 		return HubBacklogDelete{}, nil
+	case "slow-link":
+		return SlowLinkDelete{}, nil
 	default:
-		return nil, fmt.Errorf("adversary: unknown strategy %q (want random, maxdeg, mindeg, rt-target, center, cutvertex, or hub-backlog)", name)
+		return nil, fmt.Errorf("adversary: unknown strategy %q (want random, maxdeg, mindeg, rt-target, center, cutvertex, hub-backlog, or slow-link)", name)
 	}
 }
 
 // Names lists the strategies ByName accepts.
 func Names() []string {
-	return []string{"random", "maxdeg", "mindeg", "rt-target", "center", "cutvertex", "hub-backlog"}
+	return []string{"random", "maxdeg", "mindeg", "rt-target", "center", "cutvertex", "hub-backlog", "slow-link"}
 }
 
 func sortNodeIDs(ids []NodeID) {

@@ -311,3 +311,92 @@ func TestClaimAbortMidFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPerEdgePacingSlowLink is the per-edge outbox budget claim: with
+// a generous global cap but one narrow link out of the leader, the
+// pacing must trickle that link at ITS budget — the slow edge collects
+// (almost) no backlog — while the bursty mode piles the whole burst
+// onto it. Before per-edge budgets the pacer consulted the global cap
+// only, so the slow link backlogged even with spread on.
+func TestPerEdgePacingSlowLink(t *testing.T) {
+	// Star-16 hub deletion: the leader (ray 1) fans the merge plan out
+	// to every ray. Ray 9's inbound link is 1 word/round; everything
+	// else is capped at 16 (wide enough to never congest).
+	run := func(spread bool) (*Simulation, RecoveryStats) {
+		s := NewSimulation(graph.Star(16))
+		s.SetBandwidth(16)
+		s.SetEdgeBandwidth(1, 9, 1)
+		s.SetSpread(spread)
+		if err := s.Delete(0); err != nil {
+			t.Fatal(err)
+		}
+		return s, s.LastRecovery()
+	}
+	sPaced, paced := run(true)
+	sBurst, burst := run(false)
+
+	if burst.MaxEdgeBacklog == 0 {
+		t.Fatal("bursty run shows no backlog on the slow link: the scenario is vacuous")
+	}
+	if paced.MaxEdgeBacklog >= burst.MaxEdgeBacklog {
+		t.Errorf("per-edge pacing did not shrink the slow link's backlog: paced %d >= burst %d",
+			paced.MaxEdgeBacklog, burst.MaxEdgeBacklog)
+	}
+	// The paced leader holds every send beyond the slow edge's own
+	// budget in its outbox, so at most one in-flight message can ever
+	// be deferred on that edge.
+	if paced.MaxEdgeBacklog > wordsCreateHelper {
+		t.Errorf("paced slow-link backlog %d words exceeds a single instruction (%d): pacing is not consulting the per-edge cap",
+			paced.MaxEdgeBacklog, wordsCreateHelper)
+	}
+	if paced.Messages != burst.Messages {
+		t.Errorf("messages diverge: paced %d vs burst %d", paced.Messages, burst.Messages)
+	}
+	if !sPaced.Physical().Equal(sBurst.Physical()) {
+		t.Error("healed graphs diverge between pacing modes")
+	}
+	for name, s := range map[string]*Simulation{"paced": sPaced, "burst": sBurst} {
+		if err := s.Verify(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestNodeCapEquivalence: node-level capacity clamps (the EXP-HET slow
+// access links) must — like every bandwidth configuration — delay
+// traffic, never change it: same healed graph, same messages, at least
+// as many rounds as the unlimited twin.
+func TestNodeCapEquivalence(t *testing.T) {
+	g0 := graph.PreferentialAttachment(32, 3, rand.New(rand.NewSource(77)))
+	ref := NewSimulation(g0)
+	slow := NewSimulation(g0)
+	for i, v := range slow.LiveNodes() {
+		if i%3 == 0 {
+			slow.SetNodeBandwidth(v, 1)
+		}
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 10; i++ {
+		live := ref.LiveNodes()
+		v := live[rng.Intn(len(live))]
+		if err := ref.Delete(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := slow.Delete(v); err != nil {
+			t.Fatal(err)
+		}
+		rr, sr := ref.LastRecovery(), slow.LastRecovery()
+		if sr.Messages != rr.Messages {
+			t.Fatalf("delete %d: %d messages under node caps, want %d", v, sr.Messages, rr.Messages)
+		}
+		if sr.Rounds < rr.Rounds {
+			t.Fatalf("delete %d: %d rounds under node caps < unlimited %d", v, sr.Rounds, rr.Rounds)
+		}
+		if !slow.Physical().Equal(ref.Physical()) {
+			t.Fatalf("delete %d: healed graphs diverge under node caps", v)
+		}
+	}
+	if err := slow.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

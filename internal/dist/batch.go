@@ -35,9 +35,14 @@ import (
 //     smallest member of every group concurrently through the standard
 //     five phases: the younger repair of every conflicting pair runs
 //     in a later wave, serialized behind the older exactly as the
-//     canonical order requires. The quiescence barriers between phases
-//     are shared, so a wave costs the *maximum* rounds any of its
-//     repairs needs, not the sum.
+//     canonical order requires. Within a wave every repair chains its
+//     phases independently in-band (election, convergecast acks,
+//     height-bounded timers — see dist.go) and epochs finish in
+//     whatever order their regions allow, so a wave costs the longest
+//     single repair chain, not the sum. The only driver-side barrier
+//     left is *between* waves, where the next wave's deletions — an
+//     adversary action, not protocol — are applied to the healed
+//     state.
 
 // BatchStats reports the measured cost of one DeleteBatch call.
 type BatchStats struct {
@@ -69,6 +74,13 @@ type BatchStats struct {
 	QueuedWords      int
 	MaxEdgeBacklog   int
 	CongestionRounds int
+	// ElectionRounds / SyncRounds and the corresponding message counts
+	// expose the batch's in-band coordination cost: leader-election
+	// tournaments and termination-detection traffic across every wave.
+	ElectionRounds   int
+	SyncRounds       int
+	ElectionMessages int
+	SyncMessages     int
 }
 
 // LastBatch returns the cost of the most recent DeleteBatch call.
@@ -101,6 +113,10 @@ func (s *Simulation) DeleteBatch(vs []NodeID) error {
 			QueuedWords:      rs.QueuedWords,
 			MaxEdgeBacklog:   rs.MaxEdgeBacklog,
 			CongestionRounds: rs.CongestionRounds,
+			ElectionRounds:   rs.ElectionRounds,
+			SyncRounds:       rs.SyncRounds,
+			ElectionMessages: rs.ElectionMessages,
+			SyncMessages:     rs.SyncMessages,
 		}
 		return nil
 	}
@@ -155,6 +171,10 @@ func (s *Simulation) DeleteBatch(vs []NodeID) error {
 		QueuedWords:      st.QueuedWords,
 		MaxEdgeBacklog:   st.MaxEdgeBacklog,
 		CongestionRounds: st.CongestionRounds,
+		ElectionRounds:   st.ElectionRounds,
+		SyncRounds:       st.SyncRounds,
+		ElectionMessages: st.ElectionMessages,
+		SyncMessages:     st.SyncMessages,
 	}
 	return nil
 }

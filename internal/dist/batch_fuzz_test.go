@@ -26,6 +26,15 @@ func FuzzBatchSchedule(f *testing.F) {
 	f.Add([]byte{0x47, 0x81, 0x03, 0x62})
 	f.Add([]byte{0x90, 0x91, 0x30, 0x92, 0x15, 0x00})
 	f.Add([]byte{0xff, 0x7f, 0x3f, 0x1f})
+	// Termination-detection edge cases: a max-size lopsided batch whose
+	// small epochs finish while the big one is still electing...
+	f.Add([]byte{0x7f, 0x70, 0x10})
+	// ...repairs completing during an in-flight election after churn
+	// thinned the grid (singleton regions next to deep RT damage)...
+	f.Add([]byte{0x05, 0x0a, 0x03, 0x75, 0x20})
+	// ...and batch epochs finishing out of order across waves (inserts
+	// grow fresh leaves whose repairs are trivial one-participant runs).
+	f.Add([]byte{0x81, 0x82, 0x7c, 0x00, 0x3d})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 48 {
 			data = data[:48]

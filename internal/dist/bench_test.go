@@ -20,7 +20,7 @@ func BenchmarkBatchedDelete(b *testing.B) {
 	for _, k := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			b.ReportAllocs()
-			var rounds, msgs, waves float64
+			var rounds, msgs, waves, sync, election float64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				s := NewSimulation(base)
@@ -34,11 +34,15 @@ func BenchmarkBatchedDelete(b *testing.B) {
 				rounds += float64(bs.Rounds)
 				msgs += float64(bs.Messages)
 				waves += float64(bs.Waves)
+				sync += float64(bs.SyncRounds)
+				election += float64(bs.ElectionRounds)
 			}
 			n := float64(b.N)
 			b.ReportMetric(rounds/n, "rounds/batch")
 			b.ReportMetric(msgs/n, "msgs/batch")
 			b.ReportMetric(waves/n, "waves/batch")
+			b.ReportMetric(sync/n, "syncrounds/batch")
+			b.ReportMetric(election/n, "electionrounds/batch")
 		})
 	}
 }
@@ -90,7 +94,7 @@ func BenchmarkBandwidthRepair(b *testing.B) {
 	} {
 		b.Run(bw.name, func(b *testing.B) {
 			b.ReportAllocs()
-			var rounds, msgs, congested float64
+			var rounds, msgs, congested, sync, election float64
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				s := churn()
@@ -103,11 +107,15 @@ func BenchmarkBandwidthRepair(b *testing.B) {
 				rounds += float64(rs.Rounds)
 				msgs += float64(rs.Messages)
 				congested += float64(rs.CongestionRounds)
+				sync += float64(rs.SyncRounds)
+				election += float64(rs.ElectionRounds)
 			}
 			n := float64(b.N)
 			b.ReportMetric(rounds/n, "rounds/repair")
 			b.ReportMetric(msgs/n, "msgs/repair")
 			b.ReportMetric(congested/n, "congested/repair")
+			b.ReportMetric(sync/n, "syncrounds/repair")
+			b.ReportMetric(election/n, "electionrounds/repair")
 		})
 	}
 }

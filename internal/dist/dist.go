@@ -9,32 +9,48 @@
 // links stored as (owner, edge) addresses. All repair coordination is
 // simnet messages of O(1)–O(log n)-bit words:
 //
-//  1. Death notification. The deleted node's physical neighbors (G′
-//     neighbors plus tree neighbors of its avatars) are informed, per
-//     the model. They detach the dangling links, seed the damage walks,
-//     and grow fresh leaf avatars for the half-dead edges. The
-//     smallest-ID notified processor coordinates (the root of BT_v).
+//  1. Death notification and leader election. The deleted node's
+//     physical neighbors (G′ neighbors plus tree neighbors of its
+//     avatars) are informed, per the model; the notification carries
+//     each neighbor's slot in BT_v, the coordination tree over the
+//     notified set. The participants elect the repair leader by a
+//     pairwise knockout tournament up BT_v — O(log d) rounds of
+//     O(1)-word champion messages — then all begin together: detach
+//     the dangling links, seed the damage walks, and grow fresh leaf
+//     avatars for the half-dead edges.
 //  2. Damage walks. Every helper that lost a child propagates a
 //     Breakflag up its parent chain (Algorithm A.5): those nodes no
 //     longer head intact subtrees. Walks stop at already-marked nodes
-//     and announce the fragment roots they reach.
+//     and announce the fragment roots they reach; every walk's
+//     terminator acks its origin, and a convergecast up BT_v proves
+//     the whole phase done to the leader.
 //  3. Key probes. Each fragment root runs the prefer-left descent that
-//     yields its component's deterministic ordering key.
+//     yields its component's deterministic ordering key; the leader
+//     counts one reply per probe to completion.
 //  4. Distributed strip. Fragment roots cascade strip visits downward;
 //     undamaged stored-perfect nodes detach as primary roots and report
 //     O(1)-word descriptors to the leader; damaged or imperfect helpers
-//     retire (Lemma 2).
+//     retire (Lemma 2). Resolution acks convergecast back up each
+//     fragment, proving the strip complete.
 //  5. Merge. The leader replays the engine's exact haft.Merge over the
 //     descriptors (Algorithm A.9, binary addition of trees) and
 //     broadcasts the join plan as link instructions.
 //
-// Phases are separated by quiescence of the synchronous network (the
-// synchronizer's timers carry no words and count no messages). The
-// result is behaviorally equivalent to internal/core — the same healed
-// graph on the same operation sequence, which the differential tests
-// assert — while per-repair traffic obeys Theorem 1.3: O(d log n)
-// messages of O(log n) bits and O(log d · log n) rounds for a deleted
-// node of G′-degree d.
+// There is NO out-of-band synchronization between phases: each repair
+// is a message-driven state machine whose leader proves every phase's
+// termination in-band — height-bounded convergecast acks guarded by
+// height-bounded watchdog timers — and chains into the next phase
+// itself. The caller runs the network to quiescence once per
+// deletion/wave; that final quiescence is the adversary's turn ending,
+// not a protocol synchronizer. Election and termination-detection
+// traffic is charged like all other traffic and reported separately
+// (ElectionRounds/SyncRounds), so the round and message counts are
+// honest about what coordination costs. The result is behaviorally
+// equivalent to internal/core — the same healed graph on the same
+// operation sequence, which the differential tests assert — while
+// per-repair traffic obeys Theorem 1.3: O(d log n) messages of
+// O(log n) bits and O(log d · log n) rounds for a deleted node of
+// G′-degree d.
 //
 // Deletions arriving in bursts run through DeleteBatch, which overlaps
 // the repairs of independent damaged regions: every message carries its
@@ -81,6 +97,17 @@ type RecoveryStats struct {
 	QueuedWords      int
 	MaxEdgeBacklog   int
 	CongestionRounds int
+	// ElectionRounds / SyncRounds expose the synchronization cost the
+	// old barrier-driven protocol hid: rounds that carried leader-
+	// election tournament traffic and rounds that carried termination-
+	// detection traffic (walk acks, convergecast dones). Both kinds of
+	// messages are also included in Messages/TotalWords — coordination
+	// is charged like any other traffic. ElectionMessages/SyncMessages
+	// are the corresponding message counts.
+	ElectionRounds   int
+	SyncRounds       int
+	ElectionMessages int
+	SyncMessages     int
 }
 
 // Simulation is a distributed Forgiving Graph: processors exchanging
@@ -103,11 +130,18 @@ type Simulation struct {
 	// batch's conflict-discovery phase (see batch.go).
 	claimers *dirtyList
 
+	// touchers tracks processors whose records changed since the last
+	// verification, feeding the incremental VerifyDelta.
+	touchers *dirtyList
+
 	// bandwidth is the per-edge words-per-round cap (0 = unlimited);
-	// spread paces the leader's instruction bursts under a finite cap;
-	// claimAbort lets a batch's claim phase stop early once the whole
-	// batch is known to be one conflict group.
+	// minCap is the smallest positive cap ever configured on any layer
+	// (global, per-edge, per-node), sizing the quiescence bound's
+	// congestion slack; spread paces the leader's instruction bursts
+	// under a finite cap; claimAbort lets a batch's claim phase stop
+	// early once the whole batch is known to be one conflict group.
 	bandwidth  int
+	minCap     int
 	spread     bool
 	claimAbort bool
 
@@ -129,6 +163,7 @@ func NewSimulation(g0 *graph.Graph) *Simulation {
 	}
 	s.initPhys(g0)
 	s.claimers = &dirtyList{}
+	s.touchers = &dirtyList{}
 	s.spread = true
 	s.claimAbort = true
 	for _, v := range g0.Nodes() {
@@ -147,7 +182,7 @@ func (s *Simulation) addProcessor(v NodeID) {
 	p := newProcessor(v)
 	p.dirty = s.dirty
 	p.claimers = s.claimers
-	p.budget = s.bandwidth
+	p.touchers = s.touchers
 	p.spread = s.spread
 	s.procs[v] = p
 	s.alive[v] = struct{}{}
@@ -167,19 +202,42 @@ func (s *Simulation) SetParallel(on bool) { s.parallel = on }
 // cap, only rounds (and the congestion counters in the stats) change.
 func (s *Simulation) SetBandwidth(words int) {
 	s.bandwidth = words
+	s.noteCap(words)
 	s.net.SetBandwidth(words)
-	for _, p := range s.procs {
-		p.budget = words
+}
+
+// noteCap remembers the narrowest positive cap ever configured, so the
+// quiescence bound's congestion slack covers the slowest link.
+func (s *Simulation) noteCap(words int) {
+	if words > 0 && (s.minCap == 0 || words < s.minCap) {
+		s.minCap = words
 	}
 }
 
 // SetEdgeBandwidth overrides the capacity of one directed edge,
 // modeling heterogeneous links; words <= 0 clears the override. The
-// leader's send pacing budgets against the global cap only, so a
-// narrower per-edge cap shows up as network backlog rather than
-// sender-side queueing.
+// leader's send pacing consults the per-edge budgets, so a narrower
+// cap on one link trickles that link at its own rate instead of
+// piling avoidable backlog onto it.
 func (s *Simulation) SetEdgeBandwidth(from, to NodeID, words int) {
+	s.noteCap(words)
 	s.net.SetEdgeBandwidth(from, to, words)
+}
+
+// SetNodeBandwidth caps every link incident to one processor at the
+// given words per round (0 clears) — a slow access link in a
+// heterogeneous topology. Compounds with the global and per-edge caps
+// by minimum; the send pacing sees the clamped budgets too.
+func (s *Simulation) SetNodeBandwidth(v NodeID, words int) {
+	s.noteCap(words)
+	s.net.SetNodeBandwidth(v, words)
+}
+
+// EdgeCapacity returns the effective words-per-round capacity of one
+// directed edge (0 = unlimited), every cap layer applied. Adversaries
+// targeting the slowest links read it.
+func (s *Simulation) EdgeCapacity(from, to NodeID) int {
+	return s.net.EdgeBudget(from, to)
 }
 
 // SetSpread toggles sender-side pacing of the repair leader's
@@ -258,21 +316,24 @@ func (s *Simulation) Insert(v NodeID, nbrs []NodeID) error {
 	s.addProcessor(v)
 	s.phys.AddNode(v)
 	p := s.procs[v]
+	p.markTouched()
 	for _, x := range nbrs {
 		s.gprime.AddEdge(v, x)
 		p.nbrs[x] = struct{}{}
 		s.procs[x].nbrs[v] = struct{}{}
+		s.procs[x].markTouched()
 		s.physAdd(v, x)
 	}
 	return nil
 }
 
 // pendingRepair is one deletion whose repair is about to run: the
-// processors to notify (the paper's BT_v set) and the elected leader.
-// The deleted node's ID doubles as the repair's epoch.
+// processors to notify (the paper's BT_v set). The deleted node's ID
+// doubles as the repair's epoch. The repair leader is NOT chosen here
+// — the participants elect it in-band by the knockout tournament over
+// BT_v.
 type pendingRepair struct {
 	v      NodeID
-	leader NodeID
 	notify []NodeID
 }
 
@@ -332,9 +393,8 @@ func (s *Simulation) removeProcessor(v NodeID) {
 	s.phys.RemoveNode(v)
 }
 
-// prepareRepair removes v from the network and elects the repair
-// leader, returning nil when v was isolated in the virtual graph
-// (nothing to repair).
+// prepareRepair removes v from the network, returning nil when v was
+// isolated in the virtual graph (nothing to repair).
 func (s *Simulation) prepareRepair(v NodeID) *pendingRepair {
 	affected := s.affectedBy(v)
 	s.removeProcessor(v)
@@ -346,49 +406,59 @@ func (s *Simulation) prepareRepair(v NodeID) *pendingRepair {
 		notify = append(notify, x)
 	}
 	sort.Slice(notify, func(i, j int) bool { return notify[i] < notify[j] })
-	return &pendingRepair{v: v, leader: notify[0], notify: notify}
+	return &pendingRepair{v: v, notify: notify}
 }
 
-// runRepairs drives a set of repairs — of mutually independent damaged
-// regions — through the five protocol phases concurrently. The global
-// quiescence barriers are shared: each phase ends when every repair's
-// traffic for it has drained, so the total rounds are the maximum any
-// single repair needs, not the sum.
+// runRepairs launches a set of repairs — of mutually independent
+// damaged regions — and runs the network to quiescence ONCE. There is
+// no caller-side barrier between phases anymore: each repair is a
+// message-driven state machine that elects its leader by tournament
+// over BT_v, proves every phase's termination in-band (walk acks, the
+// BT_v convergecast, counted probe replies, the strip convergecast)
+// and chains into the next phase itself via height-bounded timers.
+// Repairs of a wave advance their phases fully independently — a small
+// repair can be merging while a large one is still electing — so the
+// wave's rounds are the longest single chain, not the sum of per-phase
+// maxima.
 func (s *Simulation) runRepairs(reps []*pendingRepair) error {
 	if len(reps) == 0 {
 		return nil
 	}
 	// Each neighbor detects the deletion itself (the model's detection
-	// assumption), so the notification is a self-addressed message:
-	// the word cost is charged, but to the live detector, never to the
-	// vanished processor. Under a finite bandwidth the fan-out spreads
-	// across rounds by the network's own per-edge FIFO — a detector
-	// notified by several repairs of a wave absorbs one budget's worth
-	// per round.
+	// assumption), so the notification is a self-addressed message: the
+	// word cost is charged, but to the live detector, never to the
+	// vanished processor. The notification carries the receiver's slot
+	// in BT_v — the coordination tree the dead node's will laid over
+	// its neighbors — here a heap-shaped complete binary tree over the
+	// notified set in DESCENDING ID order, so the root holds the
+	// LARGEST ID and the eventual winner (the smallest) genuinely has
+	// to win log d knockout matches on its way up. Under a finite
+	// bandwidth the fan-out spreads across rounds by the network's own
+	// per-edge FIFO — a detector notified by several repairs of a wave
+	// absorbs one budget's worth per round.
 	for _, r := range reps {
-		for _, x := range r.notify {
-			s.net.Send(x, x, msgDeath{V: r.v, Leader: r.leader}, wordsDeath)
+		k := len(r.notify)
+		order := make([]NodeID, k)
+		for i, x := range r.notify {
+			order[k-1-i] = x
+		}
+		at := func(i int) NodeID {
+			if i < k {
+				return order[i]
+			}
+			return noNode
+		}
+		for i, x := range order {
+			parent := noNode
+			if i > 0 {
+				parent = order[(i-1)/2]
+			}
+			s.net.Send(x, x, msgDeath{
+				V: r.v, BTParent: parent, BTLeft: at(2*i + 1), BTRight: at(2*i + 2),
+			}, wordsDeath)
 		}
 	}
-	if err := s.run(); err != nil {
-		return fmt.Errorf("notify phase: %w", err)
-	}
-	for _, phase := range []struct {
-		name    string
-		trigger func(epoch NodeID) any
-	}{
-		{"key", func(e NodeID) any { return msgStartKeys{Epoch: e} }},
-		{"strip", func(e NodeID) any { return msgStartStrip{Epoch: e} }},
-		{"merge", func(e NodeID) any { return msgStartMerge{Epoch: e} }},
-	} {
-		for _, r := range reps {
-			s.net.SendTimer(r.leader, phase.trigger(r.v), 1)
-		}
-		if err := s.run(); err != nil {
-			return fmt.Errorf("%s phase: %w", phase.name, err)
-		}
-	}
-	return nil
+	return s.run()
 }
 
 // Delete removes processor v and runs the distributed repair to
@@ -416,6 +486,10 @@ func (s *Simulation) Delete(v NodeID) error {
 	s.last.QueuedWords = st.QueuedWords
 	s.last.MaxEdgeBacklog = st.MaxEdgeBacklog
 	s.last.CongestionRounds = st.CongestionRounds
+	s.last.ElectionRounds = st.ElectionRounds
+	s.last.SyncRounds = st.SyncRounds
+	s.last.ElectionMessages = st.ElectionMessages
+	s.last.SyncMessages = st.SyncMessages
 	return nil
 }
 
@@ -429,7 +503,7 @@ func (s *Simulation) Delete(v NodeID) error {
 func (s *Simulation) roundBound() int {
 	logn := haft.CeilLog2(s.gprime.NumNodes()) + 2
 	bound := 32*logn + 64
-	if B := s.bandwidth; B > 0 {
+	if B := s.minCap; B > 0 {
 		bound += 64 * (s.gprime.NumNodes() + 2) * logn / B
 	}
 	return bound

@@ -10,7 +10,8 @@ import (
 
 // Leader-side merge planning.
 //
-// After the strip phase quiesces, the leader holds every primary-root
+// Once the strip convergecast proves every fragment resolved (one
+// strip-done per launched visit), the leader holds every primary-root
 // descriptor. It reassembles core's canonical component order (sort by
 // prefer-left key, keyless components last; left-to-right within a
 // fragment by strip path), replays the exact same haft.Merge over a
@@ -85,17 +86,17 @@ func (r *repairState) orderedDescriptors() []msgDescriptor {
 	return out
 }
 
-// onStartMerge (leader): compute the merge plan for one repair and
-// broadcast it. Concurrent repairs of a batch merge independently —
-// each epoch's scratch holds only its own components, so two repairs
-// sharing a leader still produce exactly the plans they would have
-// produced with separate leaders.
-func (p *processor) onStartMerge(n *simnet.Network, epoch NodeID) {
-	rs := p.reps[epoch]
+// startMerge (leader): compute the merge plan for one repair and
+// broadcast it, retiring the scratch. Concurrent repairs of a batch
+// merge independently — each epoch's scratch holds only its own
+// components, so two repairs sharing a leader still produce exactly
+// the plans they would have produced with separate leaders. Runs only
+// once the strip phase is proven terminated (counted descriptors all
+// arrived), so the plan is complete and every slot it re-uses has been
+// freed.
+func (p *processor) startMerge(n *simnet.Network, epoch NodeID, rs *repairState) {
+	rs.phase = phaseMerge
 	delete(p.reps, epoch)
-	if rs == nil {
-		return
-	}
 	descs := rs.orderedDescriptors()
 	if len(descs) == 0 {
 		return

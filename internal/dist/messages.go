@@ -83,31 +83,119 @@ func helperAddr(owner, other NodeID) addr { return addr{Owner: owner, Other: oth
 // at once — files each message under the right leader scratch. A single
 // Delete is a batch of one; its epoch is the deleted node.
 
+// noNode is the "no such processor" sentinel for the BT_v tree links
+// carried by msgDeath (processor IDs are never negative).
+const noNode NodeID = -1
+
 // msgDeath is the deletion notification: the model's "neighbors of the
 // deleted node are informed". It is addressed to every physical
 // neighbor of the deleted processor (G′ neighbors plus tree neighbors
-// of its avatars) and names the repair coordinator, the smallest-ID
-// notified processor (the root of the paper's BT_v coordination tree).
+// of its avatars) and carries the receiver's position in BT_v, the
+// coordination tree over the notified set (the deleted node's will
+// assigns each neighbor its slot; O(1) words). The repair leader is NOT
+// announced — the participants elect it themselves by a pairwise
+// knockout tournament up BT_v (msgChampion / msgLeader).
 type msgDeath struct {
-	V      NodeID // the deleted processor (also the repair's epoch)
+	V NodeID // the deleted processor (also the repair's epoch)
+	// BTParent, BTLeft, BTRight are the receiver's neighbors in BT_v
+	// (noNode where absent; the root has no parent).
+	BTParent, BTLeft, BTRight NodeID
+}
+
+// Leader election. The notified processors run an O(log d)-round
+// pairwise knockout over BT_v: every participant reports its champion
+// (the smallest ID seen in its subtree) to its BT_v parent once both
+// children have reported; the root's final champion is the leader,
+// announced back down the tree. Each msgLeader carries a Wait count —
+// the announced subtree height below the receiver — so every
+// participant begins its repair work in the same round (root waits
+// longest, leaves not at all), exactly the synchrony the protocol's
+// damage walks assume. These are ClassElection traffic.
+
+// msgChampion moves one subtree's champion up BT_v. Height is the
+// reporting subtree's height, from which the root learns the tree
+// depth it must announce downward.
+type msgChampion struct {
+	Epoch  NodeID
+	ID     NodeID // smallest participant ID in the sender's subtree
+	Height int
+}
+
+// msgLeader announces the tournament winner down BT_v. Wait is the
+// number of rounds the receiver must hold its repair work so that all
+// participants begin together (its subtree height).
+type msgLeader struct {
+	Epoch  NodeID
+	Leader NodeID
+	Wait   int
+}
+
+// msgBeginRepair is the local timer a participant schedules to hold
+// its death-processing for msgLeader.Wait rounds (zero words, not
+// network traffic). A Wait of zero processes inline instead.
+type msgBeginRepair struct {
+	Epoch  NodeID
 	Leader NodeID
 }
 
 // msgMarkDamaged walks one hop up a parent pointer, marking the target
 // helper damaged (the paper's Breakflag propagation, Algorithm A.5):
 // a node that lost a child no longer heads an intact subtree, and
-// neither does any of its ancestors.
+// neither does any of its ancestors. Origin names the participant that
+// seeded the walk; whoever terminates it (announcing a root or hitting
+// an already-marked node) acks the origin so it can prove its local
+// phase complete.
 type msgMarkDamaged struct {
 	Target addr
 	Epoch  NodeID
 	Leader NodeID
+	Origin NodeID
+}
+
+// msgWalkAck tells a damage walk's origin that the walk terminated
+// (ClassSync): one ack per seeded walk, so the origin counts its
+// outstanding walks to zero. Announced is 1 when the termination
+// produced a root announcement to the leader, 0 when the walk stopped
+// at an already-marked node — the origin folds it into its subtree's
+// announcement count (see msgSubtreeDone).
+type msgWalkAck struct {
+	Epoch     NodeID
+	Announced int
+}
+
+// msgSubtreeDone is the termination-detection convergecast up BT_v
+// (ClassSync): the sender's whole BT_v subtree has finished its
+// notification-phase work — death records processed, all seeded damage
+// walks acked. Announced totals the leader-bound announcements (root
+// announces and fresh leaves) the subtree produced, its own and its
+// walks': phase completion is proven by MESSAGE COUNTING, because
+// under a congested network "everyone finished sending" does not imply
+// "everything arrived".
+type msgSubtreeDone struct {
+	Epoch     NodeID
+	Announced int
+}
+
+// msgPhaseDone is the BT_v root reporting global notification-phase
+// completion to the elected leader (ClassSync), carrying the total
+// announcement count. The leader starts the key phase only once it
+// holds this report AND has received exactly that many announcements —
+// the last condition is what makes the detection sound under arbitrary
+// bandwidth-induced delays.
+type msgPhaseDone struct {
+	Epoch     NodeID
+	Announced int
 }
 
 // msgRootAnnounce tells the leader about a fragment root: either a
 // survivor cut loose from its parent, or the top of a damage walk.
+// Height is the announcing record's stored height — an upper bound on
+// the fragment's remaining depth, from which the leader sizes its
+// phase watchdog timers.
 type msgRootAnnounce struct {
-	Root  addr
-	Epoch NodeID
+	Root   addr
+	Epoch  NodeID
+	Height int
 }
 
 // msgFreshLeaf tells the leader a surviving G′-neighbor created its new
@@ -117,15 +205,22 @@ type msgFreshLeaf struct {
 	Epoch NodeID
 }
 
-// Phase triggers are local timer payloads delivered to the leader by
-// the synchronizer between quiescent phases; they are not network
-// traffic (simnet timers carry zero words). Each names the repair it
-// advances; concurrent repairs sharing a leader get one trigger each.
-type (
-	msgStartKeys  struct{ Epoch NodeID }
-	msgStartStrip struct{ Epoch NodeID }
-	msgStartMerge struct{ Epoch NodeID }
-)
+// msgPhaseWatch is the leader's per-phase watchdog timer: armed when a
+// phase launches, with a delay bounded by the strip height (the
+// deepest fragment's stored height bounds both the probe descent and
+// the strip cascade plus its ack convergecast). An honest phase always
+// completes by the bound under unlimited bandwidth; under a finite cap
+// traffic may lag, so a firing watchdog that finds its phase still
+// open re-arms rather than declaring failure (the simulation's global
+// round bound remains the hard failsafe). A firing that finds the
+// phase already advanced is stale and ignored. Phase is the phase
+// counter value being watched, so exactly-at-the-bound completions
+// never double-advance.
+type msgPhaseWatch struct {
+	Epoch NodeID
+	Phase int
+	Delay int // the height-bounded delay, reused on re-arm
+}
 
 // msgFlushOutbox is the local timer a pacing processor schedules to
 // continue draining its outbox on the next round (see sendPaced).
@@ -159,7 +254,10 @@ type msgKeyNone struct {
 // either declares itself a maximal intact complete subtree (a primary
 // root) or discards itself and forwards the visit to its children.
 // Depth/Path encode the position under the fragment root so the leader
-// can restore left-to-right order from out-of-order arrivals.
+// can restore left-to-right order from out-of-order arrivals. AckTo is
+// the visiting parent node, the destination of the resolution ack that
+// convergecasts strip completion back up (zero addr at a fragment
+// root, whose completion goes to the leader as msgStripDone).
 type msgStripVisit struct {
 	Comp   addr
 	Target addr
@@ -167,6 +265,30 @@ type msgStripVisit struct {
 	Path   uint64 // bit per step from the root, 0=left 1=right, MSB first
 	Epoch  NodeID
 	Leader NodeID
+	AckTo  addr
+}
+
+// msgStripAck tells a retired helper's owner that one child subtree of
+// the strip cascade has fully resolved (ClassSync). Target names the
+// retired node the ack is for; when its last child resolves, the
+// resolution propagates up — a convergecast whose depth is bounded by
+// the strip height. Descs counts the descriptors the resolved subtree
+// reported to the leader, summed on the way up (message counting, as
+// in the notification phase: descriptors and acks travel different
+// edges, so completion must prove arrival, not just emission).
+type msgStripAck struct {
+	Epoch  NodeID
+	Target addr
+	Descs  int
+}
+
+// msgStripDone tells the leader one whole fragment finished stripping
+// (ClassSync) and how many descriptors it produced; the strip phase is
+// proven complete when every launched fragment reported done AND
+// exactly the announced number of descriptors arrived.
+type msgStripDone struct {
+	Epoch NodeID
+	Descs int
 }
 
 // msgDescriptor reports one primary root to the leader: everything the
@@ -239,16 +361,26 @@ type msgSetParent struct {
 // words counts for the accounting (number of O(log n)-bit scalars).
 // The epoch tag costs one word on every message that carries it; the
 // merge-plan instructions (create-helper, set-parent) are final
-// mutations that need no scratch lookup and stay untagged.
+// mutations that need no scratch lookup and stay untagged. The
+// election and sync messages are charged like everything else —
+// in-band coordination is exactly the cost this accounting exists to
+// expose.
 const (
-	wordsDeath        = 2 // V doubles as the epoch
-	wordsMarkDamaged  = 5
-	wordsRootAnnounce = 4
+	wordsDeath        = 4 // V doubles as the epoch; 3 BT_v links
+	wordsChampion     = 3
+	wordsLeader       = 3
+	wordsMarkDamaged  = 6
+	wordsWalkAck      = 2
+	wordsSubtreeDone  = 2
+	wordsPhaseDone    = 2
+	wordsRootAnnounce = 5
 	wordsFreshLeaf    = 4
 	wordsKeyProbe     = 8
 	wordsKeyFound     = 6
 	wordsKeyNone      = 4
-	wordsStripVisit   = 10
+	wordsStripVisit   = 13
+	wordsStripAck     = 5
+	wordsStripDone    = 2
 	wordsDescriptor   = 13
 	wordsCreateHelper = 15
 	wordsSetParent    = 6

@@ -59,6 +59,26 @@ type processor struct {
 	// keeps their scratches separate.
 	reps map[NodeID]*repairState
 
+	// parts is the participant-side transient state, one per repair
+	// this processor was notified of, keyed by epoch: its BT_v slot,
+	// the election tournament's running champion, and the
+	// notification-phase termination counters. Deleted as soon as the
+	// participant proves its subtree done.
+	parts map[NodeID]*partState
+
+	// stripWait tracks retired helpers whose strip cascades are still
+	// resolving below them: the record itself is gone, but the
+	// completion convergecast needs to know where to forward the last
+	// child's ack. Keyed by the retired node's address (safe: a slot
+	// freed by the strip is only reused by the same epoch's merge,
+	// strictly after the cascade resolves).
+	stripWait map[addr]*stripWaiter
+
+	// wdRearmed / wdStale count phase-watchdog firings that found the
+	// phase still open (re-armed) or already advanced (ignored) —
+	// observability for the termination-detection tests.
+	wdRearmed, wdStale int
+
 	// Batched-deletion transient state. dying marks a batch member
 	// awaiting its wave (it answers claim walks with conflict reports
 	// instead of participating); claims records which epoch claimed
@@ -77,21 +97,76 @@ type processor struct {
 	physLog []physEdit
 	dirty   *dirtyList
 
-	// Send pacing under finite bandwidth (see sendPaced). budget is the
-	// network's per-edge words-per-round cap (0 = unlimited), spread
-	// whether this processor paces its bursts at all; outbox holds the
-	// sends awaiting an open slot with outQueued counting them per
+	// touched marks that some record of this processor changed since
+	// the last verification; touchers is where it registers on the
+	// first change so incremental verification revisits exactly the
+	// processors repairs touched (see VerifyDelta).
+	touched  bool
+	touchers *dirtyList
+
+	// Send pacing under finite bandwidth (see sendPaced). spread is
+	// whether this processor paces its bursts at all; the budget is the
+	// network's effective per-edge cap for each destination (per-edge
+	// overrides included), looked up per send. outbox holds the sends
+	// awaiting an open slot with outQueued counting them per
 	// destination (per-destination FIFO in O(1) per send),
 	// flushScheduled whether a flush timer is already pending, and
 	// outRound/outUsed track the words already sent per destination in
 	// the current round.
-	budget         int
 	spread         bool
 	outbox         []outMsg
 	outQueued      map[NodeID]int
 	flushScheduled bool
 	outRound       int
 	outUsed        map[NodeID]int
+}
+
+// partState is one participant's transient view of one repair it was
+// notified of: its BT_v links, the knockout tournament's progress, and
+// the termination-detection counters for the notification phase.
+type partState struct {
+	v                         NodeID // the deleted processor (= epoch)
+	btParent, btLeft, btRight NodeID // noNode where absent
+
+	// haveDeath records that the notification itself arrived. Under a
+	// finite bandwidth a congested self-edge can delay it past a BT_v
+	// child's champion (the child's own notification went through), so
+	// early champions are folded into champ/height and counted in
+	// earlyChamps until the notification catches up.
+	haveDeath   bool
+	earlyChamps int
+
+	// Election: champ is the smallest ID seen (self plus reported
+	// subtrees), waitChamps how many BT_v children have yet to report,
+	// height the learned BT_v subtree height, leader the winner once
+	// the announcement arrives (noNode until then).
+	champ      NodeID
+	waitChamps int
+	height     int
+	leader     NodeID
+
+	// Termination detection: walksOut counts seeded damage walks not
+	// yet acked, waitDone the BT_v children that have yet to report
+	// their subtrees done, processed whether this participant ran its
+	// own death-processing, annSent the leader-bound announcements this
+	// subtree produced (own plus walk-terminator ones, folded in from
+	// acks and children's dones) for the message-counting proof.
+	walksOut  int
+	waitDone  int
+	processed bool
+	annSent   int
+}
+
+// stripWaiter holds the completion state of a retired helper whose
+// strip cascade is still resolving: how many child subtrees remain,
+// the descriptors they reported so far, and where the resolution goes
+// when the last one acks.
+type stripWaiter struct {
+	epoch   NodeID
+	waiting int
+	descs   int
+	ackTo   addr // zero addr: fragment root, completion goes to leader
+	leader  NodeID
 }
 
 // outMsg is one send waiting in a pacing processor's outbox.
@@ -107,13 +182,48 @@ type batchScratch struct {
 	conflicts map[[2]NodeID]struct{}
 }
 
+// Leader-side phase progression of one repair. The leader proves each
+// phase complete in-band — the BT_v phase-done report for the
+// notification phase, counted probe replies for the key phase, the
+// strip convergecast for the strip phase — and chains into the next
+// phase itself via a one-round timer. The *Done markers exist so a
+// watchdog armed for a phase can tell "still open" from "advanced".
+const (
+	phaseNotify = iota
+	phaseKeys
+	phaseStrip
+	phaseMerge
+)
+
 // repairState is what the leader of a repair accumulates: announced
 // fragment roots, per-component ordering keys, and primary-root
 // descriptors, all re-sorted canonically before the merge so that
-// arrival order never matters.
+// arrival order never matters — plus the in-band phase machine that
+// replaced the caller's quiescence barriers.
 type repairState struct {
 	roots map[addr]struct{}
 	comps map[addr]*component
+
+	// phase is the current leader-side phase; outstanding counts the
+	// completion proofs the phase still waits for (key replies or
+	// fragment strip-dones); maxRootHeight is the deepest announced
+	// fragment's stored height, bounding the watchdog timers.
+	phase         int
+	outstanding   int
+	maxRootHeight int
+
+	// Message-counting termination detection. The notification phase:
+	// annRecvd counts announcements (root announces + fresh leaves)
+	// received, annExpected the total the BT_v convergecast reported,
+	// haveNotifyDone whether that report arrived — keys start when the
+	// report is in AND the counts match. The strip phase: descRecvd /
+	// descExpected play the same game for descriptors vs the fragment
+	// strip-done reports.
+	annRecvd       int
+	annExpected    int
+	haveNotifyDone bool
+	descRecvd      int
+	descExpected   int
 }
 
 // component mirrors one entry of core's components list: a fragment
@@ -140,25 +250,61 @@ func (p *processor) handle(n *simnet.Network, m simnet.Message) {
 	switch msg := m.Payload.(type) {
 	case msgDeath:
 		p.onDeath(n, msg)
+	case msgChampion:
+		p.onChampion(n, msg)
+	case msgLeader:
+		p.onLeader(n, msg)
+	case msgBeginRepair:
+		p.beginRepair(n, msg.Epoch, msg.Leader)
+	case msgWalkAck:
+		ps := p.mustPart(msg.Epoch)
+		ps.walksOut--
+		ps.annSent += msg.Announced
+		p.maybeNotifyDone(n, msg.Epoch, ps)
+	case msgSubtreeDone:
+		ps := p.mustPart(msg.Epoch)
+		ps.waitDone--
+		ps.annSent += msg.Announced
+		p.maybeNotifyDone(n, msg.Epoch, ps)
+	case msgPhaseDone:
+		// The BT_v root proved the notification phase globally done and
+		// reported how many announcements are owed; the key phase
+		// starts once they have all arrived.
+		rs := p.repair(msg.Epoch)
+		rs.haveNotifyDone = true
+		rs.annExpected = msg.Announced
+		p.maybeStartKeys(n, msg.Epoch, rs)
 	case msgMarkDamaged:
 		p.onMarkDamaged(n, msg)
 	case msgRootAnnounce:
-		p.repair(msg.Epoch).addRoot(msg.Root)
+		rs := p.repair(msg.Epoch)
+		rs.addRoot(msg.Root, msg.Height)
+		rs.annRecvd++
+		p.maybeStartKeys(n, msg.Epoch, rs)
 	case msgFreshLeaf:
-		p.repair(msg.Epoch).addFreshLeaf(msg.Leaf)
+		rs := p.repair(msg.Epoch)
+		rs.addFreshLeaf(msg.Leaf)
+		rs.annRecvd++
+		p.maybeStartKeys(n, msg.Epoch, rs)
 	case msgKeyFound:
 		p.repair(msg.Epoch).setKey(msg.Comp, msg.Key)
+		p.keyReplied(n, msg.Epoch)
 	case msgKeyNone:
 		// The prefer-left descent dead-ended: the component stays
-		// keyless and sorts after every keyed one, as in core.
+		// keyless and sorts after every keyed one, as in core. The
+		// reply still counts toward the phase's completion.
+		p.keyReplied(n, msg.Epoch)
 	case msgDescriptor:
-		p.repair(msg.Epoch).addDescriptor(msg)
-	case msgStartKeys:
-		p.onStartKeys(n, msg.Epoch)
-	case msgStartStrip:
-		p.onStartStrip(n, msg.Epoch)
-	case msgStartMerge:
-		p.onStartMerge(n, msg.Epoch)
+		rs := p.repair(msg.Epoch)
+		rs.addDescriptor(msg)
+		rs.descRecvd++
+		p.maybeStartMerge(n, msg.Epoch, rs)
+	case msgStripAck:
+		p.onStripAck(n, msg)
+	case msgStripDone:
+		p.onStripDone(n, msg)
+	case msgPhaseWatch:
+		p.onPhaseWatch(n, msg)
 	case msgKeyProbe:
 		p.onKeyProbe(n, msg)
 	case msgStripVisit:
@@ -178,6 +324,14 @@ func (p *processor) handle(n *simnet.Network, m simnet.Message) {
 	default:
 		panic(fmt.Sprintf("dist: processor %d: unknown message %T", p.id, m.Payload))
 	}
+}
+
+func (p *processor) mustPart(epoch NodeID) *partState {
+	ps, ok := p.parts[epoch]
+	if !ok {
+		panic(fmt.Sprintf("dist: processor %d: no participant state for epoch %d", p.id, epoch))
+	}
+	return ps
 }
 
 // repair returns the leader scratch for one epoch, allocating on first
@@ -216,7 +370,12 @@ func (b *batchScratch) addConflict(a, c NodeID) {
 	b.conflicts[[2]NodeID{a, c}] = struct{}{}
 }
 
-func (r *repairState) addRoot(a addr) { r.roots[a] = struct{}{} }
+func (r *repairState) addRoot(a addr, height int) {
+	r.roots[a] = struct{}{}
+	if height > r.maxRootHeight {
+		r.maxRootHeight = height
+	}
+}
 
 func (r *repairState) comp(root addr) *component {
 	c, ok := r.comps[root]
@@ -246,23 +405,31 @@ func (r *repairState) addDescriptor(d msgDescriptor) {
 }
 
 // sendPaced sends a protocol message, holding it in a local outbox
-// when the network's per-edge bandwidth budget for this destination is
-// already spent this round. The repair leader's bursts — key probes,
-// strip visits, and above all the merge plan's instruction fan-out —
-// route through here: instead of dumping O(d) messages into the
-// network in one round (and letting them pile up as edge backlog), the
-// leader trickles at most the edge budget per destination per round
-// and wakes itself with a zero-word timer to continue. Per-destination
+// when the network's bandwidth budget for the edge to this destination
+// is already spent this round. The repair leader's bursts — key
+// probes, strip visits, and above all the merge plan's instruction
+// fan-out — route through here: instead of dumping O(d) messages into
+// the network in one round (and letting them pile up as edge backlog),
+// the leader trickles at most the edge budget per destination per
+// round and wakes itself with a zero-word timer to continue. The
+// budget is the *effective* per-edge cap (per-edge overrides
+// included), so one slow link is trickled at its own rate instead of
+// the global one — the other destinations' sends are not held back,
+// and the slow edge collects no avoidable backlog. Per-destination
 // FIFO order is preserved, so paced delivery reorders nothing the
-// network's own spill-over would not. With unlimited bandwidth (or
-// pacing off) this is exactly Send.
+// network's own spill-over would not. With unlimited bandwidth on the
+// edge (or pacing off) this is exactly Send.
 func (p *processor) sendPaced(n *simnet.Network, to NodeID, payload any, words int) {
-	if p.budget <= 0 || !p.spread {
+	budget := 0
+	if p.spread {
+		budget = n.EdgeBudget(p.id, to)
+	}
+	if budget <= 0 {
 		n.Send(p.id, to, payload, words)
 		return
 	}
 	p.rollOutRound(n)
-	if used := p.outUsed[to]; p.outQueued[to] == 0 && (used == 0 || used+words <= p.budget) {
+	if used := p.outUsed[to]; p.outQueued[to] == 0 && (used == 0 || used+words <= budget) {
 		p.outUsed[to] = used + words
 		n.Send(p.id, to, payload, words)
 		return
@@ -278,9 +445,9 @@ func (p *processor) sendPaced(n *simnet.Network, to NodeID, payload any, words i
 	}
 }
 
-// onFlushOutbox drains the outbox: oldest first, at most the edge
-// budget per destination per round (but always at least one message
-// per destination, matching the network's own progress rule),
+// onFlushOutbox drains the outbox: oldest first, at most each edge's
+// own budget per destination per round (but always at least one
+// message per destination, matching the network's own progress rule),
 // rescheduling itself while messages remain.
 func (p *processor) onFlushOutbox(n *simnet.Network) {
 	p.flushScheduled = false
@@ -289,7 +456,8 @@ func (p *processor) onFlushOutbox(n *simnet.Network) {
 	blocked := make(map[NodeID]bool)
 	for _, m := range p.outbox {
 		used := p.outUsed[m.to]
-		if blocked[m.to] || (used > 0 && used+m.words > p.budget) {
+		budget := n.EdgeBudget(p.id, m.to)
+		if blocked[m.to] || (budget > 0 && used > 0 && used+m.words > budget) {
 			blocked[m.to] = true // preserve per-destination FIFO
 			keep = append(keep, m)
 			continue
@@ -312,6 +480,19 @@ func (p *processor) rollOutRound(n *simnet.Network) {
 		p.outRound = n.Round()
 		p.outUsed = make(map[NodeID]int)
 	}
+}
+
+// markTouched registers this processor for the next incremental
+// verification pass; handlers call it whenever a record is created,
+// deleted, or relinked. Registration goes through the same mutex-
+// guarded list mechanism as the physical-edit log, so the parallel
+// delivery mode stays race-free.
+func (p *processor) markTouched() {
+	if p.touched {
+		return
+	}
+	p.touched = true
+	p.touchers.add(p)
 }
 
 // logPhys appends a pending physical-graph edit for the tree-edge image
@@ -358,18 +539,143 @@ func sortedRecordKeys[T any](m map[NodeID]T) []NodeID {
 	return keys
 }
 
-// onDeath runs at every physical neighbor of the deleted processor v:
-// detach every record link into v's vanished avatars, seed the damage
-// walks (a helper that lost a child no longer heads an intact subtree),
-// announce fragment roots, and grow the fresh leaf avatar for the
-// half-dead G′ edge (x,v) if there is one.
+// onDeath runs at every physical neighbor of the deleted processor v
+// — a participant of the repair. Nothing is repaired yet: the
+// participant records its BT_v slot and enters the leader-election
+// tournament. A leaf of BT_v reports its champion (its own ID)
+// immediately; internal nodes wait for their children. The sole
+// participant of a trivial BT_v (k = 1) is its own leader and begins
+// at once.
 func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
-	v, leader := m.V, m.Leader
+	ps := p.partFor(m.V)
+	if ps.haveDeath {
+		panic(fmt.Sprintf("dist: processor %d notified twice of deletion %d", p.id, m.V))
+	}
+	ps.haveDeath = true
+	ps.btParent, ps.btLeft, ps.btRight = m.BTParent, m.BTLeft, m.BTRight
+	for _, c := range [2]NodeID{m.BTLeft, m.BTRight} {
+		if c != noNode {
+			ps.waitChamps++
+			ps.waitDone++
+		}
+	}
+	// Champions that raced ahead of a congested notification were
+	// already folded into champ/height; settle the count now.
+	ps.waitChamps -= ps.earlyChamps
+	if ps.waitChamps > 0 {
+		return // champions from below decide when to report
+	}
+	p.championDecided(n, m.V, ps)
+}
+
+// partFor returns the participant state for one epoch, allocating on
+// first use: normally at the death notification, but a BT_v child's
+// champion can outrun a bandwidth-delayed notification and allocates
+// the buffer early.
+func (p *processor) partFor(epoch NodeID) *partState {
+	if p.parts == nil {
+		p.parts = make(map[NodeID]*partState)
+	}
+	ps := p.parts[epoch]
+	if ps == nil {
+		ps = &partState{
+			v: epoch, champ: p.id, leader: noNode,
+			btParent: noNode, btLeft: noNode, btRight: noNode,
+		}
+		p.parts[epoch] = ps
+	}
+	return ps
+}
+
+// onChampion advances the knockout: fold the reported subtree's
+// champion (and height) in; once both children have reported, pass the
+// winner up — or, at the root, conclude the tournament and announce
+// the leader downward.
+func (p *processor) onChampion(n *simnet.Network, m msgChampion) {
+	ps := p.partFor(m.Epoch)
+	if m.ID < ps.champ {
+		ps.champ = m.ID
+	}
+	if m.Height+1 > ps.height {
+		ps.height = m.Height + 1
+	}
+	if !ps.haveDeath {
+		ps.earlyChamps++
+		return
+	}
+	ps.waitChamps--
+	if ps.waitChamps > 0 {
+		return
+	}
+	p.championDecided(n, m.Epoch, ps)
+}
+
+// championDecided runs when every expected champion (and our own
+// notification) is in: report the subtree's champion up BT_v — or, at
+// the root, conclude the tournament and announce the leader downward.
+// The announcement's Wait counts line every participant up to begin
+// repair work in the same round (exactly so under unlimited bandwidth;
+// congestion can stagger the starts, which the damage walks tolerate —
+// see onMarkDamaged's dying-parent case).
+func (p *processor) championDecided(n *simnet.Network, epoch NodeID, ps *partState) {
+	if ps.btParent != noNode {
+		n.SendClass(p.id, ps.btParent, msgChampion{Epoch: epoch, ID: ps.champ, Height: ps.height}, wordsChampion, simnet.ClassElection)
+		return
+	}
+	if ps.height == 0 {
+		// Alone in BT_v: trivially elected, begin immediately.
+		ps.leader = p.id
+		p.beginRepair(n, epoch, p.id)
+		return
+	}
+	// Root: the tournament is decided. Announce down with Wait = the
+	// remaining depth below each child, and hold our own repair work
+	// the full tree height so everyone begins together.
+	ps.leader = ps.champ
+	for _, c := range [2]NodeID{ps.btLeft, ps.btRight} {
+		if c != noNode {
+			n.SendClass(p.id, c, msgLeader{Epoch: epoch, Leader: ps.leader, Wait: ps.height - 1}, wordsLeader, simnet.ClassElection)
+		}
+	}
+	n.SendTimer(p.id, msgBeginRepair{Epoch: epoch, Leader: ps.leader}, ps.height)
+}
+
+// onLeader learns the tournament winner, forwards the announcement
+// down BT_v, and schedules its own repair work Wait rounds out so that
+// every participant processes the death in the same round — the
+// synchrony the damage walks rely on (every dangling link is cleared
+// before any walk message can arrive).
+func (p *processor) onLeader(n *simnet.Network, m msgLeader) {
+	ps := p.mustPart(m.Epoch)
+	ps.leader = m.Leader
+	for _, c := range [2]NodeID{ps.btLeft, ps.btRight} {
+		if c != noNode {
+			n.SendClass(p.id, c, msgLeader{Epoch: m.Epoch, Leader: m.Leader, Wait: m.Wait - 1}, wordsLeader, simnet.ClassElection)
+		}
+	}
+	if m.Wait == 0 {
+		p.beginRepair(n, m.Epoch, m.Leader)
+		return
+	}
+	n.SendTimer(p.id, msgBeginRepair{Epoch: m.Epoch, Leader: m.Leader}, m.Wait)
+}
+
+// beginRepair is the participant's death-processing, run in the same
+// synchronized round at every participant: detach every record link
+// into v's vanished avatars, seed the damage walks (a helper that lost
+// a child no longer heads an intact subtree), announce fragment roots,
+// and grow the fresh leaf avatar for the half-dead G′ edge (x,v) if
+// there is one. Every seeded walk is counted and later acked by its
+// terminator, so the participant can prove its local phase complete.
+func (p *processor) beginRepair(n *simnet.Network, v NodeID, leader NodeID) {
+	ps := p.mustPart(v)
+	p.markTouched()
 	for _, o := range sortedRecordKeys(p.leaves) {
 		l := p.leaves[o]
 		if l.parent.ok() && l.parent.Owner == v {
 			p.clearLeafParent(l)
-			n.Send(p.id, leader, msgRootAnnounce{Root: leafAddr(p.id, o), Epoch: v}, wordsRootAnnounce)
+			ps.annSent++
+			n.Send(p.id, leader, msgRootAnnounce{Root: leafAddr(p.id, o), Epoch: v, Height: 0}, wordsRootAnnounce)
 		}
 	}
 	for _, o := range sortedRecordKeys(p.helpers) {
@@ -391,9 +697,11 @@ func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
 		switch {
 		case lostParent, lostChild && !h.parent.ok():
 			// Cut loose (or a damaged seed that already is a root).
-			n.Send(p.id, leader, msgRootAnnounce{Root: helperAddr(p.id, o), Epoch: v}, wordsRootAnnounce)
+			ps.annSent++
+			n.Send(p.id, leader, msgRootAnnounce{Root: helperAddr(p.id, o), Epoch: v, Height: h.height}, wordsRootAnnounce)
 		case lostChild:
-			n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Epoch: v, Leader: leader}, wordsMarkDamaged)
+			ps.walksOut++
+			n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Epoch: v, Leader: leader, Origin: p.id}, wordsMarkDamaged)
 		}
 	}
 	if _, isNbr := p.nbrs[v]; isNbr {
@@ -401,8 +709,51 @@ func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
 			panic(fmt.Sprintf("dist: leaf avatar (%d,%d) already exists", p.id, v))
 		}
 		p.leaves[v] = &leafRec{}
+		ps.annSent++
 		n.Send(p.id, leader, msgFreshLeaf{Leaf: leafAddr(p.id, v), Epoch: v}, wordsFreshLeaf)
 	}
+	ps.processed = true
+	p.maybeNotifyDone(n, v, ps)
+}
+
+// maybeNotifyDone checks whether this participant's BT_v subtree has
+// finished the notification phase — own death-processing run, every
+// seeded walk acked, every BT_v child subtree done — and if so reports
+// the subtree's completion and announcement count upward: subtree-done
+// to the BT_v parent, or, at the root, phase-done to the elected
+// leader. The participant state is dropped with the report; nothing
+// else arrives for it.
+func (p *processor) maybeNotifyDone(n *simnet.Network, epoch NodeID, ps *partState) {
+	if !ps.processed || ps.walksOut > 0 || ps.waitDone > 0 {
+		return
+	}
+	delete(p.parts, epoch)
+	if ps.btParent != noNode {
+		n.SendClass(p.id, ps.btParent, msgSubtreeDone{Epoch: epoch, Announced: ps.annSent}, wordsSubtreeDone, simnet.ClassSync)
+		return
+	}
+	if ps.leader == p.id {
+		// Root and leader at once (k = 1): apply the completion report
+		// locally — the phase still starts only once our self-addressed
+		// announcements have all arrived.
+		rs := p.repair(epoch)
+		rs.haveNotifyDone = true
+		rs.annExpected = ps.annSent
+		p.maybeStartKeys(n, epoch, rs)
+		return
+	}
+	n.SendClass(p.id, ps.leader, msgPhaseDone{Epoch: epoch, Announced: ps.annSent}, wordsPhaseDone, simnet.ClassSync)
+}
+
+// maybeStartKeys launches the key phase once the notification phase is
+// proven terminated: the BT_v completion report is in AND every
+// announcement it counted has arrived. Sound under any delivery
+// delays: announcements cannot be in flight once the counts match.
+func (p *processor) maybeStartKeys(n *simnet.Network, epoch NodeID, rs *repairState) {
+	if rs.phase != phaseNotify || !rs.haveNotifyDone || rs.annRecvd != rs.annExpected {
+		return
+	}
+	p.startKeys(n, epoch, rs)
 }
 
 // markDamaged sets the Breakflag for one epoch, panicking if a
@@ -421,6 +772,11 @@ func (p *processor) markDamaged(h *helperRec, self addr, epoch NodeID) {
 // onMarkDamaged continues a damage walk through this processor's helper
 // record, stopping at nodes already marked (another walk of the same
 // repair passed by) and announcing the fragment root at the top.
+// Whichever way the walk terminates, its origin gets one ack — the
+// proof of completion the termination detection counts. The root
+// announcement is sent before the ack, so when leader and origin
+// coincide the announcement's smaller sequence number delivers it
+// first.
 func (p *processor) onMarkDamaged(n *simnet.Network, m msgMarkDamaged) {
 	h := p.mustHelper(m.Target)
 	if h.damaged {
@@ -428,14 +784,22 @@ func (p *processor) onMarkDamaged(n *simnet.Network, m msgMarkDamaged) {
 			panic(fmt.Sprintf("dist: helper %v double-stripped: damaged by concurrent epochs %d and %d",
 				m.Target, h.depoch, m.Epoch))
 		}
+		n.SendClass(p.id, m.Origin, msgWalkAck{Epoch: m.Epoch, Announced: 0}, wordsWalkAck, simnet.ClassSync)
 		return
 	}
 	h.damaged, h.depoch = true, m.Epoch
-	if h.parent.ok() {
-		n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Epoch: m.Epoch, Leader: m.Leader}, wordsMarkDamaged)
+	p.markTouched()
+	if h.parent.ok() && h.parent.Owner != m.Epoch {
+		n.Send(p.id, h.parent.Owner, msgMarkDamaged{Target: h.parent, Epoch: m.Epoch, Leader: m.Leader, Origin: m.Origin}, wordsMarkDamaged)
 		return
 	}
-	n.Send(p.id, m.Leader, msgRootAnnounce{Root: m.Target, Epoch: m.Epoch}, wordsRootAnnounce)
+	// No parent — or a parent still pointing at the epoch's own dead
+	// node: under congestion a walk can overtake this participant's
+	// delayed begin-repair, which will clear that link and announce the
+	// same root (announcements dedupe at the leader). Either way the
+	// walk tops out here.
+	n.Send(p.id, m.Leader, msgRootAnnounce{Root: m.Target, Epoch: m.Epoch, Height: h.height}, wordsRootAnnounce)
+	n.SendClass(p.id, m.Origin, msgWalkAck{Epoch: m.Epoch, Announced: 1}, wordsWalkAck, simnet.ClassSync)
 }
 
 // sortedRoots returns the announced fragment roots in deterministic
@@ -449,17 +813,63 @@ func (r *repairState) sortedRoots() []addr {
 	return roots
 }
 
-// onStartKeys (leader): launch one prefer-left key probe per announced
+// startKeys (leader): launch one prefer-left key probe per announced
 // fragment root of the given repair. The probes are a leader burst and
-// go out paced under finite bandwidth.
-func (p *processor) onStartKeys(n *simnet.Network, epoch NodeID) {
-	rs := p.reps[epoch]
-	if rs == nil {
+// go out paced under finite bandwidth. Each probe yields exactly one
+// reply (found or none), so counting replies to zero proves the phase
+// complete — reply and probe travel the same request/response pair, so
+// no separate count is needed; a watchdog bounded by the deepest
+// fragment's height guards the wait. With no fragments at all the
+// phase is vacuous and chains straight on.
+func (p *processor) startKeys(n *simnet.Network, epoch NodeID, rs *repairState) {
+	rs.phase = phaseKeys
+	roots := rs.sortedRoots()
+	rs.outstanding = len(roots)
+	if len(roots) == 0 {
+		p.startStrip(n, epoch, rs)
 		return
 	}
-	for _, root := range rs.sortedRoots() {
+	for _, root := range roots {
 		p.sendPaced(n, root.Owner, msgKeyProbe{Comp: root, Target: root, Epoch: epoch, Leader: p.id}, wordsKeyProbe)
 	}
+	p.armWatchdog(n, epoch, rs, rs.maxRootHeight+3)
+}
+
+// keyReplied counts one probe reply; the last one proves the key phase
+// complete and chains into the strip.
+func (p *processor) keyReplied(n *simnet.Network, epoch NodeID) {
+	rs := p.reps[epoch]
+	if rs == nil || rs.phase != phaseKeys {
+		panic(fmt.Sprintf("dist: processor %d: key reply for epoch %d outside the key phase", p.id, epoch))
+	}
+	rs.outstanding--
+	if rs.outstanding == 0 {
+		p.startStrip(n, epoch, rs)
+	}
+}
+
+// armWatchdog schedules the height-bounded phase watchdog: delay
+// rounds out, carrying the phase it watches so a stale firing (the
+// phase advanced, possibly in the very round the timer fired) is
+// recognized and ignored.
+func (p *processor) armWatchdog(n *simnet.Network, epoch NodeID, rs *repairState, delay int) {
+	n.SendTimer(p.id, msgPhaseWatch{Epoch: epoch, Phase: rs.phase, Delay: delay}, delay)
+}
+
+// onPhaseWatch is the watchdog firing: if the watched phase is still
+// open the completion proofs are lagging (only possible under a finite
+// bandwidth, where traffic legitimately queues), so the watchdog
+// re-arms and keeps watching; the simulation's global round bound
+// remains the hard failsafe. If the phase has advanced the firing is
+// stale and ignored.
+func (p *processor) onPhaseWatch(n *simnet.Network, m msgPhaseWatch) {
+	rs := p.reps[m.Epoch] // no allocation: the repair may be long gone
+	if rs == nil || rs.phase != m.Phase {
+		p.wdStale++
+		return
+	}
+	p.wdRearmed++
+	n.SendTimer(p.id, m, m.Delay)
 }
 
 // onKeyProbe performs one step of the prefer-left descent (core's
@@ -484,23 +894,69 @@ func (p *processor) onKeyProbe(n *simnet.Network, m msgKeyProbe) {
 	n.Send(p.id, next.Owner, msgKeyProbe{Comp: m.Comp, Target: next, Epoch: m.Epoch, Leader: m.Leader}, wordsKeyProbe)
 }
 
-// onStartStrip (leader): start the distributed strip at every fragment
-// root of the given repair, paced like every leader burst.
-func (p *processor) onStartStrip(n *simnet.Network, epoch NodeID) {
-	rs := p.reps[epoch]
-	if rs == nil {
+// startStrip (leader): start the distributed strip at every fragment
+// root of the given repair, paced like every leader burst. Each
+// fragment resolves bottom-up — every visited node acks its visitor
+// once its whole subtree has resolved — and the fragment root's
+// resolution reaches the leader as one strip-done carrying the
+// fragment's descriptor count: the merge starts only when every
+// fragment reported done AND exactly that many descriptors arrived
+// (descriptors and acks travel different edges, so the count is what
+// proves arrival). The watchdog bound is twice the deepest fragment's
+// height (cascade down, convergecast back up).
+func (p *processor) startStrip(n *simnet.Network, epoch NodeID, rs *repairState) {
+	rs.phase = phaseStrip
+	roots := rs.sortedRoots()
+	rs.outstanding = len(roots)
+	if len(roots) == 0 {
+		p.startMerge(n, epoch, rs)
 		return
 	}
-	for _, root := range rs.sortedRoots() {
+	for _, root := range roots {
 		p.sendPaced(n, root.Owner, msgStripVisit{Comp: root, Target: root, Epoch: epoch, Leader: p.id}, wordsStripVisit)
 	}
+	p.armWatchdog(n, epoch, rs, 2*rs.maxRootHeight+3)
+}
+
+// onStripDone books one fragment's strip completion and its descriptor
+// count; maybeStartMerge decides whether the phase is proven over.
+func (p *processor) onStripDone(n *simnet.Network, m msgStripDone) {
+	rs := p.reps[m.Epoch]
+	if rs == nil || rs.phase != phaseStrip {
+		panic(fmt.Sprintf("dist: processor %d: strip-done for epoch %d outside the strip phase", p.id, m.Epoch))
+	}
+	rs.outstanding--
+	rs.descExpected += m.Descs
+	p.maybeStartMerge(n, m.Epoch, rs)
+}
+
+// maybeStartMerge launches the merge once the strip phase is proven
+// terminated: every fragment reported done and every counted
+// descriptor has arrived.
+func (p *processor) maybeStartMerge(n *simnet.Network, epoch NodeID, rs *repairState) {
+	if rs.phase != phaseStrip || rs.outstanding > 0 || rs.descRecvd != rs.descExpected {
+		return
+	}
+	p.startMerge(n, epoch, rs)
+}
+
+// stripResolved reports one strip subtree fully resolved, carrying the
+// subtree's descriptor count: an ack to the visiting parent node, or —
+// at a fragment root — a strip-done to the leader.
+func (p *processor) stripResolved(n *simnet.Network, epoch NodeID, ackTo addr, leader NodeID, descs int) {
+	if ackTo.ok() {
+		n.SendClass(p.id, ackTo.Owner, msgStripAck{Epoch: epoch, Target: ackTo, Descs: descs}, wordsStripAck, simnet.ClassSync)
+		return
+	}
+	n.SendClass(p.id, leader, msgStripDone{Epoch: epoch, Descs: descs}, wordsStripDone, simnet.ClassSync)
 }
 
 // onStripVisit decides this node's fate in the strip, exactly as core's
 // stripFast: an undamaged node whose stored fields say perfect is a
 // maximal intact complete subtree (a primary root, reported to the
 // leader); anything else is discarded — the helper retires — and the
-// visit cascades to its children.
+// visit cascades to its children, with a stripWaiter left behind to
+// forward the resolution once every child subtree has acked.
 func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
 	report := func(leafCount, height int, rep slot) {
 		n.Send(p.id, m.Leader, msgDescriptor{
@@ -508,10 +964,12 @@ func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
 			Node: m.Target, LeafCount: leafCount, Height: height, Rep: rep,
 		}, wordsDescriptor)
 	}
+	p.markTouched()
 	if m.Target.Kind == kindLeaf {
 		l := p.mustLeaf(m.Target)
 		p.clearLeafParent(l)
 		report(1, 0, m.Target.slot())
+		p.stripResolved(n, m.Epoch, m.AckTo, m.Leader, 1)
 		return
 	}
 	h := p.mustHelper(m.Target)
@@ -522,14 +980,31 @@ func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
 	if !h.damaged && h.leafCount == 1<<uint(h.height) {
 		p.clearHelperParent(h)
 		report(h.leafCount, h.height, h.rep)
+		p.stripResolved(n, m.Epoch, m.AckTo, m.Leader, 1)
 		return
 	}
 	// Discarded ("marked red"): the helper retires before any join, per
 	// Lemma 3.2 — its slot may be re-chosen for a new helper this very
-	// repair, and the quiescence barrier between the strip and merge
-	// phases guarantees the retirement lands first.
+	// repair, and the strip convergecast guarantees the retirement lands
+	// before the merge phase can issue instructions for the slot.
 	p.clearHelperParent(h)
 	delete(p.helpers, m.Target.Other)
+	children := 0
+	for _, c := range [2]addr{h.left, h.right} {
+		if c.ok() {
+			children++
+		}
+	}
+	if children == 0 {
+		p.stripResolved(n, m.Epoch, m.AckTo, m.Leader, 0)
+		return
+	}
+	if p.stripWait == nil {
+		p.stripWait = make(map[addr]*stripWaiter)
+	}
+	p.stripWait[m.Target] = &stripWaiter{
+		epoch: m.Epoch, waiting: children, ackTo: m.AckTo, leader: m.Leader,
+	}
 	for dir, c := range [2]addr{h.left, h.right} {
 		if !c.ok() {
 			continue
@@ -539,13 +1014,32 @@ func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
 			Depth: m.Depth + 1, Path: m.Path<<1 | uint64(dir),
 			Epoch:  m.Epoch,
 			Leader: m.Leader,
+			AckTo:  m.Target,
 		}, wordsStripVisit)
 	}
+}
+
+// onStripAck resolves one child subtree of a retired helper's cascade;
+// the last one forwards the resolution — and the accumulated
+// descriptor count — upward and drops the waiter.
+func (p *processor) onStripAck(n *simnet.Network, m msgStripAck) {
+	w, ok := p.stripWait[m.Target]
+	if !ok || w.epoch != m.Epoch {
+		panic(fmt.Sprintf("dist: processor %d: strip ack for unknown cascade %v (epoch %d)", p.id, m.Target, m.Epoch))
+	}
+	w.waiting--
+	w.descs += m.Descs
+	if w.waiting > 0 {
+		return
+	}
+	delete(p.stripWait, m.Target)
+	p.stripResolved(n, m.Epoch, w.ackTo, w.leader, w.descs)
 }
 
 // onCreateHelper starts simulating a fresh helper with fully wired
 // links from the leader's merge plan.
 func (p *processor) onCreateHelper(m msgCreateHelper) {
+	p.markTouched()
 	if _, exists := p.helpers[m.Slot.Other]; exists {
 		panic(fmt.Sprintf("dist: representative mechanism chose occupied slot %v", m.Slot))
 	}
@@ -560,6 +1054,7 @@ func (p *processor) onCreateHelper(m msgCreateHelper) {
 
 // onSetParent re-parents one of this processor's existing nodes.
 func (p *processor) onSetParent(m msgSetParent) {
+	p.markTouched()
 	if m.Target.Kind == kindLeaf {
 		l := p.mustLeaf(m.Target)
 		p.clearLeafParent(l)

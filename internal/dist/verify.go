@@ -15,7 +15,13 @@ import (
 // incrementally maintained physical graph against a from-scratch
 // reconstruction, the hard degree bound, and connectivity equivalence
 // with G′. A healthy network always returns nil.
+//
+// Verify is the authoritative O(n) revalidation; VerifyDelta (see
+// verify_delta.go) is the incremental mode that revisits only the
+// processors repairs touched. A full pass covers everything, so it
+// also resets the incremental pass's touched set.
 func (s *Simulation) Verify() error {
+	s.takeTouched()
 	// Record-level checks and global index.
 	idx := make(map[addr]*haft.Node)
 	for id, p := range s.procs {
@@ -24,6 +30,12 @@ func (s *Simulation) Verify() error {
 		}
 		if len(p.reps) != 0 {
 			return fmt.Errorf("dist: processor %d holds leftover repair scratch", id)
+		}
+		if len(p.parts) != 0 {
+			return fmt.Errorf("dist: processor %d holds leftover participant state", id)
+		}
+		if len(p.stripWait) != 0 {
+			return fmt.Errorf("dist: processor %d holds leftover strip-cascade waiters", id)
 		}
 		if p.dying {
 			return fmt.Errorf("dist: processor %d still marked dying", id)

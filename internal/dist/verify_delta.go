@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/haft"
+)
+
+// Incremental verification.
+//
+// Verify revalidates the whole network from scratch — O(n) work that
+// dominates soak runs at n ≥ 10⁵, where a checkpoint only ever follows
+// a handful of repairs. VerifyDelta instead revisits exactly the
+// processors whose records changed since the last verification (full
+// or delta): handlers register in the touchers list on their first
+// mutation, the same mechanism the incremental physical graph uses for
+// its edit logs. For every touched processor the record-level
+// invariants are re-checked, and every Reconstruction Tree holding one
+// of its records is re-validated wholesale (shape, census, link
+// mutuality, representatives) by climbing to the root and rebuilding
+// the subtree — O(changed region), not O(n).
+//
+// The full check stays authoritative: it additionally proves global
+// properties a local pass cannot (physical-graph reconstruction
+// equality, G′ connectivity equivalence, census completeness across
+// ALL processors), so soak still runs it at the end — and the tests
+// cross-check that delta and full verification agree after every
+// operation.
+
+// VerifyDelta revalidates the records touched since the last
+// verification plus, opportunistically, up to sample additional live
+// processors (0 disables the extra sweep). It returns nil on a healthy
+// network; corruption inside a changed region is detected exactly like
+// the full Verify would.
+func (s *Simulation) VerifyDelta(sample int) error {
+	s.drainPhys()
+	procs := s.takeTouched()
+	if sample > 0 {
+		// Opportunistic extra coverage: sweep a few more live
+		// processors. Map order makes the pick arbitrary, which is fine
+		// — on a healthy network every choice passes, and the sweep only
+		// widens detection, never narrows it.
+		seen := make(map[NodeID]struct{}, len(procs))
+		for _, p := range procs {
+			seen[p.id] = struct{}{}
+		}
+		for id, p := range s.procs {
+			if sample == 0 {
+				break
+			}
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			procs = append(procs, p)
+			sample--
+		}
+	}
+	checkedRoots := make(map[addr]struct{})
+	for _, p := range procs {
+		if s.procs[p.id] != p {
+			continue // deleted since it was touched
+		}
+		if err := s.checkProcessorLocal(p); err != nil {
+			return err
+		}
+		for o := range p.leaves {
+			if err := s.checkRTContaining(leafAddr(p.id, o), checkedRoots); err != nil {
+				return err
+			}
+		}
+		for o := range p.helpers {
+			if err := s.checkRTContaining(helperAddr(p.id, o), checkedRoots); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// takeTouched drains the touchers list, clearing the per-processor
+// flags so the next delta starts fresh.
+func (s *Simulation) takeTouched() []*processor {
+	procs := s.touchers.take()
+	for _, p := range procs {
+		p.touched = false
+	}
+	return procs
+}
+
+// checkProcessorLocal re-checks one processor's record-level
+// invariants: no leftover transient repair state and well-formed leaf
+// and helper records, plus the hard degree bound.
+func (s *Simulation) checkProcessorLocal(p *processor) error {
+	id := p.id
+	if len(p.reps) != 0 {
+		return fmt.Errorf("dist: processor %d holds leftover repair scratch", id)
+	}
+	if len(p.parts) != 0 {
+		return fmt.Errorf("dist: processor %d holds leftover participant state", id)
+	}
+	if len(p.stripWait) != 0 {
+		return fmt.Errorf("dist: processor %d holds leftover strip-cascade waiters", id)
+	}
+	if p.dying {
+		return fmt.Errorf("dist: processor %d still marked dying", id)
+	}
+	if p.claims != nil {
+		return fmt.Errorf("dist: processor %d holds leftover claim marks", id)
+	}
+	if len(p.physLog) != 0 {
+		return fmt.Errorf("dist: processor %d holds undrained physical-graph edits", id)
+	}
+	for o := range p.leaves {
+		if !s.gprime.HasEdge(id, o) {
+			return fmt.Errorf("dist: leaf (%d,%d): no such G' edge", id, o)
+		}
+		if _, dead := s.dead[o]; !dead {
+			return fmt.Errorf("dist: leaf (%d,%d): other endpoint not deleted", id, o)
+		}
+	}
+	for o, h := range p.helpers {
+		if h.damaged {
+			return fmt.Errorf("dist: helper (%d,%d): stale damage flag", id, o)
+		}
+		if _, ok := p.leaves[o]; !ok {
+			return fmt.Errorf("dist: helper (%d,%d): no leaf avatar in the same slot", id, o)
+		}
+	}
+	// Leaf characterization completeness for this processor: a leaf
+	// avatar exists for every half-dead G′ edge.
+	for _, x := range s.gprime.Neighbors(id) {
+		if _, dead := s.dead[x]; dead {
+			if _, ok := p.leaves[x]; !ok {
+				return fmt.Errorf("dist: missing leaf avatar (%d,%d)", id, x)
+			}
+		}
+	}
+	if dp := s.gprime.Degree(id); s.phys.Degree(id) > 4*dp {
+		return fmt.Errorf("dist: degree bound: node %d has physical degree %d > 4×%d", id, s.phys.Degree(id), dp)
+	}
+	return nil
+}
+
+// record fetches the leaf or helper record an address names, or an
+// error when the owner or record is missing.
+func (s *Simulation) record(a addr) (parent addr, h *helperRec, err error) {
+	p, ok := s.procs[a.Owner]
+	if !ok {
+		return addr{}, nil, fmt.Errorf("dist: node %v: owner not alive", a)
+	}
+	if a.Kind == kindLeaf {
+		l, ok := p.leaves[a.Other]
+		if !ok {
+			return addr{}, nil, fmt.Errorf("dist: no leaf record for %v", a)
+		}
+		return l.parent, nil, nil
+	}
+	rec, ok := p.helpers[a.Other]
+	if !ok {
+		return addr{}, nil, fmt.Errorf("dist: no helper record for %v", a)
+	}
+	return rec.parent, rec, nil
+}
+
+// checkRTContaining climbs from one record to its Reconstruction
+// Tree's root and re-validates that whole RT, skipping roots already
+// checked this pass. The climb is bounded: a parent chain longer than
+// any valid RT's depth means a cycle or corruption.
+func (s *Simulation) checkRTContaining(a addr, checkedRoots map[addr]struct{}) error {
+	maxDepth := 4*haft.CeilLog2(s.gprime.NumNodes()+2) + 8
+	root := a
+	for steps := 0; ; steps++ {
+		if steps > maxDepth {
+			return fmt.Errorf("dist: parent chain from %v exceeds %d (cycle?)", a, maxDepth)
+		}
+		parent, _, err := s.record(root)
+		if err != nil {
+			return err
+		}
+		if !parent.ok() {
+			break
+		}
+		root = parent
+	}
+	if _, done := checkedRoots[root]; done {
+		return nil
+	}
+	checkedRoots[root] = struct{}{}
+	node, leaves, helpers, err := s.reconstructRT(root, maxDepth)
+	if err != nil {
+		return err
+	}
+	if err := haft.Validate(node); err != nil {
+		return fmt.Errorf("dist: RT rooted at %v invalid: %w", root, err)
+	}
+	if !node.IsLeaf && helpers != leaves-1 {
+		return fmt.Errorf("dist: RT at %v with %d leaves has %d helpers, want %d",
+			root, leaves, helpers, leaves-1)
+	}
+	return s.checkRepresentatives(node)
+}
+
+// reconstructRT rebuilds the subtree under one address from the
+// distributed records, checking link mutuality on the way down.
+func (s *Simulation) reconstructRT(a addr, maxDepth int) (node *haft.Node, leaves, helpers int, err error) {
+	if maxDepth < 0 {
+		return nil, 0, 0, fmt.Errorf("dist: RT under %v deeper than any valid haft (cycle?)", a)
+	}
+	if a.Kind == kindLeaf {
+		if _, _, err := s.record(a); err != nil {
+			return nil, 0, 0, err
+		}
+		return haft.NewLeaf(a.slot()), 1, 0, nil
+	}
+	_, h, err := s.record(a)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	node = &haft.Node{Height: h.height, LeafCount: h.leafCount, Payload: a.slot()}
+	for dir, c := range [2]addr{h.left, h.right} {
+		if !c.ok() {
+			return nil, 0, 0, fmt.Errorf("dist: helper %v: missing child %d", a, dir)
+		}
+		cParent, _, err := s.record(c)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("dist: helper %v: child %d: %w", a, dir, err)
+		}
+		if cParent != a {
+			return nil, 0, 0, fmt.Errorf("dist: node %v: parent field %v disagrees with child link from %v", c, cParent, a)
+		}
+		child, cl, ch, err := s.reconstructRT(c, maxDepth-1)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		child.Parent = node
+		if dir == 0 {
+			node.Left = child
+		} else {
+			node.Right = child
+		}
+		leaves += cl
+		helpers += ch
+	}
+	return node, leaves, helpers + 1, nil
+}
+
+// checkRepresentatives re-derives every helper's representative within
+// one reconstructed RT and compares against the stored one — the same
+// check the full Verify runs, scoped to this tree.
+func (s *Simulation) checkRepresentatives(root *haft.Node) error {
+	slotOf := func(n *haft.Node) slot { return n.Payload.(slot) }
+	for _, hn := range haft.Internal(root) {
+		hs := slotOf(hn)
+		stored := s.procs[hs.Owner].helpers[hs.Other]
+		inside := make(map[slot]struct{})
+		for _, x := range haft.Internal(hn) {
+			inside[slotOf(x)] = struct{}{}
+		}
+		var free []slot
+		for _, l := range haft.Leaves(hn) {
+			ls := slotOf(l)
+			if _, hasHelper := s.procs[ls.Owner].helpers[ls.Other]; hasHelper {
+				if _, in := inside[ls]; in {
+					continue
+				}
+			}
+			free = append(free, ls)
+		}
+		if len(free) != 1 {
+			return fmt.Errorf("dist: helper (%d,%d): %d free leaves in subtree, want exactly 1", hs.Owner, hs.Other, len(free))
+		}
+		if free[0] != stored.rep {
+			return fmt.Errorf("dist: helper (%d,%d): stored representative %v, recomputed %v",
+				hs.Owner, hs.Other, stored.rep, free[0])
+		}
+	}
+	return nil
+}

@@ -100,6 +100,12 @@ func Experiments() []Experiment {
 			Run:   expBW,
 		},
 		{
+			ID:    "EXP-HET",
+			Title: "Heterogeneous link capacities (fast core / slow edge links)",
+			Claim: "capacity maps change rounds and backlog, never messages or the healed graph; slow-link attacks cost more rounds than oblivious ones",
+			Run:   expHet,
+		},
+		{
 			ID:    "EXP-RTDEPTH",
 			Title: "Reconstruction Tree depth (Lemma 1, dynamically)",
 			Claim: "every RT produced by a repair has depth ceil(log2 leaves)",

@@ -224,6 +224,49 @@ func (c Congestion) CongestedFrac() float64 {
 	return float64(c.CongestionRounds) / float64(c.Rounds)
 }
 
+// Coordination aggregates the protocol's in-band synchronization cost
+// across one or more repairs: rounds that carried leader-election
+// tournament traffic, rounds that carried termination-detection
+// traffic (acks, convergecast dones), the corresponding message
+// counts, and total rounds. The zero value is an empty sample.
+type Coordination struct {
+	ElectionRounds   int
+	SyncRounds       int
+	ElectionMessages int
+	SyncMessages     int
+	Rounds           int
+}
+
+// Add folds one repair's counters into the aggregate.
+func (c Coordination) Add(electionRounds, syncRounds, electionMsgs, syncMsgs, rounds int) Coordination {
+	c.ElectionRounds += electionRounds
+	c.SyncRounds += syncRounds
+	c.ElectionMessages += electionMsgs
+	c.SyncMessages += syncMsgs
+	c.Rounds += rounds
+	return c
+}
+
+// Merge folds another aggregate in.
+func (c Coordination) Merge(o Coordination) Coordination {
+	return c.Add(o.ElectionRounds, o.SyncRounds, o.ElectionMessages, o.SyncMessages, o.Rounds)
+}
+
+// SyncFrac returns the fraction of rounds that carried coordination
+// traffic of either kind (0 for an empty sample). A round can carry
+// both kinds and then counts in both numerator terms, so the fraction
+// is clamped at 1.
+func (c Coordination) SyncFrac() float64 {
+	if c.Rounds == 0 {
+		return 0
+	}
+	f := float64(c.ElectionRounds+c.SyncRounds) / float64(c.Rounds)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
 // LargestComponentFrac returns the fraction of live nodes in the largest
 // connected component of the actual network (1.0 when connected, 0 for
 // an empty network). Used to quantify how badly no-heal shatters.

@@ -67,6 +67,7 @@ func (n *Network) ParallelStep() int {
 	// Account deliveries up front (deterministic), then fan out.
 	delivered := 0
 	n.stats.Rounds++
+	var classes roundClasses
 	for _, g := range groups {
 		if !n.HasNode(g.to) {
 			n.dropped += len(g.msgs)
@@ -76,18 +77,11 @@ func (n *Network) ParallelStep() int {
 			if m.timer {
 				continue
 			}
-			n.stats.Messages++
-			n.stats.TotalWords += m.Words
-			if m.Words > n.stats.MaxWords {
-				n.stats.MaxWords = m.Words
-			}
-			n.sentBy[m.From]++
-			if n.sentBy[m.From] > n.stats.MaxSentByNode {
-				n.stats.MaxSentByNode = n.sentBy[m.From]
-			}
+			n.bookDelivery(m, &classes)
 		}
 		delivered += len(g.msgs)
 	}
+	classes.book(&n.stats)
 
 	// Each receiver runs in its own goroutine against a shadow network
 	// that only records sends; shadows are merged deterministically.
@@ -99,10 +93,16 @@ func (n *Network) ParallelStep() int {
 		if !ok {
 			continue
 		}
+		// The shadow carries the bandwidth configuration (read-only
+		// during a round) so sender-side pacing sees the same per-edge
+		// budgets in both delivery modes.
 		shadow := &Network{
-			handlers: n.handlers,
-			round:    n.round,
-			sentBy:   make(map[NodeID]int),
+			handlers:  n.handlers,
+			round:     n.round,
+			sentBy:    make(map[NodeID]int),
+			bandwidth: n.bandwidth,
+			edgeCap:   n.edgeCap,
+			nodeCap:   n.nodeCap,
 		}
 		shadows[i] = shadow
 		wg.Add(1)

@@ -40,6 +40,24 @@ import (
 // NodeID identifies a processor, shared with package graph.
 type NodeID = graph.NodeID
 
+// Class tags a message with its role in the protocol, so the cost of
+// coordination — leader election and termination detection — is
+// accounted separately from the repair payload it synchronizes. All
+// classes are real network traffic and count fully toward Messages,
+// TotalWords and the bandwidth model; the class only drives the
+// ElectionRounds/SyncRounds breakdown in Stats.
+type Class uint8
+
+const (
+	// ClassData is ordinary protocol traffic (the default).
+	ClassData Class = iota
+	// ClassElection marks leader-election tournament messages.
+	ClassElection
+	// ClassSync marks termination-detection traffic: walk acks,
+	// convergecast dones, and phase-completion reports.
+	ClassSync
+)
+
 // Message is a unit of communication between two processors.
 type Message struct {
 	From, To NodeID
@@ -49,6 +67,8 @@ type Message struct {
 	// Lemma 4 counts. Timers have Words == 0 and are excluded from the
 	// traffic statistics.
 	Words int
+	// Class is the accounting category (see Class).
+	Class Class
 	// timer marks a local wake-up rather than a network message.
 	timer bool
 	seq   int
@@ -84,6 +104,18 @@ type Stats struct {
 	// CongestionRounds counts rounds in which at least one message was
 	// deferred for lack of bandwidth.
 	CongestionRounds int
+	// ElectionMessages and SyncMessages split the Messages total by
+	// class: leader-election tournament traffic and termination-
+	// detection traffic (walk acks, convergecast dones). Both are
+	// included in Messages/TotalWords — coordination is not free.
+	ElectionMessages int
+	SyncMessages     int
+	// ElectionRounds and SyncRounds count rounds in which at least one
+	// message of the respective class was delivered: the rounds the
+	// protocol spends (at least partly) electing leaders and proving
+	// phase termination. A round carrying both classes counts in both.
+	ElectionRounds int
+	SyncRounds     int
 }
 
 // futureMsg is a timer waiting for its due round.
@@ -108,9 +140,12 @@ type Network struct {
 	seq      int
 
 	// bandwidth caps every edge at this many words per round; 0 means
-	// unlimited. edgeCap overrides single directed edges.
+	// unlimited. edgeCap overrides single directed edges; nodeCap
+	// clamps every link incident to a node (heterogeneous access
+	// links), compounding with the other caps by minimum.
 	bandwidth int
 	edgeCap   map[edgeKey]int
+	nodeCap   map[NodeID]int
 
 	stats   Stats
 	sentBy  map[NodeID]int
@@ -178,13 +213,47 @@ func (n *Network) SetEdgeBandwidth(from, to NodeID, words int) {
 	n.edgeCap[e] = words
 }
 
-// edgeBudget returns the words-per-round cap of one directed edge
-// (0 = unlimited).
-func (n *Network) edgeBudget(e edgeKey) int {
-	if c, ok := n.edgeCap[e]; ok {
-		return c
+// SetNodeBandwidth caps every link incident to one node at the given
+// number of words per round — the "slow access link" of a
+// heterogeneous topology: every message to or from the node squeezes
+// through its uplink. words <= 0 removes the cap. Node caps compound
+// with the global and per-edge caps by minimum.
+func (n *Network) SetNodeBandwidth(id NodeID, words int) {
+	if words <= 0 {
+		delete(n.nodeCap, id)
+		return
 	}
-	return n.bandwidth
+	if n.nodeCap == nil {
+		n.nodeCap = make(map[NodeID]int)
+	}
+	n.nodeCap[id] = words
+}
+
+// edgeBudget returns the words-per-round cap of one directed edge
+// (0 = unlimited): the per-edge override if set, else the global cap,
+// clamped by both endpoints' node caps.
+func (n *Network) edgeBudget(e edgeKey) int {
+	b := n.bandwidth
+	if c, ok := n.edgeCap[e]; ok {
+		b = c
+	}
+	clamp := func(c int) {
+		if c > 0 && (b == 0 || c < b) {
+			b = c
+		}
+	}
+	clamp(n.nodeCap[e.from])
+	clamp(n.nodeCap[e.to])
+	return b
+}
+
+// EdgeBudget returns the effective words-per-round cap of one directed
+// edge (0 = unlimited): the per-edge override if set, else the global
+// cap, clamped by both endpoints' node caps (SetNodeBandwidth).
+// Sender-side pacing consults it so a narrow link is trickled at its
+// own rate instead of the global one.
+func (n *Network) EdgeBudget(from, to NodeID) int {
+	return n.edgeBudget(edgeKey{from: from, to: to})
 }
 
 // applyBandwidth enforces the per-edge capacity on one round's sorted
@@ -196,7 +265,7 @@ func (n *Network) edgeBudget(e edgeKey) int {
 // cap. Timers bypass the check entirely: they are local wake-ups, not
 // link traffic.
 func (n *Network) applyBandwidth(batch []Message) []Message {
-	if n.bandwidth <= 0 && len(n.edgeCap) == 0 {
+	if n.bandwidth <= 0 && len(n.edgeCap) == 0 && len(n.nodeCap) == 0 {
 		return batch
 	}
 	used := make(map[edgeKey]int)
@@ -239,12 +308,17 @@ func (n *Network) applyBandwidth(batch []Message) []Message {
 // Send enqueues a message for delivery in the next round. Words must
 // reflect the payload size in O(log n)-bit words and be at least 1.
 func (n *Network) Send(from, to NodeID, payload any, words int) {
+	n.SendClass(from, to, payload, words, ClassData)
+}
+
+// SendClass is Send with an explicit accounting class (see Class).
+func (n *Network) SendClass(from, to NodeID, payload any, words int, class Class) {
 	if words < 1 {
 		panic(fmt.Sprintf("simnet: message with %d words", words))
 	}
 	n.seq++
 	n.queue = append(n.queue, Message{
-		From: from, To: to, Payload: payload, Words: words, seq: n.seq,
+		From: from, To: to, Payload: payload, Words: words, Class: class, seq: n.seq,
 	})
 }
 
@@ -293,6 +367,7 @@ func (n *Network) Step() int {
 	batch = n.applyBandwidth(batch)
 	delivered := 0
 	n.stats.Rounds++
+	var classes roundClasses
 	for _, m := range batch {
 		h, ok := n.handlers[m.To]
 		if !ok {
@@ -300,20 +375,49 @@ func (n *Network) Step() int {
 			continue
 		}
 		if !m.timer {
-			n.stats.Messages++
-			n.stats.TotalWords += m.Words
-			if m.Words > n.stats.MaxWords {
-				n.stats.MaxWords = m.Words
-			}
-			n.sentBy[m.From]++
-			if n.sentBy[m.From] > n.stats.MaxSentByNode {
-				n.stats.MaxSentByNode = n.sentBy[m.From]
-			}
+			n.bookDelivery(m, &classes)
 		}
 		delivered++
 		h(n, m)
 	}
+	classes.book(&n.stats)
 	return delivered
+}
+
+// roundClasses records which accounting classes saw a delivery this
+// round, so ElectionRounds/SyncRounds count rounds, not messages.
+type roundClasses struct {
+	election, sync bool
+}
+
+func (c *roundClasses) book(s *Stats) {
+	if c.election {
+		s.ElectionRounds++
+	}
+	if c.sync {
+		s.SyncRounds++
+	}
+}
+
+// bookDelivery folds one delivered network message into the stats.
+func (n *Network) bookDelivery(m Message, classes *roundClasses) {
+	n.stats.Messages++
+	n.stats.TotalWords += m.Words
+	if m.Words > n.stats.MaxWords {
+		n.stats.MaxWords = m.Words
+	}
+	n.sentBy[m.From]++
+	if n.sentBy[m.From] > n.stats.MaxSentByNode {
+		n.stats.MaxSentByNode = n.sentBy[m.From]
+	}
+	switch m.Class {
+	case ClassElection:
+		n.stats.ElectionMessages++
+		classes.election = true
+	case ClassSync:
+		n.stats.SyncMessages++
+		classes.sync = true
+	}
 }
 
 // RunUntilQuiescent steps the network until no messages or timers remain

@@ -24,10 +24,17 @@ func ExampleNetwork_LastRepair() {
 	fmt.Println("deleted degree:", rc.DegreePrime)
 	fmt.Println("BT_v size:", rc.BTvSize)
 	fmt.Println("messages:", rc.Messages)
+	fmt.Println("coordination:", rc.ElectionMessages+rc.SyncMessages)
 	fmt.Println("verified:", net.Verify() == nil)
+	// The message count includes the in-band coordination the protocol
+	// no longer gets for free: the leader-election tournament over
+	// BT_v (2·(15-1) = 28 messages) and the termination-detection
+	// convergecast (14 subtree-dones + 1 phase-done) on top of the 59
+	// repair-payload messages.
 	// Output:
 	// deleted degree: 15
 	// BT_v size: 15
-	// messages: 59
+	// messages: 102
+	// coordination: 43
 	// verified: true
 }

@@ -52,6 +52,15 @@ type RepairCost struct {
 	QueuedWords      int
 	MaxEdgeBacklog   int
 	CongestionRounds int
+	// ElectionRounds and SyncRounds expose the repair's in-band
+	// coordination cost: rounds carrying the leader-election
+	// tournament and rounds carrying termination-detection traffic
+	// (acks and convergecast dones). The corresponding messages are
+	// included in Messages — synchronization is charged, not assumed.
+	ElectionRounds   int
+	SyncRounds       int
+	ElectionMessages int
+	SyncMessages     int
 }
 
 // Network is a distributed Forgiving Graph: every processor holds only
@@ -128,6 +137,10 @@ type BatchCost struct {
 	Messages     int
 	Rounds       int
 	ClaimAborted bool
+	// ElectionRounds and SyncRounds expose the batch's in-band
+	// coordination cost across all waves (see RepairCost).
+	ElectionRounds int
+	SyncRounds     int
 	// QueuedWords, MaxEdgeBacklog and CongestionRounds report the
 	// batch's congestion under a finite per-edge bandwidth.
 	QueuedWords      int
@@ -154,6 +167,8 @@ func (n *Network) LastBatch() BatchCost {
 		Batch: b.Batch, Groups: b.Groups, Waves: b.Waves,
 		Conflicts: b.Conflicts, Messages: b.Messages, Rounds: b.Rounds,
 		ClaimAborted:     b.ClaimAborted,
+		ElectionRounds:   b.ElectionRounds,
+		SyncRounds:       b.SyncRounds,
 		QueuedWords:      b.QueuedWords,
 		MaxEdgeBacklog:   b.MaxEdgeBacklog,
 		CongestionRounds: b.CongestionRounds,
@@ -175,6 +190,10 @@ func (n *Network) LastRepair() RepairCost {
 		QueuedWords:      r.QueuedWords,
 		MaxEdgeBacklog:   r.MaxEdgeBacklog,
 		CongestionRounds: r.CongestionRounds,
+		ElectionRounds:   r.ElectionRounds,
+		SyncRounds:       r.SyncRounds,
+		ElectionMessages: r.ElectionMessages,
+		SyncMessages:     r.SyncMessages,
 	}
 }
 
