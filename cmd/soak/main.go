@@ -24,12 +24,22 @@
 // no longer pays an O(n) revalidation every interval; the final check
 // is always the full one, and -full-check restores it everywhere.
 //
+// With -dist -async, the campaign drives the OPEN-LOOP engine instead
+// of the blocking calls: operations are submitted on the adversary's
+// clock (up to -async-gap rounds between submissions, including zero)
+// while earlier repairs are still in flight, exercising mid-repair
+// admission, leader-to-leader handoff and deferred inserts. The soak
+// drains the engine at every checkpoint before validating, and reports
+// the pipeline's throughput, completion-latency distribution, and peak
+// concurrent-repair depth at the end.
+//
 // Usage:
 //
 //	soak [-n N] [-topology NAME] [-steps K] [-seed S] [-insert-p P]
 //	     [-check-every C] [-dist] [-parallel] [-full-check]
 //	     [-batch K] [-batch-strategy random|disjoint|colliding]
 //	     [-delete STRATEGY] [-bandwidth B] [-no-spread] [-slow-frac F]
+//	     [-async] [-async-gap G]
 package main
 
 import (
@@ -71,6 +81,8 @@ func run() error {
 		slowFrac  = flag.Float64("slow-frac", 0, "with -dist: mark this fraction of lowest-degree nodes as slow (node cap 1 word/round); inserted nodes join the slow class with the same probability")
 		deleteStr = flag.String("delete", "random", "single-deletion strategy (see adversary.Names; slow-link targets minimum-capacity links)")
 		fullCheck = flag.Bool("full-check", false, "run the full O(n) verification at every checkpoint instead of the incremental one (the final check is always full)")
+		async     = flag.Bool("async", false, "with -dist: drive the open-loop engine (Submit/Tick) instead of the blocking calls")
+		asyncGap  = flag.Int("async-gap", 2, "with -async: max rounds the adversary waits between submissions (0 = fully open loop)")
 	)
 	flag.Parse()
 
@@ -104,11 +116,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *async && !*useDist {
+		return fmt.Errorf("-async drives the distributed protocol's open-loop engine; add -dist")
+	}
+	if *async && *batchK > 1 {
+		return fmt.Errorf("-async submits operations continuously; it does not combine with -batch")
+	}
+	if *asyncGap < 0 {
+		return fmt.Errorf("-async-gap must be >= 0, got %d", *asyncGap)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	g0 := gen(*n, rng)
-	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v batch=%d strategy=%s delete=%s bandwidth=%d spread=%v slow-frac=%v\n",
+	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v batch=%d strategy=%s delete=%s bandwidth=%d spread=%v slow-frac=%v async=%v\n",
 		*topology, g0.NumNodes(), *steps, *seed, *useDist, *parallel, *batchK, batchStrat.Name(),
-		deleter.Name(), *bandwidth, !*noSpread, *slowFrac)
+		deleter.Name(), *bandwidth, !*noSpread, *slowFrac, *async)
 
 	var (
 		target soakTarget
@@ -132,6 +153,10 @@ func run() error {
 		AttachK:      2,
 		Preferential: true,
 		Delete:       deleter,
+	}
+	if *async {
+		dt := target.(distTarget)
+		return soakAsync(dt.s, churn, rng, *steps, *asyncGap, *checkEvy, *fullCheck, *slowFrac)
 	}
 	// In batch mode the insert-vs-burst decision is drawn by the soak
 	// loop itself, so the insert branch must always insert: InsertP 1
@@ -249,6 +274,157 @@ func run() error {
 			coord.ElectionMessages, coord.SyncMessages, coord.ElectionRounds, coord.SyncRounds,
 			coord.Rounds, 100*coord.SyncFrac())
 	}
+	return nil
+}
+
+// soakAsync drives the open-loop engine: one submission per step, up
+// to maxGap rounds of ticking in between, repairs pipelining freely.
+// The adversary decodes its moves against the engine's live view and
+// skips victims it has already submitted (their deletion is pending or
+// in flight), so every submission is valid — any rejection is an
+// engine bug and fails the soak. Checkpoints drain the engine first,
+// then run the usual (incremental) validation.
+func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
+	steps, maxGap, checkEvery int, fullCheck bool, slowFrac float64) error {
+
+	nextID := graph.NodeID(1 << 20)
+	alloc := func() graph.NodeID { nextID++; return nextID }
+	view := distTarget{s}
+	adv := adversary.OpenLoop{Churn: churn, MaxGap: maxGap}
+
+	var pipe metrics.Pipeline
+	latencies := metrics.NewHistogram(0, 400, 20)
+	degRatios := metrics.NewHistogram(0, 4.25, 17)
+	outstanding := make(map[graph.NodeID]struct{}) // submitted, not yet completed
+	start := time.Now()
+	deletions := 0
+
+	// runCounted advances up to max rounds, counting each and sampling
+	// the in-flight depth per round — admissions triggered by mid-drain
+	// completions can raise the depth between submissions.
+	runCounted := func(max int) {
+		for r := 0; r < max && !s.Idle(); r++ {
+			s.Tick()
+			pipe.Rounds++
+			pipe.ObserveInFlight(s.InFlight())
+		}
+	}
+
+	drainEvents := func() error {
+		for _, ev := range s.Poll() {
+			switch ev.Kind {
+			case dist.EventRepairDone, dist.EventInsertApplied:
+				delete(outstanding, ev.V)
+				pipe.ObserveLatency(ev.Latency)
+				latencies.Observe(float64(ev.Latency))
+			case dist.EventOpRejected:
+				return fmt.Errorf("engine rejected %v: %w", ev.Op, ev.Err)
+			}
+		}
+		return nil
+	}
+
+	for step := 1; step <= steps; step++ {
+		// Decode a timed move whose participants are not already pending.
+		var op adversary.Op
+		gap := 0
+		ok := false
+		for attempt := 0; attempt < 8; attempt++ {
+			cand, more := adv.Next(view, rng, alloc)
+			if !more {
+				break
+			}
+			clean := true
+			if _, dup := outstanding[cand.Op.V]; dup {
+				clean = false
+			}
+			for _, x := range cand.Op.Nbrs {
+				if _, dup := outstanding[x]; dup {
+					clean = false
+				}
+			}
+			if clean {
+				op, gap, ok = cand.Op, cand.Gap, true
+				break
+			}
+		}
+		if !ok {
+			// Nothing submittable right now: let the network advance.
+			runCounted(1)
+			if err := drainEvents(); err != nil {
+				return fmt.Errorf("step %d: %w", step, err)
+			}
+			continue
+		}
+		var dop dist.Op
+		if op.Insert {
+			dop = dist.Op{Kind: dist.OpInsert, V: op.V, Nbrs: op.Nbrs}
+		} else {
+			dop = dist.Op{Kind: dist.OpDelete, V: op.V}
+			deletions++
+		}
+		if err := s.Submit(dop); err != nil {
+			return fmt.Errorf("step %d: submit %v: %w", step, op, err)
+		}
+		outstanding[op.V] = struct{}{}
+		pipe.Submitted++
+		pipe.ObserveInFlight(s.InFlight())
+		if op.Insert && slowFrac > 0 && rng.Float64() < slowFrac {
+			// The node cap is registered up front; it bites as soon as
+			// the (possibly deferred) insert applies.
+			s.SetNodeBandwidth(op.V, 1)
+		}
+		runCounted(gap)
+		if err := drainEvents(); err != nil {
+			return fmt.Errorf("step %d: %w", step, err)
+		}
+
+		if step%checkEvery == 0 {
+			runCounted(1 << 22)
+			if !s.Idle() {
+				return fmt.Errorf("step %d: engine failed to drain for checkpoint", step)
+			}
+			if err := drainEvents(); err != nil {
+				return fmt.Errorf("step %d: %w", step, err)
+			}
+			check := s.VerifyDelta
+			if fullCheck {
+				check = func(int) error { return s.Verify() }
+			}
+			if err := check(8); err != nil {
+				return fmt.Errorf("step %d: INVARIANT VIOLATION: %w", step, err)
+			}
+			deg := metrics.Degrees(s.Physical(), s.GPrime(), s.LiveNodes())
+			degRatios.Observe(deg.Max)
+			if deg.Max > 4 {
+				return fmt.Errorf("step %d: degree ratio %v > 4", step, deg.Max)
+			}
+		}
+	}
+	// The tail drain counts its rounds too — throughput is ops over
+	// EVERY round the campaign consumed, backlog drain included.
+	runCounted(1 << 22)
+	if !s.Idle() {
+		return fmt.Errorf("final drain: engine failed to drain")
+	}
+	if err := drainEvents(); err != nil {
+		return fmt.Errorf("final: %w", err)
+	}
+	if err := s.Verify(); err != nil {
+		return fmt.Errorf("final validation: %w", err)
+	}
+
+	fmt.Printf("\n%d steps (%d deletions) open-loop in %v — all invariants held\n\n",
+		steps, deletions, time.Since(start).Round(time.Millisecond))
+	lat := pipe.Latency()
+	fmt.Printf("pipeline: %d ops over %d rounds (%.3f ops/round), peak %d repairs in flight\n",
+		pipe.Completed, pipe.Rounds, pipe.Throughput(), pipe.PeakInFlight)
+	fmt.Printf("completion latency: mean %.1f p50 %.0f p95 %.0f max %.0f rounds\n",
+		lat.Mean, lat.P50, lat.P95, lat.Max)
+	fmt.Println("completion latency distribution (rounds):")
+	fmt.Println(latencies.Render(40))
+	fmt.Println("max degree ratio at checkpoints:")
+	fmt.Println(degRatios.Render(40))
 	return nil
 }
 

@@ -1,8 +1,12 @@
-// P2P churn: the paper's motivating scenario. A peer-to-peer overlay
-// suffers continuous adversarial churn — peers join with arbitrary
-// connections and an omniscient attacker keeps deleting the
-// highest-degree peer — while the Forgiving Graph keeps the overlay
-// connected with provably low stretch.
+// P2P churn: the paper's motivating scenario, driven OPEN-LOOP. A
+// peer-to-peer overlay suffers continuous adversarial churn — peers
+// join with arbitrary connections while an omniscient attacker keeps
+// killing the busiest peers — and the adversary does not wait for
+// repairs to finish: operations are submitted on its own clock through
+// the streaming protocol API (Submit/Tick/Poll), repairs of disjoint
+// regions pipeline, and typed completion events report every repair's
+// cost as it lands. The Forgiving Graph keeps the overlay connected
+// with provably low degree amplification throughout.
 //
 // Run with: go run ./examples/p2pchurn
 package main
@@ -12,86 +16,152 @@ import (
 	"log"
 	"math/rand"
 
-	"repro"
+	"repro/protocol"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(2009)) // PODC 2009
 
-	// Bootstrap: 50 peers joining one by one, each knowing 1-3 peers.
-	var edges []repro.Edge
-	for i := 1; i < 50; i++ {
+	// Bootstrap: 300 peers joining one by one, each knowing 1-3 peers.
+	var edges []protocol.Edge
+	for i := 1; i < 300; i++ {
 		k := rng.Intn(3) + 1
 		seen := map[int]bool{}
 		for j := 0; j < k; j++ {
 			t := rng.Intn(i)
 			if !seen[t] {
 				seen[t] = true
-				edges = append(edges, repro.Edge{U: repro.NodeID(i), V: repro.NodeID(t)})
+				edges = append(edges, protocol.Edge{U: protocol.NodeID(i), V: protocol.NodeID(t)})
 			}
 		}
 	}
-	net, err := repro.New(edges)
+	net, err := protocol.New(edges)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("bootstrapped overlay: %d peers\n\n", net.NumAlive())
 
-	nextID := repro.NodeID(1000)
-	fmt.Println("step  alive  everSeen  maxStretch  bound  maxDegRatio")
+	// The churn stream: 120 events submitted open-loop, at most two
+	// rounds apart, repairs pipelining underneath. Peers pending
+	// deletion are skipped as targets (the adversary submitted their
+	// death already; the overlay just hasn't finished absorbing it).
+	nextID := protocol.NodeID(1000)
+	pending := map[protocol.NodeID]bool{}
+	repairs, peak := 0, 0
+	lastMsgs := -1 // most recent completed repair's window messages
+	fmt.Println("step  submitted  inflight  repaired  msgs(last window)")
 	for step := 1; step <= 120; step++ {
 		peers := net.Nodes()
+		if len(peers) == 0 {
+			break
+		}
 		if rng.Float64() < 0.45 {
-			// A new peer joins, attaching to up to 2 random peers.
+			// A new peer joins, attaching to up to 2 random peers. If it
+			// lands in a damaged region the engine defers it until the
+			// region heals — the join just takes a few rounds longer.
 			k := rng.Intn(2) + 1
-			if k > len(peers) {
-				k = len(peers)
+			nbrs := make([]protocol.NodeID, 0, k)
+			for _, idx := range rng.Perm(len(peers)) {
+				p := peers[idx]
+				if !pending[p] {
+					nbrs = append(nbrs, p)
+				}
+				if len(nbrs) == k {
+					break
+				}
 			}
-			nbrs := make([]repro.NodeID, 0, k)
-			for _, idx := range rng.Perm(len(peers))[:k] {
-				nbrs = append(nbrs, peers[idx])
+			if len(nbrs) == 0 {
+				continue
 			}
-			if err := net.Insert(nextID, nbrs); err != nil {
+			if err := net.Submit(protocol.InsertOp(nextID, nbrs...)); err != nil {
 				log.Fatal(err)
 			}
+			pending[nextID] = true
 			nextID++
 		} else {
-			// The omniscient adversary kills the busiest peer.
-			victim, best := peers[0], -1
-			for _, p := range peers {
+			// The attacker kills the busiest of a random sample of
+			// peers (it cannot stall the overlay by hammering one
+			// region: sampled victims spread across the graph, so their
+			// repairs pipeline).
+			victim, best := protocol.NodeID(-1), -1
+			for _, idx := range rng.Perm(len(peers))[:min(3, len(peers))] {
+				p := peers[idx]
+				if pending[p] {
+					continue
+				}
 				if d := net.Degree(p); d > best {
 					victim, best = p, d
 				}
 			}
-			if err := net.Delete(victim); err != nil {
+			if best < 0 {
+				continue
+			}
+			if err := net.Submit(protocol.DeleteOp(victim)); err != nil {
 				log.Fatal(err)
+			}
+			pending[victim] = true
+		}
+		// The adversary's clock: 4-8 rounds per event, sampling the
+		// pipeline depth each round (handoffs can raise it mid-gap).
+		for r := 4 + rng.Intn(5); r > 0 && !net.Idle(); r-- {
+			net.Tick()
+			if f := net.InFlight(); f > peak {
+				peak = f
+			}
+		}
+
+		for _, ev := range net.Poll() {
+			switch ev.Kind {
+			case protocol.EventRepairDone:
+				repairs++
+				// Messages is the repair's stats-window delta; while
+				// several repairs overlap the windows share traffic, so
+				// it is a per-repair observation, not a summable total.
+				lastMsgs = ev.Repair.Messages
+				delete(pending, ev.V)
+			case protocol.EventInsertApplied:
+				delete(pending, ev.V)
+			case protocol.EventOpRejected:
+				log.Fatalf("step %d: op rejected: %v", step, ev.Err)
 			}
 		}
 		if step%20 == 0 {
-			sr := net.StretchReport()
-			dr := net.DegreeReport()
-			fmt.Printf("%4d  %5d  %8d  %10.2f  %5.2f  %11.2f\n",
-				step, net.NumAlive(), net.NumEver(), sr.Max, sr.Bound, dr.MaxRatio)
-			if !sr.Satisfied {
-				log.Fatalf("stretch bound violated at step %d", step)
+			last := "-"
+			if lastMsgs >= 0 {
+				last = fmt.Sprint(lastMsgs)
 			}
+			fmt.Printf("%4d  %9d  %8d  %8d  %17s\n",
+				step, len(pending), net.InFlight(), repairs, last)
 		}
 	}
 
-	// Final connectivity check: any two live peers can still reach
-	// each other if they could in the insertions-only graph.
+	// Drain the tail of the pipeline and validate everything.
+	if err := net.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range net.Poll() {
+		if ev.Kind == protocol.EventRepairDone {
+			repairs++
+		}
+	}
+
+	// Final connectivity check: any two live peers can still reach each
+	// other.
 	peers := net.Nodes()
 	unreachable := 0
 	for i := 0; i < 200; i++ {
 		u := peers[rng.Intn(len(peers))]
 		v := peers[rng.Intn(len(peers))]
-		if net.DistancePrime(u, v) >= 0 && net.Distance(u, v) < 0 {
+		if net.Distance(u, v) < 0 {
 			unreachable++
 		}
 	}
-	fmt.Printf("\nafter 120 churn events: %d peers alive, %d unreachable pairs (want 0)\n",
-		net.NumAlive(), unreachable)
-	if err := net.CheckInvariants(); err != nil {
+	fmt.Printf("\nafter 120 open-loop churn events: %d peers alive, %d repairs, peak %d in flight, %d unreachable pairs (want 0)\n",
+		net.NumAlive(), repairs, peak, unreachable)
+	if unreachable > 0 {
+		log.Fatal("overlay lost connectivity")
+	}
+	if err := net.Verify(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("overlay healthy: all invariants hold.")

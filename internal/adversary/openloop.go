@@ -1,0 +1,47 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Open-loop churn: the adversary of the asynchronous engine does not
+// wait for repairs to finish — it submits operations on its own clock
+// and lets the network absorb them. A TimedOp is one such move: the
+// operation plus the number of rounds the adversary lets the network
+// run before its next submission (0 = submit again in the same round,
+// the fully open-loop extreme).
+
+// TimedOp is one open-loop adversarial action with its submission gap.
+type TimedOp struct {
+	Op  Op
+	Gap int
+}
+
+// OpenLoop wraps a churn strategy with submission timing. Gaps are
+// drawn uniformly from [0, MaxGap]; MaxGap 0 means the adversary
+// never waits — every operation lands while the previous repairs are
+// still in flight.
+type OpenLoop struct {
+	Churn  Churn
+	MaxGap int
+}
+
+// Name implements a Name() in the Adversary style.
+func (o OpenLoop) Name() string {
+	return fmt.Sprintf("open-loop(%s, gap<=%d)", o.Churn.Name(), o.MaxGap)
+}
+
+// Next produces the next timed operation, ok=false when the underlying
+// churn has no move left.
+func (o OpenLoop) Next(v View, rng *rand.Rand, nextID func() NodeID) (TimedOp, bool) {
+	op, ok := o.Churn.Next(v, rng, nextID)
+	if !ok {
+		return TimedOp{}, false
+	}
+	gap := 0
+	if o.MaxGap > 0 {
+		gap = rng.Intn(o.MaxGap + 1)
+	}
+	return TimedOp{Op: op, Gap: gap}, true
+}

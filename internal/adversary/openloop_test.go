@@ -1,0 +1,50 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestOpenLoopTiming(t *testing.T) {
+	v := staticView{graph.Star(16)}
+	rng := rand.New(rand.NewSource(1))
+	adv := OpenLoop{
+		Churn:  Churn{InsertP: 0.4, AttachK: 2, Delete: RandomDelete{}},
+		MaxGap: 3,
+	}
+	nextID := NodeID(100)
+	alloc := func() NodeID { nextID++; return nextID }
+	sawGap := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		to, ok := adv.Next(v, rng, alloc)
+		if !ok {
+			t.Fatal("open-loop adversary ran out of moves on a static view")
+		}
+		if to.Gap < 0 || to.Gap > 3 {
+			t.Fatalf("gap %d outside [0, 3]", to.Gap)
+		}
+		sawGap[to.Gap] = true
+		if !to.Op.Insert && !v.g.HasNode(to.Op.V) {
+			t.Fatalf("delete of unknown node %d", to.Op.V)
+		}
+	}
+	for g := 0; g <= 3; g++ {
+		if !sawGap[g] {
+			t.Errorf("gap %d never drawn over 200 moves", g)
+		}
+	}
+
+	// MaxGap 0 is the fully open loop: gaps are always zero.
+	adv.MaxGap = 0
+	for i := 0; i < 20; i++ {
+		to, _ := adv.Next(v, rng, alloc)
+		if to.Gap != 0 {
+			t.Fatalf("MaxGap 0 produced gap %d", to.Gap)
+		}
+	}
+	if adv.Name() == "" {
+		t.Fatal("empty name")
+	}
+}

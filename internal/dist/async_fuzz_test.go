@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// FuzzAsyncChurn drives the open-loop engine with an arbitrary
+// byte-encoded submit/tick interleaving — deletions, insertions, and
+// variable tick gaps, submitted while repairs are in flight — and
+// cross-checks the drained result against the serialized blocking twin
+// (ops applied one at a time in submission order) and the core
+// reference. Invalid operations are allowed in the schedule: the
+// engine must reject exactly the ops the blocking twin errors on, and
+// the healed graphs must stay bit-identical. The first seed byte picks
+// a per-edge bandwidth cap, so congested interleavings — where far
+// more traffic is mid-flight per submission — are fuzzed too.
+func FuzzAsyncChurn(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x02, 0x81, 0x05, 0x00})
+	f.Add([]byte{0x01, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05})
+	f.Add([]byte{0x03, 0x90, 0x91, 0x92, 0x00, 0x93, 0x01})
+	f.Add([]byte{0x00, 0x05, 0x05, 0x45, 0xc5})       // double deletes + inserts
+	f.Add([]byte{0x02, 0x81, 0x82, 0x83, 0x00, 0x01}) // inserts then deletes under B=2
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		bandwidth := int(data[0] & 0x03) // 0 = unlimited, else 1..3 words/round
+		data = data[1:]
+
+		g0 := graph.Grid(3, 4) // 12 nodes, ids 0..11
+		async := NewSimulation(g0)
+		async.SetBandwidth(bandwidth)
+		blocking := NewSimulation(g0)
+		blocking.SetBandwidth(bandwidth)
+		ref := core.NewEngine(g0)
+
+		// The schedule is decoded against the BLOCKING twin's state (the
+		// serialized replay defines each op's meaning), so both replicas
+		// see the same operation sequence regardless of what the async
+		// engine has or hasn't finished yet.
+		nextID := NodeID(100)
+		submitted := 0
+		wantRejected := make(map[NodeID]bool)
+		for _, b := range data {
+			live := blocking.LiveNodes()
+			if len(live) == 0 {
+				break
+			}
+			var op Op
+			if b&0x80 != 0 {
+				v := nextID
+				nextID++
+				nbrs := []NodeID{live[int(b&0x3f)%len(live)]}
+				if b&0x40 != 0 {
+					other := live[int(b>>3&0x0f)%len(live)]
+					if other != nbrs[0] {
+						nbrs = append(nbrs, other)
+					}
+				}
+				op = Op{Kind: OpInsert, V: v, Nbrs: nbrs}
+				if err := blocking.Insert(v, nbrs); err != nil {
+					t.Fatalf("blocking insert: %v", err)
+				}
+				if err := ref.Insert(v, nbrs); err != nil {
+					t.Fatalf("core insert: %v", err)
+				}
+			} else if b&0x40 != 0 && len(blocking.LiveNodes()) < 12 {
+				// An INVALID op: delete an id that is already dead (or
+				// never existed). The twin rejects it; the engine must
+				// reject it at the same serialization point.
+				victim := NodeID(int(b&0x3f) % 12)
+				if blocking.Alive(victim) {
+					victim = NodeID(99) // never existed
+				}
+				op = Op{Kind: OpDelete, V: victim}
+				if err := blocking.Delete(victim); err == nil {
+					t.Fatalf("twin accepted invalid delete %d", victim)
+				}
+				wantRejected[victim] = true
+			} else {
+				v := live[int(b&0x3f)%len(live)]
+				op = Op{Kind: OpDelete, V: v}
+				if err := blocking.Delete(v); err != nil {
+					t.Fatalf("blocking delete %d: %v", v, err)
+				}
+				if err := ref.Delete(v); err != nil {
+					t.Fatalf("core delete %d: %v", v, err)
+				}
+			}
+			if err := async.Submit(op); err != nil {
+				t.Fatalf("submit %v: %v", op, err)
+			}
+			submitted++
+			for r := 0; r < int(b>>4&0x03); r++ {
+				async.Tick()
+			}
+		}
+		if err := async.Drain(); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+
+		events := async.Poll()
+		completed, rejections, rejected := 0, 0, make(map[NodeID]bool)
+		for _, ev := range events {
+			switch ev.Kind {
+			case EventRepairDone, EventInsertApplied:
+				completed++
+			case EventOpRejected:
+				rejections++
+				rejected[ev.V] = true
+			}
+		}
+		if completed+rejections != submitted {
+			t.Fatalf("%d submitted, %d completed + %d rejected", submitted, completed, rejections)
+		}
+		for v := range wantRejected {
+			if !rejected[v] {
+				t.Fatalf("invalid op on %d not rejected (rejected: %v)", v, rejected)
+			}
+		}
+		for v := range rejected {
+			if !wantRejected[v] {
+				t.Fatalf("valid op on %d rejected", v)
+			}
+		}
+
+		if !async.Physical().Equal(blocking.Physical()) {
+			t.Fatal("async healed graph diverges from the serialized blocking replay")
+		}
+		if !async.Physical().Equal(ref.Physical()) {
+			t.Fatal("async healed graph diverges from core")
+		}
+		if !async.GPrime().Equal(blocking.GPrime()) {
+			t.Fatal("G' diverged")
+		}
+		if err := async.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -31,18 +31,17 @@ import (
 //     (connected components); members of distinct groups have disjoint
 //     regions, and a group's own repairs keep its region closed — a
 //     merge only rewires the group's fragments — so groups stay
-//     disjoint for the batch's whole lifetime. Wave w deletes the w-th
-//     smallest member of every group concurrently through the standard
-//     five phases: the younger repair of every conflicting pair runs
-//     in a later wave, serialized behind the older exactly as the
-//     canonical order requires. Within a wave every repair chains its
-//     phases independently in-band (election, convergecast acks,
-//     height-bounded timers — see dist.go) and epochs finish in
-//     whatever order their regions allow, so a wave costs the longest
-//     single repair chain, not the sum. The only driver-side barrier
-//     left is *between* waves, where the next wave's deletions — an
-//     adversary action, not protocol — are applied to the healed
-//     state.
+//     disjoint for the batch's whole lifetime. Each group's members
+//     execute in ascending order — the younger repair of every
+//     conflicting pair serialized behind the older exactly as the
+//     canonical order requires — but the groups PIPELINE through the
+//     open-loop engine: the moment a group's current repair proves
+//     itself complete in-band (the last merge-instruction ack), its
+//     leader hands off to the group's next member by sending that
+//     deletion's death notifications itself, one per notified member,
+//     while other groups' repairs are still running. There is no
+//     driver barrier between waves anymore; the serialization depth
+//     (the largest group) is still reported as Waves.
 
 // BatchStats reports the measured cost of one DeleteBatch call.
 type BatchStats struct {
@@ -92,10 +91,14 @@ func (s *Simulation) LastBatch() BatchStats { return s.lastBatch }
 // batch of one is exactly Delete. Validation is atomic: either the
 // whole batch is applied or no node is touched.
 func (s *Simulation) DeleteBatch(vs []NodeID) error {
+	if err := s.requireIdle("delete batch"); err != nil {
+		return err
+	}
 	batch, err := s.validateBatch(vs)
 	if err != nil {
 		return err
 	}
+	defer s.beginBlocking()()
 	switch len(batch) {
 	case 0:
 		s.lastBatch = BatchStats{}
@@ -118,6 +121,7 @@ func (s *Simulation) DeleteBatch(vs []NodeID) error {
 			ElectionMessages: rs.ElectionMessages,
 			SyncMessages:     rs.SyncMessages,
 		}
+		s.emit(Event{Kind: EventBatchDone, Batch: s.lastBatch})
 		return nil
 	}
 
@@ -135,23 +139,27 @@ func (s *Simulation) DeleteBatch(vs []NodeID) error {
 			waves = len(g)
 		}
 	}
-	for w := 0; w < waves; w++ {
-		var members []NodeID
-		for _, g := range groups {
-			if w < len(g) {
-				members = append(members, g[w])
+	// Execute through the open-loop engine: each group becomes a chain
+	// of deletions, every member waiting on the in-band completion of
+	// its predecessor and launched by that repair's finishing leader
+	// (leader-to-leader handoff). Chains of different groups pipeline
+	// independently — no driver barrier between waves.
+	submitRound := s.net.Round()
+	for _, g := range groups {
+		for i, v := range g {
+			po := &pendingOp{
+				op: Op{Kind: OpDelete, V: v}, submitRound: submitRound,
+				chain: true, after: noNode,
 			}
-		}
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		var reps []*pendingRepair
-		for _, v := range members {
-			if r := s.prepareRepair(v); r != nil {
-				reps = append(reps, r)
+			if i > 0 {
+				po.after = g[i-1]
 			}
+			s.pending = append(s.pending, po)
 		}
-		if err := s.runRepairs(reps); err != nil {
-			return fmt.Errorf("dist: delete batch: wave %d: %w", w, err)
-		}
+	}
+	s.admit()
+	if err := s.Drain(); err != nil {
+		return fmt.Errorf("dist: delete batch: %w", err)
 	}
 
 	st := s.net.Stats()
@@ -176,6 +184,7 @@ func (s *Simulation) DeleteBatch(vs []NodeID) error {
 		ElectionMessages: st.ElectionMessages,
 		SyncMessages:     st.SyncMessages,
 	}
+	s.emit(Event{Kind: EventBatchDone, Batch: s.lastBatch})
 	return nil
 }
 
@@ -196,25 +205,47 @@ func (s *Simulation) validateBatch(vs []NodeID) ([]NodeID, error) {
 }
 
 // claimPhase runs the read-only conflict discovery: mark every member
-// dying, launch every member's claim walks, and collect the conflict
-// pairs the collisions report. The claim marks are transient; the
-// batch synchronizer clears them (and the coordinator scratch) before
+// dying, notify every affected processor, let the notified set elect
+// the batch coordinator by knockout tournament, launch every member's
+// claim walks, and collect the conflict pairs the collisions report.
+// The claim marks and election state are transient; the batch
+// synchronizer clears them (and the coordinator scratch) before
 // execution begins — the paper's zero-word timer convention.
 //
-// With the early abort enabled (the default), the synchronizer watches
-// the accumulating conflict pairs between rounds: the moment they
-// union the whole batch into one conflict group, every further claim
-// message is moot — the batch serializes fully either way — so the
-// remaining traffic is dropped undelivered and aborted is returned
-// true. On a pathological burst whose members are pairwise adjacent
-// the direct conflicts alone decide this before a single claim message
-// is sent.
+// The coordinator is NOT announced by the driver: the affected
+// processors — dying members included — elect the smallest ID among
+// themselves over a will-laid BT (msgClaimElect/Champ/Coord), and
+// claim processing is buffered until the winner is known. Dying
+// members answer their notifications with direct conflict reports, so
+// every conflict pair reaches the coordinator in-band; its union-find
+// over the K members computes the early-abort decision — the batch has
+// become one conflict group, every remaining claim message is moot —
+// which the synchronizer only enacts (dropping the undelivered
+// traffic) when the coordinator flags it. On a pathological burst
+// whose members are pairwise adjacent the driver-visible adjacency
+// alone decides this before a single claim message is sent.
 func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{}, aborted bool, err error) {
 	inBatch := make(map[NodeID]struct{}, len(batch))
 	for _, v := range batch {
 		inBatch[v] = struct{}{}
 		s.procs[v].dying = true
 	}
+
+	// The union of every member's physical neighborhood — the claim
+	// phase's notified set — with, per target, the members it must
+	// probe for (ascending, since batch is sorted).
+	affected := make(map[NodeID][]NodeID)
+	for _, v := range batch {
+		for x := range s.affectedBy(v) {
+			affected[x] = append(affected[x], v)
+		}
+	}
+	union := make([]NodeID, 0, len(affected))
+	for x := range affected {
+		union = append(union, x)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+
 	defer func() {
 		for _, v := range batch {
 			if p, ok := s.procs[v]; ok {
@@ -223,6 +254,11 @@ func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{
 		}
 		for _, p := range s.claimers.take() {
 			p.claims = nil
+		}
+		for _, x := range union {
+			if p, ok := s.procs[x]; ok {
+				p.claimEl = nil
+			}
 		}
 	}()
 
@@ -236,25 +272,15 @@ func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{
 		}
 		conflicts[[2]NodeID{a, b}] = struct{}{}
 	}
-
-	// Split each member's physical neighborhood into live notification
-	// targets and direct member-member conflicts.
-	notify := make(map[NodeID][]NodeID, len(batch)) // epoch -> sorted targets
-	var coord NodeID
-	haveCoord := false
-	for _, v := range batch {
-		var targets []NodeID
-		for x := range s.affectedBy(v) {
-			if _, member := inBatch[x]; member {
-				addConflict(v, x)
-				continue
+	// Direct member-member conflicts are adjacency, known the moment
+	// the notifications are drawn up (each member's neighbors know both
+	// ends died); the driver uses them for the no-traffic fast path,
+	// and the dying members re-derive them in-band for the coordinator.
+	for x, vs := range affected {
+		if _, member := inBatch[x]; member {
+			for _, v := range vs {
+				addConflict(x, v)
 			}
-			targets = append(targets, x)
-		}
-		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
-		notify[v] = targets
-		if len(targets) > 0 && (!haveCoord || targets[0] < coord) {
-			coord, haveCoord = targets[0], true
 		}
 	}
 	oneGroup := func() bool { return len(groupBatch(batch, conflicts)) == 1 }
@@ -263,18 +289,27 @@ func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{
 		// the claim traffic entirely.
 		return conflicts, true, nil
 	}
-	if !haveCoord {
-		// No live non-member is affected by any deletion: every record
-		// link runs between members, so all conflicts are the direct
-		// ones already collected.
+	if len(union) == 0 {
+		// Every member is isolated: nothing to probe, no conflicts
+		// beyond the direct ones (of which there are none).
 		return conflicts, false, nil
 	}
 
-	for _, v := range batch {
-		for _, x := range notify[v] {
-			s.net.Send(x, x, msgClaimDeath{V: v, Coord: coord}, wordsClaimDeath)
+	// Lay the election BT over the notified set in descending ID order
+	// (the same will convention as BT_v) and deliver, per target, its
+	// tree slot plus one claim notification per probing member. The
+	// tournament winner — the smallest notified ID — becomes the
+	// coordinator; the driver knows who that will be (it laid the
+	// tree), which is where it later reads the conflicts back.
+	coord := union[0]
+	layBT(union, func(x, parent, left, right NodeID) {
+		s.net.Send(x, x, msgClaimElect{
+			BTParent: parent, BTLeft: left, BTRight: right, K: len(batch),
+		}, wordsClaimElect)
+		for _, v := range affected[x] {
+			s.net.Send(x, x, msgClaimDeath{V: v}, wordsClaimDeath)
 		}
-	}
+	})
 	if !s.claimAbort {
 		if err := s.run(); err != nil {
 			return nil, false, err
@@ -283,10 +318,12 @@ func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{
 		return conflicts, false, nil
 	}
 
-	// Step manually so the synchronizer can abort between rounds. The
-	// coordinator's partial conflict set is merged in after every round;
-	// parallel delivery is round-identical to sequential, so the abort
-	// round — and with it the batch's stats — is the same in both modes.
+	// Step manually so the synchronizer can enact the coordinator's
+	// abort between rounds. The decision itself is computed in-band:
+	// the coordinator's union-find flags `decided` the moment the
+	// reported pairs union all K members. Parallel delivery is
+	// round-identical to sequential, so the abort round — and with it
+	// the batch's stats — is the same in both modes.
 	bound := s.roundBound()
 	for rounds := 0; s.net.Pending() > 0; rounds++ {
 		if rounds >= bound {
@@ -297,13 +334,13 @@ func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{
 		} else {
 			s.net.Step()
 		}
-		s.foldCoordConflicts(coord, addConflict)
-		if oneGroup() {
+		if cp := s.procs[coord]; cp.batch != nil && cp.batch.decided {
 			s.net.DropPending()
 			aborted = true
 			break
 		}
 	}
+	s.foldCoordConflicts(coord, addConflict)
 	s.drainPhys() // claim walks log no edits; drained for symmetry with run
 	return conflicts, aborted, nil
 }

@@ -36,14 +36,13 @@
 //     descriptors (Algorithm A.9, binary addition of trees) and
 //     broadcasts the join plan as link instructions.
 //
-// There is NO out-of-band synchronization between phases: each repair
-// is a message-driven state machine whose leader proves every phase's
-// termination in-band — height-bounded convergecast acks guarded by
-// height-bounded watchdog timers — and chains into the next phase
-// itself. The caller runs the network to quiescence once per
-// deletion/wave; that final quiescence is the adversary's turn ending,
-// not a protocol synchronizer. Election and termination-detection
-// traffic is charged like all other traffic and reported separately
+// There is NO out-of-band synchronization anywhere in a repair: each
+// one is a message-driven state machine whose leader proves every
+// phase's termination in-band — height-bounded convergecast acks
+// guarded by height-bounded watchdog timers — chains into the next
+// phase itself, and proves its own COMPLETION by counting the merge
+// plan's instruction acks. Election and termination-detection traffic
+// is charged like all other traffic and reported separately
 // (ElectionRounds/SyncRounds), so the round and message counts are
 // honest about what coordination costs. The result is behaviorally
 // equivalent to internal/core — the same healed graph on the same
@@ -52,11 +51,21 @@
 // O(log n) bits and O(log d · log n) rounds for a deleted node of
 // G′-degree d.
 //
+// The simulation is driven open-loop (see engine.go): Submit enqueues
+// inserts and deletes at any time, Tick/Run advance the network under
+// caller control, and typed completion events are drained via Poll.
+// Repairs of disjoint regions pipeline; colliding ones serialize in
+// submission order, handed off leader-to-leader. The blocking calls —
+// Insert, Delete, DeleteBatch — are thin wrappers over the engine
+// (Delete = Submit + Drain) preserving the original semantics and
+// stats.
+//
 // Deletions arriving in bursts run through DeleteBatch, which overlaps
 // the repairs of independent damaged regions: every message carries its
-// repair's epoch, a read-only claim phase detects colliding regions
-// in-band, and only conflicting repairs serialize (see batch.go). A
-// batch of one is exactly Delete.
+// repair's epoch, a read-only claim phase — its coordinator elected
+// in-band by the same knockout tournament — detects colliding regions,
+// and only conflicting repairs serialize (see batch.go). A batch of
+// one is exactly Delete.
 package dist
 
 import (
@@ -148,6 +157,27 @@ type Simulation struct {
 	parallel  bool
 	last      RecoveryStats
 	lastBatch BatchStats
+
+	// Open-loop engine state (see engine.go): the submission queue, the
+	// repairs in flight keyed by epoch, the completion list leaders
+	// register on in-band, the event buffer and optional streaming
+	// observer, and the most recent completed flight's stats. async
+	// turns on event buffering once the engine is used asynchronously.
+	pending    []*pendingOp
+	inflight   map[NodeID]*flight
+	done       *doneList
+	events     []Event
+	observer   func(Event)
+	observerQ  []Event
+	async      bool
+	inBlocking bool
+	lastFlight RecoveryStats
+
+	// bound caches the quiescence bound, recomputed lazily when the
+	// node count or the narrowest capacity changes — open-loop ticking
+	// must not recompute it per round.
+	bound      int
+	boundDirty bool
 }
 
 // NewSimulation builds the distributed network over an initial
@@ -164,8 +194,11 @@ func NewSimulation(g0 *graph.Graph) *Simulation {
 	s.initPhys(g0)
 	s.claimers = &dirtyList{}
 	s.touchers = &dirtyList{}
+	s.done = &doneList{}
+	s.inflight = make(map[NodeID]*flight)
 	s.spread = true
 	s.claimAbort = true
+	s.boundDirty = true
 	for _, v := range g0.Nodes() {
 		s.addProcessor(v)
 	}
@@ -183,6 +216,7 @@ func (s *Simulation) addProcessor(v NodeID) {
 	p.dirty = s.dirty
 	p.claimers = s.claimers
 	p.touchers = s.touchers
+	p.done = s.done
 	p.spread = s.spread
 	s.procs[v] = p
 	s.alive[v] = struct{}{}
@@ -211,6 +245,7 @@ func (s *Simulation) SetBandwidth(words int) {
 func (s *Simulation) noteCap(words int) {
 	if words > 0 && (s.minCap == 0 || words < s.minCap) {
 		s.minCap = words
+		s.boundDirty = true
 	}
 }
 
@@ -288,14 +323,28 @@ func (s *Simulation) LiveNodes() []NodeID {
 // applied). The caller owns the copy.
 func (s *Simulation) GPrime() *graph.Graph { return s.gprime.Clone() }
 
-// LastRecovery returns the cost of the most recent deletion's repair.
+// LastRecovery returns the cost of the most recent blocking deletion's
+// repair. Repairs completing through the open-loop engine report their
+// cost in the RepairDone event instead.
 func (s *Simulation) LastRecovery() RecoveryStats { return s.last }
 
 // Insert adds processor v connected to the given live neighbors, per
-// the model's adversarial insertion. Insertion triggers no repair and
+// the model's adversarial insertion, applied synchronously. It is the
+// blocking form of submitting an OpInsert and requires an idle engine;
+// under asynchronous churn use Submit, which defers inserts landing in
+// a damaged region until the region's repair completes.
+func (s *Simulation) Insert(v NodeID, nbrs []NodeID) error {
+	if err := s.requireIdle("insert"); err != nil {
+		return err
+	}
+	defer s.beginBlocking()()
+	return s.insertNow(v, nbrs)
+}
+
+// insertNow applies one insertion. Insertion triggers no repair and
 // costs no protocol traffic; the new edges join both G′ and the actual
 // network.
-func (s *Simulation) Insert(v NodeID, nbrs []NodeID) error {
+func (s *Simulation) insertNow(v NodeID, nbrs []NodeID) error {
 	if s.gprime.HasNode(v) {
 		return fmt.Errorf("dist: insert %d: id already used (ids are never reused)", v)
 	}
@@ -313,6 +362,7 @@ func (s *Simulation) Insert(v NodeID, nbrs []NodeID) error {
 		seen[x] = struct{}{}
 	}
 	s.gprime.AddNode(v)
+	s.boundDirty = true
 	s.addProcessor(v)
 	s.phys.AddNode(v)
 	p := s.procs[v]
@@ -409,71 +459,25 @@ func (s *Simulation) prepareRepair(v NodeID) *pendingRepair {
 	return &pendingRepair{v: v, notify: notify}
 }
 
-// runRepairs launches a set of repairs — of mutually independent
-// damaged regions — and runs the network to quiescence ONCE. There is
-// no caller-side barrier between phases anymore: each repair is a
-// message-driven state machine that elects its leader by tournament
-// over BT_v, proves every phase's termination in-band (walk acks, the
-// BT_v convergecast, counted probe replies, the strip convergecast)
-// and chains into the next phase itself via height-bounded timers.
-// Repairs of a wave advance their phases fully independently — a small
-// repair can be merging while a large one is still electing — so the
-// wave's rounds are the longest single chain, not the sum of per-phase
-// maxima.
-func (s *Simulation) runRepairs(reps []*pendingRepair) error {
-	if len(reps) == 0 {
-		return nil
-	}
-	// Each neighbor detects the deletion itself (the model's detection
-	// assumption), so the notification is a self-addressed message: the
-	// word cost is charged, but to the live detector, never to the
-	// vanished processor. The notification carries the receiver's slot
-	// in BT_v — the coordination tree the dead node's will laid over
-	// its neighbors — here a heap-shaped complete binary tree over the
-	// notified set in DESCENDING ID order, so the root holds the
-	// LARGEST ID and the eventual winner (the smallest) genuinely has
-	// to win log d knockout matches on its way up. Under a finite
-	// bandwidth the fan-out spreads across rounds by the network's own
-	// per-edge FIFO — a detector notified by several repairs of a wave
-	// absorbs one budget's worth per round.
-	for _, r := range reps {
-		k := len(r.notify)
-		order := make([]NodeID, k)
-		for i, x := range r.notify {
-			order[k-1-i] = x
-		}
-		at := func(i int) NodeID {
-			if i < k {
-				return order[i]
-			}
-			return noNode
-		}
-		for i, x := range order {
-			parent := noNode
-			if i > 0 {
-				parent = order[(i-1)/2]
-			}
-			s.net.Send(x, x, msgDeath{
-				V: r.v, BTParent: parent, BTLeft: at(2*i + 1), BTRight: at(2*i + 2),
-			}, wordsDeath)
-		}
-	}
-	return s.run()
-}
-
 // Delete removes processor v and runs the distributed repair to
-// quiescence, recording its cost in LastRecovery.
+// quiescence, recording its cost in LastRecovery. It is the blocking
+// form of submitting an OpDelete and draining the engine (which is
+// exactly how it is implemented), and requires an idle engine.
 func (s *Simulation) Delete(v NodeID) error {
+	if err := s.requireIdle("delete"); err != nil {
+		return err
+	}
 	if !s.Alive(v) {
 		return fmt.Errorf("dist: delete %d: not a live node", v)
 	}
+	defer s.beginBlocking()()
 	s.last = RecoveryStats{Deleted: v, DegreePrime: s.gprime.Degree(v)}
-	rep := s.prepareRepair(v)
-	if rep == nil {
-		return nil // isolated in the virtual graph: nothing to repair
-	}
 	s.net.ResetStats()
-	if err := s.runRepairs([]*pendingRepair{rep}); err != nil {
+	s.pending = append(s.pending, &pendingOp{
+		op: Op{Kind: OpDelete, V: v}, submitRound: s.net.Round(), after: noNode,
+	})
+	s.admit()
+	if err := s.Drain(); err != nil {
 		return fmt.Errorf("dist: delete %d: %w", v, err)
 	}
 	st := s.net.Stats()
@@ -482,7 +486,7 @@ func (s *Simulation) Delete(v NodeID) error {
 	s.last.TotalWords = st.TotalWords
 	s.last.MaxWords = st.MaxWords
 	s.last.MaxSentByNode = st.MaxSentByNode
-	s.last.NsetSize = len(rep.notify)
+	s.last.NsetSize = s.lastFlight.NsetSize
 	s.last.QueuedWords = st.QueuedWords
 	s.last.MaxEdgeBacklog = st.MaxEdgeBacklog
 	s.last.CongestionRounds = st.CongestionRounds
@@ -500,13 +504,19 @@ func (s *Simulation) Delete(v NodeID) error {
 // with d < n, an edge carries at least B words (or one message) per
 // round, so the slack below is far beyond any honest run; hitting the
 // bound still means the protocol is broken, never that it is slow.
+// The bound is cached — it changes only when a node is inserted or a
+// narrower capacity appears — so the open-loop engine's per-tick
+// bookkeeping stays O(1).
 func (s *Simulation) roundBound() int {
-	logn := haft.CeilLog2(s.gprime.NumNodes()) + 2
-	bound := 32*logn + 64
-	if B := s.minCap; B > 0 {
-		bound += 64 * (s.gprime.NumNodes() + 2) * logn / B
+	if s.boundDirty {
+		logn := haft.CeilLog2(s.gprime.NumNodes()) + 2
+		bound := 32*logn + 64
+		if B := s.minCap; B > 0 {
+			bound += 64 * (s.gprime.NumNodes() + 2) * logn / B
+		}
+		s.bound, s.boundDirty = bound, false
 	}
-	return bound
+	return s.bound
 }
 
 // run steps the network to quiescence in the current delivery mode,

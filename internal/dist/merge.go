@@ -87,18 +87,20 @@ func (r *repairState) orderedDescriptors() []msgDescriptor {
 }
 
 // startMerge (leader): compute the merge plan for one repair and
-// broadcast it, retiring the scratch. Concurrent repairs of a batch
-// merge independently — each epoch's scratch holds only its own
-// components, so two repairs sharing a leader still produce exactly
-// the plans they would have produced with separate leaders. Runs only
-// once the strip phase is proven terminated (counted descriptors all
-// arrived), so the plan is complete and every slot it re-uses has been
-// freed.
+// broadcast it. Concurrent repairs of a batch merge independently —
+// each epoch's scratch holds only its own components, so two repairs
+// sharing a leader still produce exactly the plans they would have
+// produced with separate leaders. Runs only once the strip phase is
+// proven terminated (counted descriptors all arrived), so the plan is
+// complete and every slot it re-uses has been freed. Every emitted
+// instruction is acked back (msgMergeAck); the scratch survives until
+// the count reaches zero, which is the repair's in-band completion —
+// an empty plan completes on the spot.
 func (p *processor) startMerge(n *simnet.Network, epoch NodeID, rs *repairState) {
 	rs.phase = phaseMerge
-	delete(p.reps, epoch)
 	descs := rs.orderedDescriptors()
 	if len(descs) == 0 {
+		p.finishRepair(epoch)
 		return
 	}
 
@@ -136,16 +138,21 @@ func (p *processor) startMerge(n *simnet.Network, epoch NodeID, rs *repairState)
 	// so it goes out paced: under finite bandwidth the leader trickles
 	// at most the edge budget per destination per round from its outbox
 	// instead of stacking the whole plan as network backlog.
+	rs.outstanding = 0
 	var emit func(x *haft.Node, parent addr)
 	emit = func(x *haft.Node, parent addr) {
 		sk := skelOf(x)
 		if !sk.isNew {
 			if parent.ok() {
-				p.sendPaced(n, sk.node.Owner, msgSetParent{Target: sk.node, Parent: parent}, wordsSetParent)
+				rs.outstanding++
+				p.sendPaced(n, sk.node.Owner, msgSetParent{
+					Target: sk.node, Parent: parent, Epoch: epoch,
+				}, wordsSetParent)
 			}
 			return
 		}
 		self := addrOf(x)
+		rs.outstanding++
 		p.sendPaced(n, sk.slot.Owner, msgCreateHelper{
 			Slot:   sk.slot,
 			Parent: parent,
@@ -153,9 +160,18 @@ func (p *processor) startMerge(n *simnet.Network, epoch NodeID, rs *repairState)
 			Right:  addrOf(x.Right),
 			Rep:    sk.rep,
 			Height: x.Height, LeafCount: x.LeafCount,
+			Epoch: epoch,
 		}, wordsCreateHelper)
 		emit(x.Left, self)
 		emit(x.Right, self)
 	}
 	emit(root, addr{})
+	if rs.outstanding == 0 {
+		// A single pre-existing root adopted nothing: no instructions.
+		p.finishRepair(epoch)
+		return
+	}
+	// Instruction out, apply, ack back: one hop each way, plus pacing
+	// slack under congestion (the watchdog re-arms while traffic lags).
+	p.armWatchdog(n, epoch, rs, 3)
 }

@@ -291,6 +291,17 @@ type msgStripDone struct {
 	Descs int
 }
 
+// msgMergeAck confirms one merge-plan instruction applied (ClassSync).
+// The leader counts one ack per emitted instruction; the last one
+// proves the repair complete IN-BAND — the signal the open-loop engine
+// uses to hand a serialized region off to its next repair
+// (leader-to-leader, no driver barrier) and to emit the RepairDone
+// event. Before the async engine, "repair finished" was only knowable
+// by running the network to quiescence driver-side.
+type msgMergeAck struct {
+	Epoch NodeID
+}
+
 // msgDescriptor reports one primary root to the leader: everything the
 // merge needs — identity, size, stored height, and the representative
 // leaf (the free leaf charged when this tree is joined as the bigger
@@ -314,14 +325,54 @@ type msgDescriptor struct {
 // which the batch coordinator resolves by serializing the younger
 // (larger-epoch) repair into a later wave. Claims are transient; the
 // batch synchronizer clears them before execution begins.
+//
+// The coordinator that collects the conflict reports is NOT announced
+// by the driver: the notified processors elect it themselves by the
+// same knockout tournament the repair leader election runs, over a
+// BT laid across the union of every member's physical neighborhood
+// (msgClaimElect / msgClaimChamp / msgClaimCoord). Claim processing is
+// buffered until the winner is known; dying members — notified like
+// everyone else — answer their buffered notifications with direct
+// conflict reports, so the coordinator's early-abort decision (the
+// batch has unioned into one conflict group, remaining claim traffic
+// is moot) is computed entirely from in-band reports.
 
 // msgClaimDeath is the claim-phase counterpart of msgDeath: the
 // receiver claims every record of its own that the deletion of V would
 // cut or damage, and launches claim walks up the parent chains its
-// damage walks would follow.
+// damage walks would follow — once the elected coordinator is known
+// (claim notifications arriving earlier are buffered).
 type msgClaimDeath struct {
-	V     NodeID // the batch member being probed (also the epoch)
-	Coord NodeID // the batch coordinator collecting conflicts
+	V NodeID // the batch member being probed (also the epoch)
+}
+
+// msgClaimElect hands one notified processor its slot in the claim
+// election tree: the heap-shaped complete binary tree over the union
+// of every member's physical neighborhood (dying members included), in
+// descending ID order — the same will-laid shape as BT_v. K is the
+// batch size, which the eventual winner needs for its union-find over
+// the conflict pairs (the early-abort decision).
+type msgClaimElect struct {
+	BTParent, BTLeft, BTRight NodeID
+	K                         int
+}
+
+// msgClaimChamp moves one subtree's champion up the claim election
+// tree (ClassElection), exactly like msgChampion in the repair leader
+// tournament.
+type msgClaimChamp struct {
+	ID     NodeID
+	Height int
+}
+
+// msgClaimCoord announces the tournament winner — the batch
+// coordinator — down the claim election tree (ClassElection). On
+// learning the winner, a participant processes its buffered claim
+// notifications; no Wait synchronization is needed, because claim
+// walks are read-only and timing-insensitive (any arrival order
+// reports the same conflict pairs).
+type msgClaimCoord struct {
+	Coord NodeID
 }
 
 // msgClaimWalk ascends one parent link in claim mode, mirroring
@@ -341,7 +392,12 @@ type msgConflict struct {
 
 // msgCreateHelper instructs a processor to start simulating a fresh
 // helper on the given slot, with fully specified tree links (the
-// leader's merge plan names every neighbor).
+// leader's merge plan names every neighbor). The epoch tag routes the
+// completion ack: every instruction is confirmed back to its sender —
+// instructions always come from the repair leader itself, so the ack
+// destination is the message's sender field, costing no extra word —
+// and the leader's count of outstanding acks is the in-band proof the
+// repair has finished.
 type msgCreateHelper struct {
 	Slot        slot
 	Parent      addr // zero addr for the new RT root
@@ -349,22 +405,24 @@ type msgCreateHelper struct {
 	Rep         slot
 	Height      int
 	LeafCount   int
+	Epoch       NodeID
 }
 
 // msgSetParent re-parents an existing node (a primary root adopted by a
-// new helper).
+// new helper), acked to its sender — the leader — like msgCreateHelper.
 type msgSetParent struct {
 	Target addr
 	Parent addr
+	Epoch  NodeID
 }
 
 // words counts for the accounting (number of O(log n)-bit scalars).
-// The epoch tag costs one word on every message that carries it; the
-// merge-plan instructions (create-helper, set-parent) are final
-// mutations that need no scratch lookup and stay untagged. The
-// election and sync messages are charged like everything else —
-// in-band coordination is exactly the cost this accounting exists to
-// expose.
+// The epoch tag costs one word on every message that carries it; since
+// the open-loop engine, that includes the merge-plan instructions
+// (create-helper, set-parent), whose epoch-tagged acks are the in-band
+// repair-completion proof. The election and sync messages are charged
+// like everything else — in-band coordination is exactly the cost this
+// accounting exists to expose.
 const (
 	wordsDeath        = 4 // V doubles as the epoch; 3 BT_v links
 	wordsChampion     = 3
@@ -381,10 +439,14 @@ const (
 	wordsStripVisit   = 13
 	wordsStripAck     = 5
 	wordsStripDone    = 2
+	wordsMergeAck     = 1
 	wordsDescriptor   = 13
-	wordsCreateHelper = 15
-	wordsSetParent    = 6
-	wordsClaimDeath   = 2
+	wordsCreateHelper = 16
+	wordsSetParent    = 7
+	wordsClaimDeath   = 1
+	wordsClaimElect   = 4
+	wordsClaimChamp   = 2
+	wordsClaimCoord   = 1
 	wordsClaimWalk    = 5
 	wordsConflict     = 2
 )

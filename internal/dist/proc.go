@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/simnet"
 )
@@ -84,12 +85,21 @@ type processor struct {
 	// instead of participating); claims records which epoch claimed
 	// each of this processor's records during the batch's claim phase
 	// (the processor registers in claimers on first claim so the batch
-	// synchronizer can clear exactly the touched processors); batch is
-	// the coordinator-side conflict accumulator.
+	// synchronizer can clear exactly the touched processors); claimEl
+	// is the in-band coordinator-election state (tree slot, running
+	// champion, buffered claim notifications); batch is the
+	// coordinator-side conflict accumulator.
 	dying    bool
 	claims   map[addr]NodeID
 	claimers *dirtyList
+	claimEl  *claimElect
 	batch    *batchScratch
+
+	// done is where the leader registers a repair's in-band completion
+	// (the last merge-instruction ack arrived); the open-loop engine
+	// drains it after every round to emit RepairDone events and hand
+	// serialized regions off leader-to-leader.
+	done *doneList
 
 	// physLog accumulates this processor's pending physical-graph edits
 	// (see physEdit); dirty is where the processor registers itself on
@@ -174,20 +184,76 @@ type outMsg struct {
 	to      NodeID
 	payload any
 	words   int
+	class   simnet.Class
 }
 
 // batchScratch is what the batch coordinator accumulates during the
-// claim phase: the set of conflicting epoch pairs.
+// claim phase: the set of conflicting epoch pairs, plus the union-find
+// over the batch members that powers the in-band early-abort decision
+// — the moment the conflict pairs union all K members into one group,
+// every remaining claim message is moot and the coordinator flags the
+// phase decided.
 type batchScratch struct {
 	conflicts map[[2]NodeID]struct{}
+	k         int               // batch size, from msgClaimElect
+	parent    map[NodeID]NodeID // union-find over members seen in pairs
+	merges    int               // effective unions; k-merges == live groups
+	decided   bool              // merges == k-1: one conflict group
+}
+
+// claimElect is one notified processor's transient state in the claim
+// coordinator election: its tree slot, the knockout tournament's
+// progress, and the claim notifications buffered until the winner is
+// known. The haveElect/earlyChamps pair mirrors the repair election's
+// handling of champions that outrun a congested self-addressed
+// notification.
+type claimElect struct {
+	btParent, btLeft, btRight NodeID
+	haveElect                 bool
+	earlyChamps               int
+	champ                     NodeID
+	waitChamps                int
+	height                    int
+	k                         int
+	coord                     NodeID   // noNode until announced
+	pend                      []NodeID // buffered msgClaimDeath epochs
+}
+
+// doneList collects (epoch, leader) pairs for repairs whose completion
+// the leader just proved in-band. Like dirtyList, the mutex serializes
+// registrations from concurrent handler goroutines in parallel
+// delivery mode; the engine drains and sorts it after every round, so
+// both delivery modes process completions in the same order.
+type doneList struct {
+	mu      sync.Mutex
+	entries []doneEntry
+}
+
+type doneEntry struct {
+	epoch, leader NodeID
+}
+
+func (d *doneList) add(epoch, leader NodeID) {
+	d.mu.Lock()
+	d.entries = append(d.entries, doneEntry{epoch: epoch, leader: leader})
+	d.mu.Unlock()
+}
+
+func (d *doneList) take() []doneEntry {
+	d.mu.Lock()
+	entries := d.entries
+	d.entries = nil
+	d.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].epoch < entries[j].epoch })
+	return entries
 }
 
 // Leader-side phase progression of one repair. The leader proves each
 // phase complete in-band — the BT_v phase-done report for the
 // notification phase, counted probe replies for the key phase, the
-// strip convergecast for the strip phase — and chains into the next
-// phase itself via a one-round timer. The *Done markers exist so a
-// watchdog armed for a phase can tell "still open" from "advanced".
+// strip convergecast for the strip phase, and counted instruction acks
+// for the merge phase, whose last ack retires the repair entirely and
+// registers it on the engine's done list.
 const (
 	phaseNotify = iota
 	phaseKeys
@@ -310,11 +376,19 @@ func (p *processor) handle(n *simnet.Network, m simnet.Message) {
 	case msgStripVisit:
 		p.onStripVisit(n, msg)
 	case msgCreateHelper:
-		p.onCreateHelper(msg)
+		p.onCreateHelper(n, m.From, msg)
 	case msgSetParent:
-		p.onSetParent(msg)
+		p.onSetParent(n, m.From, msg)
+	case msgMergeAck:
+		p.onMergeAck(n, msg)
 	case msgClaimDeath:
 		p.onClaimDeath(n, msg)
+	case msgClaimElect:
+		p.onClaimElect(n, msg)
+	case msgClaimChamp:
+		p.onClaimChamp(n, msg)
+	case msgClaimCoord:
+		p.onClaimCoord(n, msg)
 	case msgClaimWalk:
 		p.onClaimWalk(n, msg)
 	case msgConflict:
@@ -355,9 +429,25 @@ func (p *processor) repair(epoch NodeID) *repairState {
 // batchState returns the coordinator scratch, allocating on first use.
 func (p *processor) batchState() *batchScratch {
 	if p.batch == nil {
-		p.batch = &batchScratch{conflicts: make(map[[2]NodeID]struct{})}
+		p.batch = &batchScratch{
+			conflicts: make(map[[2]NodeID]struct{}),
+			parent:    make(map[NodeID]NodeID),
+		}
 	}
 	return p.batch
+}
+
+func (b *batchScratch) find(v NodeID) NodeID {
+	r, ok := b.parent[v]
+	if !ok {
+		b.parent[v] = v
+		return v
+	}
+	if r != v {
+		r = b.find(r)
+		b.parent[v] = r
+	}
+	return r
 }
 
 func (b *batchScratch) addConflict(a, c NodeID) {
@@ -367,7 +457,25 @@ func (b *batchScratch) addConflict(a, c NodeID) {
 	if a > c {
 		a, c = c, a
 	}
-	b.conflicts[[2]NodeID{a, c}] = struct{}{}
+	pair := [2]NodeID{a, c}
+	if _, dup := b.conflicts[pair]; dup {
+		return
+	}
+	b.conflicts[pair] = struct{}{}
+	// Fold the pair into the union-find: members not yet seen start as
+	// their own components, so k - merges counts the live groups (the
+	// unseen members are singletons either way).
+	ra, rc := b.find(a), b.find(c)
+	if ra != rc {
+		if ra > rc {
+			ra, rc = rc, ra
+		}
+		b.parent[rc] = ra
+		b.merges++
+		if b.k > 0 && b.merges >= b.k-1 {
+			b.decided = true
+		}
+	}
 }
 
 func (r *repairState) addRoot(a addr, height int) {
@@ -420,25 +528,33 @@ func (r *repairState) addDescriptor(d msgDescriptor) {
 // network's own spill-over would not. With unlimited bandwidth on the
 // edge (or pacing off) this is exactly Send.
 func (p *processor) sendPaced(n *simnet.Network, to NodeID, payload any, words int) {
+	p.sendPacedClass(n, to, payload, words, simnet.ClassData)
+}
+
+// sendPacedClass is sendPaced with an explicit accounting class (the
+// merge-instruction acks are ClassSync and go out paced too, so a
+// pacing processor's acks share the per-destination budget with its
+// queued instructions instead of colliding with them on the edge).
+func (p *processor) sendPacedClass(n *simnet.Network, to NodeID, payload any, words int, class simnet.Class) {
 	budget := 0
 	if p.spread {
 		budget = n.EdgeBudget(p.id, to)
 	}
 	if budget <= 0 {
-		n.Send(p.id, to, payload, words)
+		n.SendClass(p.id, to, payload, words, class)
 		return
 	}
 	p.rollOutRound(n)
 	if used := p.outUsed[to]; p.outQueued[to] == 0 && (used == 0 || used+words <= budget) {
 		p.outUsed[to] = used + words
-		n.Send(p.id, to, payload, words)
+		n.SendClass(p.id, to, payload, words, class)
 		return
 	}
 	if p.outQueued == nil {
 		p.outQueued = make(map[NodeID]int)
 	}
 	p.outQueued[to]++
-	p.outbox = append(p.outbox, outMsg{to: to, payload: payload, words: words})
+	p.outbox = append(p.outbox, outMsg{to: to, payload: payload, words: words, class: class})
 	if !p.flushScheduled {
 		p.flushScheduled = true
 		n.SendTimer(p.id, msgFlushOutbox{}, 1)
@@ -464,7 +580,7 @@ func (p *processor) onFlushOutbox(n *simnet.Network) {
 		}
 		p.outUsed[m.to] = used + m.words
 		p.outQueued[m.to]--
-		n.Send(p.id, m.to, m.payload, m.words)
+		n.SendClass(p.id, m.to, m.payload, m.words, m.class)
 	}
 	p.outbox = keep
 	if len(keep) > 0 {
@@ -1037,8 +1153,10 @@ func (p *processor) onStripAck(n *simnet.Network, m msgStripAck) {
 }
 
 // onCreateHelper starts simulating a fresh helper with fully wired
-// links from the leader's merge plan.
-func (p *processor) onCreateHelper(m msgCreateHelper) {
+// links from the leader's merge plan, confirming the instruction back
+// to its sender — the leader — with the completion proof the merge
+// phase counts.
+func (p *processor) onCreateHelper(n *simnet.Network, leader NodeID, m msgCreateHelper) {
 	p.markTouched()
 	if _, exists := p.helpers[m.Slot.Other]; exists {
 		panic(fmt.Sprintf("dist: representative mechanism chose occupied slot %v", m.Slot))
@@ -1050,10 +1168,12 @@ func (p *processor) onCreateHelper(m msgCreateHelper) {
 	if m.Parent.ok() {
 		p.logPhys(true, m.Parent.Owner)
 	}
+	p.sendPacedClass(n, leader, msgMergeAck{Epoch: m.Epoch}, wordsMergeAck, simnet.ClassSync)
 }
 
-// onSetParent re-parents one of this processor's existing nodes.
-func (p *processor) onSetParent(m msgSetParent) {
+// onSetParent re-parents one of this processor's existing nodes,
+// acking the instruction like onCreateHelper.
+func (p *processor) onSetParent(n *simnet.Network, leader NodeID, m msgSetParent) {
 	p.markTouched()
 	if m.Target.Kind == kindLeaf {
 		l := p.mustLeaf(m.Target)
@@ -1067,6 +1187,29 @@ func (p *processor) onSetParent(m msgSetParent) {
 	if m.Parent.ok() {
 		p.logPhys(true, m.Parent.Owner)
 	}
+	p.sendPacedClass(n, leader, msgMergeAck{Epoch: m.Epoch}, wordsMergeAck, simnet.ClassSync)
+}
+
+// onMergeAck counts one applied merge instruction; the last ack proves
+// the repair complete. Completion retires the leader scratch and
+// registers the repair on the engine's done list — the in-band signal
+// that drives RepairDone events and leader-to-leader handoff of
+// serialized regions.
+func (p *processor) onMergeAck(n *simnet.Network, m msgMergeAck) {
+	rs := p.reps[m.Epoch]
+	if rs == nil || rs.phase != phaseMerge {
+		panic(fmt.Sprintf("dist: processor %d: merge ack for epoch %d outside the merge phase", p.id, m.Epoch))
+	}
+	rs.outstanding--
+	if rs.outstanding == 0 {
+		p.finishRepair(m.Epoch)
+	}
+}
+
+// finishRepair retires one repair the leader has proven complete.
+func (p *processor) finishRepair(epoch NodeID) {
+	delete(p.reps, epoch)
+	p.done.add(epoch, p.id)
 }
 
 // claim records that epoch e's repair will touch record a, reporting a
@@ -1088,12 +1231,142 @@ func (p *processor) claim(n *simnet.Network, a addr, e, coord NodeID) bool {
 	return true
 }
 
-// onClaimDeath is the read-only mirror of onDeath: claim every record
-// the deletion of V would cut loose or damage, and launch claim walks
-// along the paths the damage walks would ascend. Nothing mutates; the
-// only outputs are claim marks and conflict reports.
+// claimElectState returns the claim-election scratch, allocating on
+// first use (a notification or an early champion, whichever arrives
+// first under congestion).
+func (p *processor) claimElectState() *claimElect {
+	if p.claimEl == nil {
+		p.claimEl = &claimElect{
+			champ: p.id, coord: noNode,
+			btParent: noNode, btLeft: noNode, btRight: noNode,
+		}
+	}
+	return p.claimEl
+}
+
+// onClaimElect hands this processor its slot in the claim coordinator
+// election tree and enters it into the knockout tournament — the
+// in-band replacement for the driver announcing the smallest notified
+// ID. The tournament is the repair leader election's, run over the
+// union of every member's physical neighborhood.
+func (p *processor) onClaimElect(n *simnet.Network, m msgClaimElect) {
+	ce := p.claimElectState()
+	if ce.haveElect {
+		panic(fmt.Sprintf("dist: processor %d claim-elected twice", p.id))
+	}
+	ce.haveElect = true
+	ce.btParent, ce.btLeft, ce.btRight = m.BTParent, m.BTLeft, m.BTRight
+	ce.k = m.K
+	for _, c := range [2]NodeID{m.BTLeft, m.BTRight} {
+		if c != noNode {
+			ce.waitChamps++
+		}
+	}
+	ce.waitChamps -= ce.earlyChamps
+	if ce.waitChamps > 0 {
+		return
+	}
+	p.claimChampDecided(n, ce)
+}
+
+// onClaimChamp folds one subtree's champion into the running minimum,
+// passing the winner up — or announcing it down — once every expected
+// report is in.
+func (p *processor) onClaimChamp(n *simnet.Network, m msgClaimChamp) {
+	ce := p.claimElectState()
+	if m.ID < ce.champ {
+		ce.champ = m.ID
+	}
+	if m.Height+1 > ce.height {
+		ce.height = m.Height + 1
+	}
+	if !ce.haveElect {
+		ce.earlyChamps++
+		return
+	}
+	ce.waitChamps--
+	if ce.waitChamps > 0 {
+		return
+	}
+	p.claimChampDecided(n, ce)
+}
+
+// claimChampDecided reports this subtree's champion up the election
+// tree — or, at the root, concludes the tournament and announces the
+// coordinator downward. The root (and the trivial one-node tree) then
+// learns the winner like everyone else and drains its buffer.
+func (p *processor) claimChampDecided(n *simnet.Network, ce *claimElect) {
+	if ce.btParent != noNode {
+		n.SendClass(p.id, ce.btParent, msgClaimChamp{ID: ce.champ, Height: ce.height}, wordsClaimChamp, simnet.ClassElection)
+		return
+	}
+	p.claimCoordKnown(n, ce, ce.champ)
+	for _, c := range [2]NodeID{ce.btLeft, ce.btRight} {
+		if c != noNode {
+			n.SendClass(p.id, c, msgClaimCoord{Coord: ce.coord}, wordsClaimCoord, simnet.ClassElection)
+		}
+	}
+}
+
+// onClaimCoord learns the elected coordinator, forwards the
+// announcement down the tree, and drains the buffered claim
+// notifications.
+func (p *processor) onClaimCoord(n *simnet.Network, m msgClaimCoord) {
+	ce := p.claimElectState()
+	p.claimCoordKnown(n, ce, m.Coord)
+	for _, c := range [2]NodeID{ce.btLeft, ce.btRight} {
+		if c != noNode {
+			n.SendClass(p.id, c, msgClaimCoord{Coord: m.Coord}, wordsClaimCoord, simnet.ClassElection)
+		}
+	}
+}
+
+// claimCoordKnown records the winner — seeding the coordinator's own
+// union-find with the batch size — and processes every buffered claim
+// notification.
+func (p *processor) claimCoordKnown(n *simnet.Network, ce *claimElect, coord NodeID) {
+	ce.coord = coord
+	if coord == p.id {
+		// Conflict reports can outrun the announcement on its way down
+		// to the winner, so settle the decision against the pairs
+		// already folded in.
+		b := p.batchState()
+		b.k = ce.k
+		if b.merges >= b.k-1 {
+			b.decided = true
+		}
+	}
+	pend := ce.pend
+	ce.pend = nil
+	for _, v := range pend {
+		p.processClaimDeath(n, v, coord)
+	}
+}
+
+// onClaimDeath buffers the claim notification until the elected
+// coordinator is known, then mirrors onDeath read-only.
 func (p *processor) onClaimDeath(n *simnet.Network, m msgClaimDeath) {
-	v, coord := m.V, m.Coord
+	ce := p.claimElectState()
+	if ce.coord == noNode {
+		ce.pend = append(ce.pend, m.V)
+		return
+	}
+	p.processClaimDeath(n, m.V, ce.coord)
+}
+
+// processClaimDeath is the read-only mirror of onDeath: claim every
+// record the deletion of V would cut loose or damage, and launch claim
+// walks along the paths the damage walks would ascend. Nothing
+// mutates; the only outputs are claim marks and conflict reports. A
+// dying processor — a batch member notified of another member's
+// deletion — reports the member-member link as a direct conflict
+// instead, which is how adjacency-derived conflicts reach the
+// coordinator in-band.
+func (p *processor) processClaimDeath(n *simnet.Network, v, coord NodeID) {
+	if p.dying {
+		n.Send(p.id, coord, msgConflict{A: p.id, B: v}, wordsConflict)
+		return
+	}
 	for _, o := range sortedRecordKeys(p.leaves) {
 		l := p.leaves[o]
 		if l.parent.ok() && l.parent.Owner == v {

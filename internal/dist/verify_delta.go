@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 
+	"repro/internal/graph"
 	"repro/internal/haft"
 )
 
@@ -63,6 +64,9 @@ func (s *Simulation) VerifyDelta(sample int) error {
 		if err := s.checkProcessorLocal(p); err != nil {
 			return err
 		}
+		if err := s.checkPhysIncident(p); err != nil {
+			return err
+		}
 		for o := range p.leaves {
 			if err := s.checkRTContaining(leafAddr(p.id, o), checkedRoots); err != nil {
 				return err
@@ -72,6 +76,65 @@ func (s *Simulation) VerifyDelta(sample int) error {
 			if err := s.checkRTContaining(helperAddr(p.id, o), checkedRoots); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// checkPhysIncident verifies the maintained physical-edge multiplicity
+// index restricted to the edges incident to one touched processor,
+// recounting the virtual-edge images from both endpoints' records — a
+// region-scoped slice of the full check's physical-graph
+// reconstruction. A record link silently changed without its edit
+// being logged (the dropped-parent corruption mode) desynchronizes the
+// index from the records on exactly such an edge, which a purely
+// RT-shape pass can miss when the orphaned subtree is itself a valid
+// tree.
+func (s *Simulation) checkPhysIncident(p *processor) error {
+	id := p.id
+	peers := make(map[NodeID]struct{})
+	s.phys.EachNeighbor(id, func(q NodeID) { peers[q] = struct{}{} })
+	addParent := func(a addr) {
+		if a.ok() && a.Owner != id {
+			peers[a.Owner] = struct{}{}
+		}
+	}
+	for _, l := range p.leaves {
+		addParent(l.parent)
+	}
+	for _, h := range p.helpers {
+		addParent(h.parent)
+	}
+	countTo := func(pp *processor, other NodeID) int {
+		c := 0
+		for _, l := range pp.leaves {
+			if l.parent.ok() && l.parent.Owner == other {
+				c++
+			}
+		}
+		for _, h := range pp.helpers {
+			if h.parent.ok() && h.parent.Owner == other {
+				c++
+			}
+		}
+		return c
+	}
+	for q := range peers {
+		qp, ok := s.procs[q]
+		if !ok {
+			return fmt.Errorf("dist: node %d holds a physical edge or parent link to dead node %d", id, q)
+		}
+		want := countTo(p, q) + countTo(qp, id)
+		if s.gprime.HasEdge(id, q) {
+			want++ // the live G′ edge's own image
+		}
+		got := s.physMult[graph.NewEdge(id, q)]
+		if got != want {
+			return fmt.Errorf("dist: physical edge %d-%d: multiplicity index %d, records say %d", id, q, got, want)
+		}
+		if (want > 0) != s.phys.HasEdge(id, q) {
+			return fmt.Errorf("dist: physical edge %d-%d: graph presence %v disagrees with %d images",
+				id, q, s.phys.HasEdge(id, q), want)
 		}
 	}
 	return nil

@@ -94,6 +94,12 @@ func Experiments() []Experiment {
 			Run:   expBatch,
 		},
 		{
+			ID:    "EXP-OPENLOOP",
+			Title: "Open-loop continuous churn (async Submit/Tick engine)",
+			Claim: "submitting ops mid-repair pipelines disjoint repairs: ops/round beats the closed loop, healed graph bit-identical to the serialized replay",
+			Run:   expOpenLoop,
+		},
+		{
 			ID:    "EXP-BW",
 			Title: "Bandwidth-limited repair (congestion model)",
 			Claim: "finite per-edge bandwidth changes rounds, never messages or the healed graph; leader pacing shrinks edge backlog",

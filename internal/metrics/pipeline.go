@@ -1,0 +1,39 @@
+package metrics
+
+// Pipeline aggregates the open-loop engine's throughput counters
+// across one churn campaign: operations submitted and completed,
+// rounds ticked, the deepest concurrent-repair backlog, and
+// the per-operation completion latencies (rounds from submission to
+// the completion event). The zero value is an empty sample.
+type Pipeline struct {
+	Submitted    int
+	Completed    int
+	Rounds       int
+	PeakInFlight int
+	latencies    []float64
+}
+
+// ObserveLatency records one completed operation's latency in rounds.
+func (p *Pipeline) ObserveLatency(rounds int) {
+	p.Completed++
+	p.latencies = append(p.latencies, float64(rounds))
+}
+
+// ObserveInFlight folds one in-flight depth sample into the peak.
+func (p *Pipeline) ObserveInFlight(depth int) {
+	if depth > p.PeakInFlight {
+		p.PeakInFlight = depth
+	}
+}
+
+// Throughput returns completed operations per round (0 for an empty
+// sample).
+func (p *Pipeline) Throughput() float64 {
+	if p.Rounds == 0 {
+		return 0
+	}
+	return float64(p.Completed) / float64(p.Rounds)
+}
+
+// Latency summarizes the completion latencies.
+func (p *Pipeline) Latency() Summary { return Summarize(p.latencies) }

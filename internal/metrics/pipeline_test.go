@@ -1,0 +1,30 @@
+package metrics
+
+import "testing"
+
+func TestPipelineAggregates(t *testing.T) {
+	var p Pipeline
+	if p.Throughput() != 0 {
+		t.Fatal("empty pipeline reports nonzero throughput")
+	}
+	p.Rounds = 50
+	for _, l := range []int{10, 20, 30, 40} {
+		p.ObserveLatency(l)
+	}
+	p.ObserveInFlight(3)
+	p.ObserveInFlight(7)
+	p.ObserveInFlight(5)
+	if p.Completed != 4 {
+		t.Fatalf("completed %d, want 4", p.Completed)
+	}
+	if got := p.Throughput(); got != 4.0/50.0 {
+		t.Fatalf("throughput %v", got)
+	}
+	if p.PeakInFlight != 7 {
+		t.Fatalf("peak in flight %d, want 7", p.PeakInFlight)
+	}
+	lat := p.Latency()
+	if lat.N != 4 || lat.Mean != 25 || lat.Min != 10 || lat.Max != 40 {
+		t.Fatalf("latency summary %+v", lat)
+	}
+}

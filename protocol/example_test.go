@@ -7,7 +7,13 @@ import (
 )
 
 // Run the message-level repair and inspect its cost — the quantities
-// Lemma 4 bounds.
+// Lemma 4 bounds. The message count includes the in-band coordination
+// the protocol no longer gets for free: the leader-election tournament
+// over BT_v (2·(15-1) = 28 messages), the termination-detection
+// convergecast (14 subtree-dones + 1 phase-done), and the merge plan's
+// 29 instruction acks — the in-band completion proof that replaced the
+// driver's quiescence barrier — on top of the 59 repair-payload
+// messages.
 func ExampleNetwork_LastRepair() {
 	edges := make([]protocol.Edge, 15)
 	for i := range edges {
@@ -26,15 +32,53 @@ func ExampleNetwork_LastRepair() {
 	fmt.Println("messages:", rc.Messages)
 	fmt.Println("coordination:", rc.ElectionMessages+rc.SyncMessages)
 	fmt.Println("verified:", net.Verify() == nil)
-	// The message count includes the in-band coordination the protocol
-	// no longer gets for free: the leader-election tournament over
-	// BT_v (2·(15-1) = 28 messages) and the termination-detection
-	// convergecast (14 subtree-dones + 1 phase-done) on top of the 59
-	// repair-payload messages.
+
 	// Output:
 	// deleted degree: 15
 	// BT_v size: 15
-	// messages: 102
-	// coordination: 43
+	// messages: 131
+	// coordination: 72
+	// verified: true
+}
+
+// Drive the network open-loop: submit deletions of two far-apart hubs
+// without waiting, tick the network yourself, and drain the typed
+// completion events. Both repairs run concurrently — their regions are
+// disjoint — so the engine heals them in roughly the rounds of one.
+func ExampleNetwork_Submit() {
+	// Two stars joined by a long path: deleting both hubs damages two
+	// independent regions.
+	var edges []protocol.Edge
+	for i := 1; i <= 6; i++ {
+		edges = append(edges, protocol.Edge{U: 0, V: protocol.NodeID(i)})
+		edges = append(edges, protocol.Edge{U: 100, V: protocol.NodeID(100 + i)})
+	}
+	edges = append(edges,
+		protocol.Edge{U: 1, V: 50},
+		protocol.Edge{U: 50, V: 51},
+		protocol.Edge{U: 51, V: 101},
+	)
+	net, err := protocol.New(edges)
+	if err != nil {
+		panic(err)
+	}
+	if err := net.Submit(protocol.DeleteOp(0), protocol.DeleteOp(100)); err != nil {
+		panic(err)
+	}
+	fmt.Println("in flight:", net.InFlight())
+	if err := net.Drain(); err != nil {
+		panic(err)
+	}
+	for _, ev := range net.Poll() {
+		if ev.Kind == protocol.EventRepairDone {
+			fmt.Printf("repaired %d (degree %d)\n", ev.V, ev.Repair.DegreePrime)
+		}
+	}
+	fmt.Println("verified:", net.Verify() == nil)
+
+	// Output:
+	// in flight: 2
+	// repaired 0 (degree 6)
+	// repaired 100 (degree 6)
 	// verified: true
 }

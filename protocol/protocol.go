@@ -7,6 +7,28 @@
 // package when you care about the distributed execution — message
 // counts, message sizes, round complexity, or running the repair with a
 // goroutine per processor.
+//
+// # Open-loop churn engine
+//
+// The network is driven in one of two styles. The blocking calls —
+// Insert, Delete, DeleteBatch — apply one operation at a time, running
+// the simulated network to quiescence before returning, with the cost
+// in LastRepair/LastBatch: the measurement mode, and the paper's
+// strictly alternating adversary/repair loop. The asynchronous API
+// models continuous churn instead: Submit enqueues inserts and deletes
+// at any time (including while repairs are in flight), Tick and Run
+// advance the network round by round under caller control, and typed
+// completion events — RepairDone with its RepairCost, InsertApplied,
+// BatchDone, OpRejected — are drained via Poll or streamed through
+// SetObserver. Operations behave as if executed one at a time in
+// submission order (the differential tests assert the healed graph is
+// bit-identical to that serialized replay), but repairs of disjoint
+// regions pipeline: a deletion submitted mid-repair is admitted the
+// moment its region is free, a deletion colliding with an in-flight
+// repair is handed off leader-to-leader when that repair completes,
+// and an insert landing in a damaged region is deferred until the
+// region heals. The blocking calls are thin wrappers over the engine
+// (Delete = Submit + Drain) and require an idle engine.
 package protocol
 
 import (
@@ -161,8 +183,14 @@ func (n *Network) DeleteBatch(vs []NodeID) error {
 }
 
 // LastBatch returns the cost of the most recent DeleteBatch call.
-func (n *Network) LastBatch() BatchCost {
-	b := n.s.LastBatch()
+func (n *Network) LastBatch() BatchCost { return convBatch(n.s.LastBatch()) }
+
+// LastRepair returns the cost of the most recent blocking deletion's
+// repair; repairs completing asynchronously report theirs in the
+// RepairDone event.
+func (n *Network) LastRepair() RepairCost { return convRecovery(n.s.LastRecovery()) }
+
+func convBatch(b dist.BatchStats) BatchCost {
 	return BatchCost{
 		Batch: b.Batch, Groups: b.Groups, Waves: b.Waves,
 		Conflicts: b.Conflicts, Messages: b.Messages, Rounds: b.Rounds,
@@ -175,9 +203,7 @@ func (n *Network) LastBatch() BatchCost {
 	}
 }
 
-// LastRepair returns the cost of the most recent deletion's repair.
-func (n *Network) LastRepair() RepairCost {
-	r := n.s.LastRecovery()
+func convRecovery(r dist.RecoveryStats) RepairCost {
 	return RepairCost{
 		Deleted:          NodeID(r.Deleted),
 		DegreePrime:      r.DegreePrime,
@@ -238,3 +264,143 @@ func (n *Network) Distance(u, v NodeID) int {
 // consistency, haft validity, representatives, degree and connectivity
 // invariants). A healthy network always returns nil.
 func (n *Network) Verify() error { return n.s.Verify() }
+
+// OpKind distinguishes the two churn operation flavors.
+type OpKind uint8
+
+const (
+	// OpInsert adds a node attached to existing live neighbors.
+	OpInsert OpKind = OpKind(dist.OpInsert)
+	// OpDelete removes a node, triggering the distributed repair.
+	OpDelete OpKind = OpKind(dist.OpDelete)
+)
+
+// Op is one churn operation for the asynchronous API.
+type Op struct {
+	Kind OpKind
+	V    NodeID
+	Nbrs []NodeID // OpInsert only
+}
+
+// Insert and Delete constructors for Op.
+func InsertOp(v NodeID, nbrs ...NodeID) Op { return Op{Kind: OpInsert, V: v, Nbrs: nbrs} }
+func DeleteOp(v NodeID) Op                 { return Op{Kind: OpDelete, V: v} }
+
+// EventKind tags a completion event from the asynchronous engine.
+type EventKind uint8
+
+const (
+	// EventRepairDone: a deletion's repair completed; Repair carries
+	// its cost. Under overlapping repairs the additive fields are
+	// deltas between launch and completion; the Max* fields are
+	// high-water marks.
+	EventRepairDone EventKind = EventKind(dist.EventRepairDone)
+	// EventInsertApplied: a submitted insert was admitted and applied.
+	EventInsertApplied EventKind = EventKind(dist.EventInsertApplied)
+	// EventBatchDone: a DeleteBatch finished; Batch carries its cost.
+	EventBatchDone EventKind = EventKind(dist.EventBatchDone)
+	// EventOpRejected: a submitted operation failed validation at its
+	// serialization point; Err carries the same error the blocking call
+	// would have returned.
+	EventOpRejected EventKind = EventKind(dist.EventOpRejected)
+)
+
+// Event is one typed completion notification.
+type Event struct {
+	Kind EventKind
+	// V is the node the event concerns.
+	V NodeID
+	// Op is the rejected operation (EventOpRejected).
+	Op Op
+	// Repair is the completed repair's cost (EventRepairDone).
+	Repair RepairCost
+	// Batch is the completed batch's cost (EventBatchDone).
+	Batch BatchCost
+	// Latency is the number of rounds between submission and this
+	// event.
+	Latency int
+	// Err is why the operation was rejected (EventOpRejected).
+	Err error
+}
+
+// Submit enqueues operations for asynchronous execution; whatever the
+// in-flight repairs allow is admitted immediately, the rest pipelines
+// behind them in submission order. Structural validity is checked
+// synchronously; state-dependent validity surfaces as EventOpRejected.
+func (n *Network) Submit(ops ...Op) error {
+	conv := make([]dist.Op, len(ops))
+	for i, op := range ops {
+		nbrs := make([]graph.NodeID, len(op.Nbrs))
+		for j, x := range op.Nbrs {
+			nbrs[j] = graph.NodeID(x)
+		}
+		conv[i] = dist.Op{Kind: dist.OpKind(op.Kind), V: graph.NodeID(op.V), Nbrs: nbrs}
+	}
+	return n.s.Submit(conv...)
+}
+
+// Tick advances the network one round, reporting whether work remains.
+func (n *Network) Tick() bool { return n.s.Tick() }
+
+// Run ticks until the engine is idle or maxRounds elapse, returning
+// the rounds advanced.
+func (n *Network) Run(maxRounds int) int { return n.s.Run(maxRounds) }
+
+// Drain runs the engine to idleness; it fails only if the protocol
+// stalls beyond its quiescence bound.
+func (n *Network) Drain() error { return n.s.Drain() }
+
+// Idle reports whether the engine has nothing left to do.
+func (n *Network) Idle() bool { return n.s.Idle() }
+
+// InFlight returns the number of repairs currently in progress.
+func (n *Network) InFlight() int { return n.s.InFlight() }
+
+// PendingOps returns the number of submitted operations not yet
+// admitted.
+func (n *Network) PendingOps() int { return n.s.PendingOps() }
+
+// Poll returns the events accumulated since the last Poll and clears
+// the buffer.
+func (n *Network) Poll() []Event {
+	evs := n.s.Poll()
+	out := make([]Event, len(evs))
+	for i, ev := range evs {
+		out[i] = n.convEvent(ev)
+	}
+	return out
+}
+
+// SetObserver streams every event to fn as it fires, replacing the
+// Poll buffer as the consumption path (stream-only consumers never
+// grow it); nil returns to Poll-based consumption. Callbacks run at
+// safe points, so an observer may reenter Submit.
+func (n *Network) SetObserver(fn func(Event)) {
+	if fn == nil {
+		n.s.SetObserver(nil)
+		return
+	}
+	n.s.SetObserver(func(ev dist.Event) { fn(n.convEvent(ev)) })
+}
+
+func (n *Network) convEvent(ev dist.Event) Event {
+	out := Event{
+		Kind:    EventKind(ev.Kind),
+		V:       NodeID(ev.V),
+		Latency: ev.Latency,
+		Err:     ev.Err,
+	}
+	switch ev.Kind {
+	case dist.EventRepairDone:
+		out.Repair = convRecovery(ev.Repair)
+	case dist.EventBatchDone:
+		out.Batch = convBatch(ev.Batch)
+	case dist.EventOpRejected:
+		nbrs := make([]NodeID, len(ev.Op.Nbrs))
+		for i, x := range ev.Op.Nbrs {
+			nbrs[i] = NodeID(x)
+		}
+		out.Op = Op{Kind: OpKind(ev.Op.Kind), V: NodeID(ev.Op.V), Nbrs: nbrs}
+	}
+	return out
+}

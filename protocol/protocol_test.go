@@ -177,3 +177,84 @@ func TestBandwidthFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAsyncFacade drives the streaming API end to end through the
+// public surface: submit a mix of valid and invalid operations, tick
+// under caller control, and drain typed events.
+func TestAsyncFacade(t *testing.T) {
+	net, err := New(star(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Submit(
+		DeleteOp(3),
+		InsertOp(100, 1, 2),
+		DeleteOp(3), // dead by then: rejected
+	); err != nil {
+		t.Fatal(err)
+	}
+	if net.Idle() {
+		t.Fatal("engine idle with a repair submitted")
+	}
+	if net.Run(1000) == 0 {
+		t.Fatal("Run advanced zero rounds")
+	}
+	if err := net.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var repairs, inserts, rejects int
+	for _, ev := range net.Poll() {
+		switch ev.Kind {
+		case EventRepairDone:
+			repairs++
+			if ev.V != 3 || ev.Repair.Messages == 0 || ev.Repair.BTvSize == 0 {
+				t.Fatalf("repair event: %+v", ev)
+			}
+		case EventInsertApplied:
+			inserts++
+		case EventOpRejected:
+			rejects++
+			if ev.Err == nil || ev.Op.Kind != OpDelete {
+				t.Fatalf("rejection event: %+v", ev)
+			}
+		}
+	}
+	if repairs != 1 || inserts != 1 || rejects != 1 {
+		t.Fatalf("events: %d repairs, %d inserts, %d rejects", repairs, inserts, rejects)
+	}
+	// An installed observer replaces the Poll buffer entirely.
+	var streamed int
+	net.SetObserver(func(Event) { streamed++ })
+	if err := net.Submit(DeleteOp(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if streamed == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if evs := net.Poll(); len(evs) != 0 {
+		t.Fatalf("Poll delivered %d events despite an installed observer", len(evs))
+	}
+	net.SetObserver(nil)
+	if !net.Alive(100) || net.Alive(3) {
+		t.Fatal("final liveness wrong")
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Blocking calls refuse a busy engine but work once drained.
+	if err := net.Submit(DeleteOp(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Delete(6); err == nil {
+		t.Fatal("blocking Delete accepted while engine busy")
+	}
+	if err := net.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Delete(6); err != nil {
+		t.Fatal(err)
+	}
+}
