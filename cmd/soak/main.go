@@ -24,6 +24,13 @@
 // no longer pays an O(n) revalidation every interval; the final check
 // is always the full one, and -full-check restores it everywhere.
 //
+// With -dist -transport=chan, the processors run as goroutines over Go
+// channels with per-processor logical clocks instead of the
+// round-synchronous simulator — the Go scheduler picks the delivery
+// interleaving, so long campaigns shake out schedules the deterministic
+// simulator never produces. The chan substrate has no bandwidth model:
+// it rejects -bandwidth, -slow-frac and -parallel.
+//
 // With -dist -async, the campaign drives the OPEN-LOOP engine instead
 // of the blocking calls: operations are submitted on the adversary's
 // clock (up to -async-gap rounds between submissions, including zero)
@@ -39,7 +46,7 @@
 //	     [-check-every C] [-dist] [-parallel] [-full-check]
 //	     [-batch K] [-batch-strategy random|disjoint|colliding]
 //	     [-delete STRATEGY] [-bandwidth B] [-no-spread] [-slow-frac F]
-//	     [-async] [-async-gap G]
+//	     [-async] [-async-gap G] [-transport sim|chan]
 package main
 
 import (
@@ -83,6 +90,7 @@ func run() error {
 		fullCheck = flag.Bool("full-check", false, "run the full O(n) verification at every checkpoint instead of the incremental one (the final check is always full)")
 		async     = flag.Bool("async", false, "with -dist: drive the open-loop engine (Submit/Tick) instead of the blocking calls")
 		asyncGap  = flag.Int("async-gap", 2, "with -async: max rounds the adversary waits between submissions (0 = fully open loop)")
+		transp    = flag.String("transport", "sim", "with -dist: message substrate: sim (round simulator, congestion model) or chan (goroutine-per-processor channels, logical clocks)")
 	)
 	flag.Parse()
 
@@ -116,6 +124,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *transp != "sim" && *transp != "chan" {
+		return fmt.Errorf("-transport must be sim or chan, got %q", *transp)
+	}
+	useChan := *transp == "chan"
+	if useChan && !*useDist {
+		return fmt.Errorf("-transport applies to the distributed protocol only; add -dist")
+	}
+	if useChan && *bandwidth > 0 {
+		return fmt.Errorf("-transport=chan has no bandwidth model (congestion experiments are simnet-only)")
+	}
+	if useChan && *slowFrac > 0 {
+		return fmt.Errorf("-slow-frac needs the simnet bandwidth model; drop -transport=chan")
+	}
+	if useChan && *parallel {
+		return fmt.Errorf("-parallel selects simnet's shadow-network delivery; -transport=chan is already concurrent")
+	}
 	if *async && !*useDist {
 		return fmt.Errorf("-async drives the distributed protocol's open-loop engine; add -dist")
 	}
@@ -127,15 +151,18 @@ func run() error {
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	g0 := gen(*n, rng)
-	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v parallel=%v batch=%d strategy=%s delete=%s bandwidth=%d spread=%v slow-frac=%v async=%v\n",
-		*topology, g0.NumNodes(), *steps, *seed, *useDist, *parallel, *batchK, batchStrat.Name(),
+	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v transport=%s parallel=%v batch=%d strategy=%s delete=%s bandwidth=%d spread=%v slow-frac=%v async=%v\n",
+		*topology, g0.NumNodes(), *steps, *seed, *useDist, *transp, *parallel, *batchK, batchStrat.Name(),
 		deleter.Name(), *bandwidth, !*noSpread, *slowFrac, *async)
 
 	var (
 		target soakTarget
 	)
 	if *useDist {
-		s := dist.NewSimulation(g0)
+		s, err := harness.NewSimulationFor(g0, *transp)
+		if err != nil {
+			return err
+		}
 		s.SetParallel(*parallel)
 		s.SetBandwidth(*bandwidth)
 		s.SetSpread(!*noSpread)

@@ -9,9 +9,16 @@
 // with provably low degree amplification throughout.
 //
 // Run with: go run ./examples/p2pchurn
+//
+// With -transport=chan the peers run as goroutines over Go channels
+// (per-processor logical clocks, the Go scheduler picking the delivery
+// interleaving) instead of the round-synchronous simulator; the healed
+// overlay is identical either way — that invariance is exactly what
+// the transport-equivalence tests assert.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,6 +27,12 @@ import (
 )
 
 func main() {
+	transp := flag.String("transport", "sim", "message substrate: sim or chan")
+	flag.Parse()
+	kind, err := protocol.ParseTransport(*transp)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(2009)) // PODC 2009
 
 	// Bootstrap: 300 peers joining one by one, each knowing 1-3 peers.
@@ -35,11 +48,11 @@ func main() {
 			}
 		}
 	}
-	net, err := protocol.New(edges)
+	net, err := protocol.NewWithTransport(edges, kind)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("bootstrapped overlay: %d peers\n\n", net.NumAlive())
+	fmt.Printf("bootstrapped overlay: %d peers (%s transport)\n\n", net.NumAlive(), kind)
 
 	// The churn stream: 120 events submitted open-loop, at most two
 	// rounds apart, repairs pipelining underneath. Peers pending

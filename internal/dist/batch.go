@@ -329,11 +329,7 @@ func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{
 		if rounds >= bound {
 			return nil, false, fmt.Errorf("claim discovery not quiescent after %d rounds", bound)
 		}
-		if s.parallel {
-			s.net.ParallelStep()
-		} else {
-			s.net.Step()
-		}
+		s.step()
 		if cp := s.procs[coord]; cp.batch != nil && cp.batch.decided {
 			s.net.DropPending()
 			aborted = true

@@ -75,6 +75,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/haft"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // RecoveryStats reports the measured cost of one deletion's repair, the
@@ -124,7 +125,7 @@ type RecoveryStats struct {
 // It is not safe for concurrent use; the model is a strictly
 // alternating adversary/repair loop.
 type Simulation struct {
-	net    *simnet.Network
+	net    transport.Transport
 	gprime *graph.Graph
 	alive  map[NodeID]struct{}
 	dead   map[NodeID]struct{}
@@ -164,6 +165,7 @@ type Simulation struct {
 	// observer, and the most recent completed flight's stats. async
 	// turns on event buffering once the engine is used asynchronously.
 	pending    []*pendingOp
+	opSeq      int // submission sequence ticket (Event.Seq)
 	inflight   map[NodeID]*flight
 	done       *doneList
 	events     []Event
@@ -181,11 +183,22 @@ type Simulation struct {
 }
 
 // NewSimulation builds the distributed network over an initial
-// topology. Per the model there is no pre-processing: processors start
-// knowing only their neighbor lists.
+// topology, running on the deterministic round-synchronous simulator
+// (internal/simnet) — the measurement backend. Per the model there is
+// no pre-processing: processors start knowing only their neighbor
+// lists.
 func NewSimulation(g0 *graph.Graph) *Simulation {
+	return NewSimulationOn(g0, simnet.New())
+}
+
+// NewSimulationOn builds the distributed network over an initial
+// topology on an explicit transport backend (internal/simnet for
+// deterministic rounds, internal/channet for goroutine-per-processor
+// real concurrency). The transport must be empty: the simulation owns
+// node registration.
+func NewSimulationOn(g0 *graph.Graph, net transport.Transport) *Simulation {
 	s := &Simulation{
-		net:    simnet.New(),
+		net:    net,
 		gprime: g0.Clone(),
 		alive:  make(map[NodeID]struct{}, g0.NumNodes()),
 		dead:   make(map[NodeID]struct{}),
@@ -519,16 +532,38 @@ func (s *Simulation) roundBound() int {
 	return s.bound
 }
 
+// step advances the transport one pulse in the current delivery mode.
+// Parallel mode is a capability: transports that cannot offer an
+// observationally-identical concurrent round (only simnet can) just
+// run their ordinary Step — channet is concurrent by construction.
+func (s *Simulation) step() int {
+	if s.parallel {
+		if ps, ok := s.net.(transport.ParallelStepper); ok {
+			return ps.ParallelStep()
+		}
+	}
+	return s.net.Step()
+}
+
 // run steps the network to quiescence in the current delivery mode,
 // then folds the processors' pending physical-graph edits into the
-// maintained network.
+// maintained network. The pulse bound mirrors simnet's historical
+// RunUntilQuiescent contract: on simnet one pulse is one round, and on
+// any transport a pulse delivers at least one pending message or
+// timer, so hitting the bound still means the protocol is broken,
+// never that it is slow.
 func (s *Simulation) run() error {
 	bound := s.roundBound()
 	var err error
-	if s.parallel {
-		_, err = s.net.RunUntilQuiescentParallel(bound)
-	} else {
-		_, err = s.net.RunUntilQuiescent(bound)
+	pulses := 0
+	for s.net.Pending() > 0 {
+		if pulses >= bound {
+			err = fmt.Errorf("dist: not quiescent after %d pulses (%d pending)",
+				pulses, s.net.Pending())
+			break
+		}
+		s.step()
+		pulses++
 	}
 	s.drainPhys()
 	return err

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // The open-loop churn engine.
@@ -100,6 +100,14 @@ const (
 // Event is one typed completion notification from the engine.
 type Event struct {
 	Kind EventKind
+	// Seq is the submission sequence number of the operation this
+	// event concludes: the i-th op ever passed to Submit has Seq i
+	// (counting from 1). It ties an event to its submission even when
+	// arrival order differs — an op rejected at submission (target
+	// already dead) reports immediately, jumping ahead of an
+	// earlier-submitted repair still in flight. Events not tied to a
+	// submitted op (EventBatchDone from a blocking batch) carry 0.
+	Seq int
 	// V is the node the event is about (the deleted or inserted node).
 	V NodeID
 	// Op is the rejected operation (EventOpRejected).
@@ -118,6 +126,7 @@ type Event struct {
 // pendingOp is one submitted operation waiting for admission.
 type pendingOp struct {
 	op          Op
+	seq         int // submission sequence number (Event.Seq)
 	submitRound int
 	// chain marks a DeleteBatch wave member whose serialization was
 	// already decided by the in-band claim phase: it waits for the
@@ -139,10 +148,11 @@ type pendingOp struct {
 // flight is one repair in progress.
 type flight struct {
 	v           NodeID
+	seq         int // submission sequence number (Event.Seq)
 	degree      int
 	notify      int
 	region      map[NodeID]struct{}
-	statsAt     simnet.Stats
+	statsAt     transport.Stats
 	submitRound int
 }
 
@@ -174,8 +184,9 @@ func (s *Simulation) Submit(ops ...Op) error {
 	s.async = true
 	for _, op := range ops {
 		op.Nbrs = append([]NodeID(nil), op.Nbrs...)
+		s.opSeq++
 		s.pending = append(s.pending, &pendingOp{
-			op: op, submitRound: s.net.Round(), after: noNode,
+			op: op, seq: s.opSeq, submitRound: s.net.Round(), after: noNode,
 		})
 	}
 	s.admit()
@@ -189,11 +200,7 @@ func (s *Simulation) Submit(ops ...Op) error {
 // It reports whether the engine still has work (pending operations,
 // in-flight repairs, or queued traffic).
 func (s *Simulation) Tick() bool {
-	if s.parallel {
-		s.net.ParallelStep()
-	} else {
-		s.net.Step()
-	}
+	s.step()
 	s.afterRound()
 	s.flushObserver()
 	if s.Idle() {
@@ -332,7 +339,7 @@ func (s *Simulation) afterRound() {
 		rs := s.flightStats(fl)
 		s.lastFlight = rs
 		s.emit(Event{
-			Kind: EventRepairDone, V: fl.v, Repair: rs,
+			Kind: EventRepairDone, Seq: fl.seq, V: fl.v, Repair: rs,
 			Latency: s.net.Round() - fl.submitRound,
 		})
 	}
@@ -398,6 +405,14 @@ func (s *Simulation) admitPass() (instant []NodeID) {
 	keep := s.pending[:0]
 	var tentative []map[NodeID]struct{}
 	pendingCreates := make(map[NodeID]struct{})
+	// doomed tracks targets of earlier-queued deletes that have not
+	// launched yet. Ids are never reused, so such a node is dead at
+	// every later operation's serialization point even though it is
+	// still alive right now; validation must treat it as dead or the
+	// verdict (and the neighbor named in the error) would depend on
+	// how far the earlier repair happened to have progressed — a
+	// transport-pacing artifact, not serialized state.
+	doomed := make(map[NodeID]struct{})
 	block := func(po *pendingOp) {
 		keep = append(keep, po)
 		if po.region != nil {
@@ -406,10 +421,13 @@ func (s *Simulation) admitPass() (instant []NodeID) {
 		if po.op.Kind == OpInsert {
 			pendingCreates[po.op.V] = struct{}{}
 		}
+		if po.op.Kind == OpDelete {
+			doomed[po.op.V] = struct{}{}
+		}
 	}
 	reject := func(po *pendingOp, err error) {
 		s.emit(Event{
-			Kind: EventOpRejected, V: po.op.V, Op: po.op, Err: err,
+			Kind: EventOpRejected, Seq: po.seq, V: po.op.V, Op: po.op, Err: err,
 			Latency: s.net.Round() - po.submitRound,
 		})
 	}
@@ -417,6 +435,7 @@ func (s *Simulation) admitPass() (instant []NodeID) {
 		if po.chain {
 			if po.after != noNode {
 				keep = append(keep, po)
+				doomed[po.op.V] = struct{}{}
 				continue
 			}
 			if done := s.launchDelete(po); done {
@@ -462,6 +481,10 @@ func (s *Simulation) admitPass() (instant []NodeID) {
 			region := map[NodeID]struct{}{v: {}}
 			for _, x := range nbrs {
 				region[x] = struct{}{}
+				if _, dying := doomed[x]; dying {
+					err = fmt.Errorf("dist: insert %d: neighbor %d is not a live node", v, x)
+					break
+				}
 				if s.Alive(x) {
 					continue
 				}
@@ -487,7 +510,7 @@ func (s *Simulation) admitPass() (instant []NodeID) {
 				continue
 			}
 			s.emit(Event{
-				Kind: EventInsertApplied, V: v,
+				Kind: EventInsertApplied, Seq: po.seq, V: v,
 				Latency: s.net.Round() - po.submitRound,
 			})
 		}
@@ -561,13 +584,13 @@ func (s *Simulation) launchDelete(po *pendingOp) (instantlyDone bool) {
 		rs := RecoveryStats{Deleted: v, DegreePrime: degree}
 		s.lastFlight = rs
 		s.emit(Event{
-			Kind: EventRepairDone, V: v, Repair: rs,
+			Kind: EventRepairDone, Seq: po.seq, V: v, Repair: rs,
 			Latency: s.net.Round() - po.submitRound,
 		})
 		return true
 	}
 	s.inflight[v] = &flight{
-		v: v, degree: degree, notify: len(rep.notify),
+		v: v, seq: po.seq, degree: degree, notify: len(rep.notify),
 		region: po.region, statsAt: s.net.Stats(), submitRound: po.submitRound,
 	}
 	// Hand off from the releasing leader if it is still alive (a later

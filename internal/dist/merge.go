@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/haft"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Leader-side merge planning.
@@ -96,7 +96,7 @@ func (r *repairState) orderedDescriptors() []msgDescriptor {
 // instruction is acked back (msgMergeAck); the scratch survives until
 // the count reaches zero, which is the repair's in-band completion —
 // an empty plan completes on the spot.
-func (p *processor) startMerge(n *simnet.Network, epoch NodeID, rs *repairState) {
+func (p *processor) startMerge(n transport.Endpoint, epoch NodeID, rs *repairState) {
 	rs.phase = phaseMerge
 	descs := rs.orderedDescriptors()
 	if len(descs) == 0 {

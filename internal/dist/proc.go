@@ -5,7 +5,7 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // leafRec is a processor's record for one of its leaf avatars L(v,x):
@@ -184,7 +184,7 @@ type outMsg struct {
 	to      NodeID
 	payload any
 	words   int
-	class   simnet.Class
+	class   transport.Class
 }
 
 // batchScratch is what the batch coordinator accumulates during the
@@ -310,9 +310,9 @@ func newProcessor(id NodeID) *processor {
 	}
 }
 
-// handle dispatches one delivered message. It is the simnet.Handler of
+// handle dispatches one delivered message. It is the transport.Handler of
 // this processor.
-func (p *processor) handle(n *simnet.Network, m simnet.Message) {
+func (p *processor) handle(n transport.Endpoint, m transport.Message) {
 	switch msg := m.Payload.(type) {
 	case msgDeath:
 		p.onDeath(n, msg)
@@ -527,15 +527,15 @@ func (r *repairState) addDescriptor(d msgDescriptor) {
 // FIFO order is preserved, so paced delivery reorders nothing the
 // network's own spill-over would not. With unlimited bandwidth on the
 // edge (or pacing off) this is exactly Send.
-func (p *processor) sendPaced(n *simnet.Network, to NodeID, payload any, words int) {
-	p.sendPacedClass(n, to, payload, words, simnet.ClassData)
+func (p *processor) sendPaced(n transport.Endpoint, to NodeID, payload any, words int) {
+	p.sendPacedClass(n, to, payload, words, transport.ClassData)
 }
 
 // sendPacedClass is sendPaced with an explicit accounting class (the
 // merge-instruction acks are ClassSync and go out paced too, so a
 // pacing processor's acks share the per-destination budget with its
 // queued instructions instead of colliding with them on the edge).
-func (p *processor) sendPacedClass(n *simnet.Network, to NodeID, payload any, words int, class simnet.Class) {
+func (p *processor) sendPacedClass(n transport.Endpoint, to NodeID, payload any, words int, class transport.Class) {
 	budget := 0
 	if p.spread {
 		budget = n.EdgeBudget(p.id, to)
@@ -565,7 +565,7 @@ func (p *processor) sendPacedClass(n *simnet.Network, to NodeID, payload any, wo
 // own budget per destination per round (but always at least one
 // message per destination, matching the network's own progress rule),
 // rescheduling itself while messages remain.
-func (p *processor) onFlushOutbox(n *simnet.Network) {
+func (p *processor) onFlushOutbox(n transport.Endpoint) {
 	p.flushScheduled = false
 	p.rollOutRound(n)
 	var keep []outMsg
@@ -591,7 +591,7 @@ func (p *processor) onFlushOutbox(n *simnet.Network) {
 
 // rollOutRound resets the per-destination words-sent accounting when a
 // new round begins.
-func (p *processor) rollOutRound(n *simnet.Network) {
+func (p *processor) rollOutRound(n transport.Endpoint) {
 	if p.outRound != n.Round() || p.outUsed == nil {
 		p.outRound = n.Round()
 		p.outUsed = make(map[NodeID]int)
@@ -662,7 +662,7 @@ func sortedRecordKeys[T any](m map[NodeID]T) []NodeID {
 // immediately; internal nodes wait for their children. The sole
 // participant of a trivial BT_v (k = 1) is its own leader and begins
 // at once.
-func (p *processor) onDeath(n *simnet.Network, m msgDeath) {
+func (p *processor) onDeath(n transport.Endpoint, m msgDeath) {
 	ps := p.partFor(m.V)
 	if ps.haveDeath {
 		panic(fmt.Sprintf("dist: processor %d notified twice of deletion %d", p.id, m.V))
@@ -707,7 +707,7 @@ func (p *processor) partFor(epoch NodeID) *partState {
 // champion (and height) in; once both children have reported, pass the
 // winner up — or, at the root, conclude the tournament and announce
 // the leader downward.
-func (p *processor) onChampion(n *simnet.Network, m msgChampion) {
+func (p *processor) onChampion(n transport.Endpoint, m msgChampion) {
 	ps := p.partFor(m.Epoch)
 	if m.ID < ps.champ {
 		ps.champ = m.ID
@@ -733,9 +733,9 @@ func (p *processor) onChampion(n *simnet.Network, m msgChampion) {
 // repair work in the same round (exactly so under unlimited bandwidth;
 // congestion can stagger the starts, which the damage walks tolerate —
 // see onMarkDamaged's dying-parent case).
-func (p *processor) championDecided(n *simnet.Network, epoch NodeID, ps *partState) {
+func (p *processor) championDecided(n transport.Endpoint, epoch NodeID, ps *partState) {
 	if ps.btParent != noNode {
-		n.SendClass(p.id, ps.btParent, msgChampion{Epoch: epoch, ID: ps.champ, Height: ps.height}, wordsChampion, simnet.ClassElection)
+		n.SendClass(p.id, ps.btParent, msgChampion{Epoch: epoch, ID: ps.champ, Height: ps.height}, wordsChampion, transport.ClassElection)
 		return
 	}
 	if ps.height == 0 {
@@ -750,7 +750,7 @@ func (p *processor) championDecided(n *simnet.Network, epoch NodeID, ps *partSta
 	ps.leader = ps.champ
 	for _, c := range [2]NodeID{ps.btLeft, ps.btRight} {
 		if c != noNode {
-			n.SendClass(p.id, c, msgLeader{Epoch: epoch, Leader: ps.leader, Wait: ps.height - 1}, wordsLeader, simnet.ClassElection)
+			n.SendClass(p.id, c, msgLeader{Epoch: epoch, Leader: ps.leader, Wait: ps.height - 1}, wordsLeader, transport.ClassElection)
 		}
 	}
 	n.SendTimer(p.id, msgBeginRepair{Epoch: epoch, Leader: ps.leader}, ps.height)
@@ -761,12 +761,12 @@ func (p *processor) championDecided(n *simnet.Network, epoch NodeID, ps *partSta
 // every participant processes the death in the same round — the
 // synchrony the damage walks rely on (every dangling link is cleared
 // before any walk message can arrive).
-func (p *processor) onLeader(n *simnet.Network, m msgLeader) {
+func (p *processor) onLeader(n transport.Endpoint, m msgLeader) {
 	ps := p.mustPart(m.Epoch)
 	ps.leader = m.Leader
 	for _, c := range [2]NodeID{ps.btLeft, ps.btRight} {
 		if c != noNode {
-			n.SendClass(p.id, c, msgLeader{Epoch: m.Epoch, Leader: m.Leader, Wait: m.Wait - 1}, wordsLeader, simnet.ClassElection)
+			n.SendClass(p.id, c, msgLeader{Epoch: m.Epoch, Leader: m.Leader, Wait: m.Wait - 1}, wordsLeader, transport.ClassElection)
 		}
 	}
 	if m.Wait == 0 {
@@ -783,7 +783,7 @@ func (p *processor) onLeader(n *simnet.Network, m msgLeader) {
 // and grow the fresh leaf avatar for the half-dead G′ edge (x,v) if
 // there is one. Every seeded walk is counted and later acked by its
 // terminator, so the participant can prove its local phase complete.
-func (p *processor) beginRepair(n *simnet.Network, v NodeID, leader NodeID) {
+func (p *processor) beginRepair(n transport.Endpoint, v NodeID, leader NodeID) {
 	ps := p.mustPart(v)
 	p.markTouched()
 	for _, o := range sortedRecordKeys(p.leaves) {
@@ -839,13 +839,13 @@ func (p *processor) beginRepair(n *simnet.Network, v NodeID, leader NodeID) {
 // to the BT_v parent, or, at the root, phase-done to the elected
 // leader. The participant state is dropped with the report; nothing
 // else arrives for it.
-func (p *processor) maybeNotifyDone(n *simnet.Network, epoch NodeID, ps *partState) {
+func (p *processor) maybeNotifyDone(n transport.Endpoint, epoch NodeID, ps *partState) {
 	if !ps.processed || ps.walksOut > 0 || ps.waitDone > 0 {
 		return
 	}
 	delete(p.parts, epoch)
 	if ps.btParent != noNode {
-		n.SendClass(p.id, ps.btParent, msgSubtreeDone{Epoch: epoch, Announced: ps.annSent}, wordsSubtreeDone, simnet.ClassSync)
+		n.SendClass(p.id, ps.btParent, msgSubtreeDone{Epoch: epoch, Announced: ps.annSent}, wordsSubtreeDone, transport.ClassSync)
 		return
 	}
 	if ps.leader == p.id {
@@ -858,14 +858,14 @@ func (p *processor) maybeNotifyDone(n *simnet.Network, epoch NodeID, ps *partSta
 		p.maybeStartKeys(n, epoch, rs)
 		return
 	}
-	n.SendClass(p.id, ps.leader, msgPhaseDone{Epoch: epoch, Announced: ps.annSent}, wordsPhaseDone, simnet.ClassSync)
+	n.SendClass(p.id, ps.leader, msgPhaseDone{Epoch: epoch, Announced: ps.annSent}, wordsPhaseDone, transport.ClassSync)
 }
 
 // maybeStartKeys launches the key phase once the notification phase is
 // proven terminated: the BT_v completion report is in AND every
 // announcement it counted has arrived. Sound under any delivery
 // delays: announcements cannot be in flight once the counts match.
-func (p *processor) maybeStartKeys(n *simnet.Network, epoch NodeID, rs *repairState) {
+func (p *processor) maybeStartKeys(n transport.Endpoint, epoch NodeID, rs *repairState) {
 	if rs.phase != phaseNotify || !rs.haveNotifyDone || rs.annRecvd != rs.annExpected {
 		return
 	}
@@ -893,14 +893,14 @@ func (p *processor) markDamaged(h *helperRec, self addr, epoch NodeID) {
 // announcement is sent before the ack, so when leader and origin
 // coincide the announcement's smaller sequence number delivers it
 // first.
-func (p *processor) onMarkDamaged(n *simnet.Network, m msgMarkDamaged) {
+func (p *processor) onMarkDamaged(n transport.Endpoint, m msgMarkDamaged) {
 	h := p.mustHelper(m.Target)
 	if h.damaged {
 		if h.depoch != m.Epoch {
 			panic(fmt.Sprintf("dist: helper %v double-stripped: damaged by concurrent epochs %d and %d",
 				m.Target, h.depoch, m.Epoch))
 		}
-		n.SendClass(p.id, m.Origin, msgWalkAck{Epoch: m.Epoch, Announced: 0}, wordsWalkAck, simnet.ClassSync)
+		n.SendClass(p.id, m.Origin, msgWalkAck{Epoch: m.Epoch, Announced: 0}, wordsWalkAck, transport.ClassSync)
 		return
 	}
 	h.damaged, h.depoch = true, m.Epoch
@@ -915,7 +915,7 @@ func (p *processor) onMarkDamaged(n *simnet.Network, m msgMarkDamaged) {
 	// same root (announcements dedupe at the leader). Either way the
 	// walk tops out here.
 	n.Send(p.id, m.Leader, msgRootAnnounce{Root: m.Target, Epoch: m.Epoch, Height: h.height}, wordsRootAnnounce)
-	n.SendClass(p.id, m.Origin, msgWalkAck{Epoch: m.Epoch, Announced: 1}, wordsWalkAck, simnet.ClassSync)
+	n.SendClass(p.id, m.Origin, msgWalkAck{Epoch: m.Epoch, Announced: 1}, wordsWalkAck, transport.ClassSync)
 }
 
 // sortedRoots returns the announced fragment roots in deterministic
@@ -937,7 +937,7 @@ func (r *repairState) sortedRoots() []addr {
 // no separate count is needed; a watchdog bounded by the deepest
 // fragment's height guards the wait. With no fragments at all the
 // phase is vacuous and chains straight on.
-func (p *processor) startKeys(n *simnet.Network, epoch NodeID, rs *repairState) {
+func (p *processor) startKeys(n transport.Endpoint, epoch NodeID, rs *repairState) {
 	rs.phase = phaseKeys
 	roots := rs.sortedRoots()
 	rs.outstanding = len(roots)
@@ -953,7 +953,7 @@ func (p *processor) startKeys(n *simnet.Network, epoch NodeID, rs *repairState) 
 
 // keyReplied counts one probe reply; the last one proves the key phase
 // complete and chains into the strip.
-func (p *processor) keyReplied(n *simnet.Network, epoch NodeID) {
+func (p *processor) keyReplied(n transport.Endpoint, epoch NodeID) {
 	rs := p.reps[epoch]
 	if rs == nil || rs.phase != phaseKeys {
 		panic(fmt.Sprintf("dist: processor %d: key reply for epoch %d outside the key phase", p.id, epoch))
@@ -968,7 +968,7 @@ func (p *processor) keyReplied(n *simnet.Network, epoch NodeID) {
 // rounds out, carrying the phase it watches so a stale firing (the
 // phase advanced, possibly in the very round the timer fired) is
 // recognized and ignored.
-func (p *processor) armWatchdog(n *simnet.Network, epoch NodeID, rs *repairState, delay int) {
+func (p *processor) armWatchdog(n transport.Endpoint, epoch NodeID, rs *repairState, delay int) {
 	n.SendTimer(p.id, msgPhaseWatch{Epoch: epoch, Phase: rs.phase, Delay: delay}, delay)
 }
 
@@ -978,7 +978,7 @@ func (p *processor) armWatchdog(n *simnet.Network, epoch NodeID, rs *repairState
 // re-arms and keeps watching; the simulation's global round bound
 // remains the hard failsafe. If the phase has advanced the firing is
 // stale and ignored.
-func (p *processor) onPhaseWatch(n *simnet.Network, m msgPhaseWatch) {
+func (p *processor) onPhaseWatch(n transport.Endpoint, m msgPhaseWatch) {
 	rs := p.reps[m.Epoch] // no allocation: the repair may be long gone
 	if rs == nil || rs.phase != m.Phase {
 		p.wdStale++
@@ -992,7 +992,7 @@ func (p *processor) onPhaseWatch(n *simnet.Network, m msgPhaseWatch) {
 // leftmostLeafSlot): a leaf is the key; a helper forwards to its left
 // child if present, else its right, and reports a dead end when both
 // children are gone.
-func (p *processor) onKeyProbe(n *simnet.Network, m msgKeyProbe) {
+func (p *processor) onKeyProbe(n transport.Endpoint, m msgKeyProbe) {
 	if m.Target.Kind == kindLeaf {
 		p.mustLeaf(m.Target)
 		n.Send(p.id, m.Leader, msgKeyFound{Comp: m.Comp, Key: m.Target.slot(), Epoch: m.Epoch}, wordsKeyFound)
@@ -1020,7 +1020,7 @@ func (p *processor) onKeyProbe(n *simnet.Network, m msgKeyProbe) {
 // (descriptors and acks travel different edges, so the count is what
 // proves arrival). The watchdog bound is twice the deepest fragment's
 // height (cascade down, convergecast back up).
-func (p *processor) startStrip(n *simnet.Network, epoch NodeID, rs *repairState) {
+func (p *processor) startStrip(n transport.Endpoint, epoch NodeID, rs *repairState) {
 	rs.phase = phaseStrip
 	roots := rs.sortedRoots()
 	rs.outstanding = len(roots)
@@ -1036,7 +1036,7 @@ func (p *processor) startStrip(n *simnet.Network, epoch NodeID, rs *repairState)
 
 // onStripDone books one fragment's strip completion and its descriptor
 // count; maybeStartMerge decides whether the phase is proven over.
-func (p *processor) onStripDone(n *simnet.Network, m msgStripDone) {
+func (p *processor) onStripDone(n transport.Endpoint, m msgStripDone) {
 	rs := p.reps[m.Epoch]
 	if rs == nil || rs.phase != phaseStrip {
 		panic(fmt.Sprintf("dist: processor %d: strip-done for epoch %d outside the strip phase", p.id, m.Epoch))
@@ -1049,7 +1049,7 @@ func (p *processor) onStripDone(n *simnet.Network, m msgStripDone) {
 // maybeStartMerge launches the merge once the strip phase is proven
 // terminated: every fragment reported done and every counted
 // descriptor has arrived.
-func (p *processor) maybeStartMerge(n *simnet.Network, epoch NodeID, rs *repairState) {
+func (p *processor) maybeStartMerge(n transport.Endpoint, epoch NodeID, rs *repairState) {
 	if rs.phase != phaseStrip || rs.outstanding > 0 || rs.descRecvd != rs.descExpected {
 		return
 	}
@@ -1059,12 +1059,12 @@ func (p *processor) maybeStartMerge(n *simnet.Network, epoch NodeID, rs *repairS
 // stripResolved reports one strip subtree fully resolved, carrying the
 // subtree's descriptor count: an ack to the visiting parent node, or —
 // at a fragment root — a strip-done to the leader.
-func (p *processor) stripResolved(n *simnet.Network, epoch NodeID, ackTo addr, leader NodeID, descs int) {
+func (p *processor) stripResolved(n transport.Endpoint, epoch NodeID, ackTo addr, leader NodeID, descs int) {
 	if ackTo.ok() {
-		n.SendClass(p.id, ackTo.Owner, msgStripAck{Epoch: epoch, Target: ackTo, Descs: descs}, wordsStripAck, simnet.ClassSync)
+		n.SendClass(p.id, ackTo.Owner, msgStripAck{Epoch: epoch, Target: ackTo, Descs: descs}, wordsStripAck, transport.ClassSync)
 		return
 	}
-	n.SendClass(p.id, leader, msgStripDone{Epoch: epoch, Descs: descs}, wordsStripDone, simnet.ClassSync)
+	n.SendClass(p.id, leader, msgStripDone{Epoch: epoch, Descs: descs}, wordsStripDone, transport.ClassSync)
 }
 
 // onStripVisit decides this node's fate in the strip, exactly as core's
@@ -1073,7 +1073,7 @@ func (p *processor) stripResolved(n *simnet.Network, epoch NodeID, ackTo addr, l
 // leader); anything else is discarded — the helper retires — and the
 // visit cascades to its children, with a stripWaiter left behind to
 // forward the resolution once every child subtree has acked.
-func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
+func (p *processor) onStripVisit(n transport.Endpoint, m msgStripVisit) {
 	report := func(leafCount, height int, rep slot) {
 		n.Send(p.id, m.Leader, msgDescriptor{
 			Comp: m.Comp, Depth: m.Depth, Path: m.Path, Epoch: m.Epoch,
@@ -1138,7 +1138,7 @@ func (p *processor) onStripVisit(n *simnet.Network, m msgStripVisit) {
 // onStripAck resolves one child subtree of a retired helper's cascade;
 // the last one forwards the resolution — and the accumulated
 // descriptor count — upward and drops the waiter.
-func (p *processor) onStripAck(n *simnet.Network, m msgStripAck) {
+func (p *processor) onStripAck(n transport.Endpoint, m msgStripAck) {
 	w, ok := p.stripWait[m.Target]
 	if !ok || w.epoch != m.Epoch {
 		panic(fmt.Sprintf("dist: processor %d: strip ack for unknown cascade %v (epoch %d)", p.id, m.Target, m.Epoch))
@@ -1156,7 +1156,7 @@ func (p *processor) onStripAck(n *simnet.Network, m msgStripAck) {
 // links from the leader's merge plan, confirming the instruction back
 // to its sender — the leader — with the completion proof the merge
 // phase counts.
-func (p *processor) onCreateHelper(n *simnet.Network, leader NodeID, m msgCreateHelper) {
+func (p *processor) onCreateHelper(n transport.Endpoint, leader NodeID, m msgCreateHelper) {
 	p.markTouched()
 	if _, exists := p.helpers[m.Slot.Other]; exists {
 		panic(fmt.Sprintf("dist: representative mechanism chose occupied slot %v", m.Slot))
@@ -1168,12 +1168,12 @@ func (p *processor) onCreateHelper(n *simnet.Network, leader NodeID, m msgCreate
 	if m.Parent.ok() {
 		p.logPhys(true, m.Parent.Owner)
 	}
-	p.sendPacedClass(n, leader, msgMergeAck{Epoch: m.Epoch}, wordsMergeAck, simnet.ClassSync)
+	p.sendPacedClass(n, leader, msgMergeAck{Epoch: m.Epoch}, wordsMergeAck, transport.ClassSync)
 }
 
 // onSetParent re-parents one of this processor's existing nodes,
 // acking the instruction like onCreateHelper.
-func (p *processor) onSetParent(n *simnet.Network, leader NodeID, m msgSetParent) {
+func (p *processor) onSetParent(n transport.Endpoint, leader NodeID, m msgSetParent) {
 	p.markTouched()
 	if m.Target.Kind == kindLeaf {
 		l := p.mustLeaf(m.Target)
@@ -1187,7 +1187,7 @@ func (p *processor) onSetParent(n *simnet.Network, leader NodeID, m msgSetParent
 	if m.Parent.ok() {
 		p.logPhys(true, m.Parent.Owner)
 	}
-	p.sendPacedClass(n, leader, msgMergeAck{Epoch: m.Epoch}, wordsMergeAck, simnet.ClassSync)
+	p.sendPacedClass(n, leader, msgMergeAck{Epoch: m.Epoch}, wordsMergeAck, transport.ClassSync)
 }
 
 // onMergeAck counts one applied merge instruction; the last ack proves
@@ -1195,7 +1195,7 @@ func (p *processor) onSetParent(n *simnet.Network, leader NodeID, m msgSetParent
 // registers the repair on the engine's done list — the in-band signal
 // that drives RepairDone events and leader-to-leader handoff of
 // serialized regions.
-func (p *processor) onMergeAck(n *simnet.Network, m msgMergeAck) {
+func (p *processor) onMergeAck(n transport.Endpoint, m msgMergeAck) {
 	rs := p.reps[m.Epoch]
 	if rs == nil || rs.phase != phaseMerge {
 		panic(fmt.Sprintf("dist: processor %d: merge ack for epoch %d outside the merge phase", p.id, m.Epoch))
@@ -1216,7 +1216,7 @@ func (p *processor) finishRepair(epoch NodeID) {
 // conflict to the batch coordinator when another epoch got there first.
 // It returns false when the claim walk should stop here (the record was
 // already claimed, by anyone).
-func (p *processor) claim(n *simnet.Network, a addr, e, coord NodeID) bool {
+func (p *processor) claim(n transport.Endpoint, a addr, e, coord NodeID) bool {
 	if p.claims == nil {
 		p.claims = make(map[addr]NodeID)
 		p.claimers.add(p)
@@ -1249,7 +1249,7 @@ func (p *processor) claimElectState() *claimElect {
 // in-band replacement for the driver announcing the smallest notified
 // ID. The tournament is the repair leader election's, run over the
 // union of every member's physical neighborhood.
-func (p *processor) onClaimElect(n *simnet.Network, m msgClaimElect) {
+func (p *processor) onClaimElect(n transport.Endpoint, m msgClaimElect) {
 	ce := p.claimElectState()
 	if ce.haveElect {
 		panic(fmt.Sprintf("dist: processor %d claim-elected twice", p.id))
@@ -1272,7 +1272,7 @@ func (p *processor) onClaimElect(n *simnet.Network, m msgClaimElect) {
 // onClaimChamp folds one subtree's champion into the running minimum,
 // passing the winner up — or announcing it down — once every expected
 // report is in.
-func (p *processor) onClaimChamp(n *simnet.Network, m msgClaimChamp) {
+func (p *processor) onClaimChamp(n transport.Endpoint, m msgClaimChamp) {
 	ce := p.claimElectState()
 	if m.ID < ce.champ {
 		ce.champ = m.ID
@@ -1295,15 +1295,15 @@ func (p *processor) onClaimChamp(n *simnet.Network, m msgClaimChamp) {
 // tree — or, at the root, concludes the tournament and announces the
 // coordinator downward. The root (and the trivial one-node tree) then
 // learns the winner like everyone else and drains its buffer.
-func (p *processor) claimChampDecided(n *simnet.Network, ce *claimElect) {
+func (p *processor) claimChampDecided(n transport.Endpoint, ce *claimElect) {
 	if ce.btParent != noNode {
-		n.SendClass(p.id, ce.btParent, msgClaimChamp{ID: ce.champ, Height: ce.height}, wordsClaimChamp, simnet.ClassElection)
+		n.SendClass(p.id, ce.btParent, msgClaimChamp{ID: ce.champ, Height: ce.height}, wordsClaimChamp, transport.ClassElection)
 		return
 	}
 	p.claimCoordKnown(n, ce, ce.champ)
 	for _, c := range [2]NodeID{ce.btLeft, ce.btRight} {
 		if c != noNode {
-			n.SendClass(p.id, c, msgClaimCoord{Coord: ce.coord}, wordsClaimCoord, simnet.ClassElection)
+			n.SendClass(p.id, c, msgClaimCoord{Coord: ce.coord}, wordsClaimCoord, transport.ClassElection)
 		}
 	}
 }
@@ -1311,12 +1311,12 @@ func (p *processor) claimChampDecided(n *simnet.Network, ce *claimElect) {
 // onClaimCoord learns the elected coordinator, forwards the
 // announcement down the tree, and drains the buffered claim
 // notifications.
-func (p *processor) onClaimCoord(n *simnet.Network, m msgClaimCoord) {
+func (p *processor) onClaimCoord(n transport.Endpoint, m msgClaimCoord) {
 	ce := p.claimElectState()
 	p.claimCoordKnown(n, ce, m.Coord)
 	for _, c := range [2]NodeID{ce.btLeft, ce.btRight} {
 		if c != noNode {
-			n.SendClass(p.id, c, msgClaimCoord{Coord: m.Coord}, wordsClaimCoord, simnet.ClassElection)
+			n.SendClass(p.id, c, msgClaimCoord{Coord: m.Coord}, wordsClaimCoord, transport.ClassElection)
 		}
 	}
 }
@@ -1324,7 +1324,7 @@ func (p *processor) onClaimCoord(n *simnet.Network, m msgClaimCoord) {
 // claimCoordKnown records the winner — seeding the coordinator's own
 // union-find with the batch size — and processes every buffered claim
 // notification.
-func (p *processor) claimCoordKnown(n *simnet.Network, ce *claimElect, coord NodeID) {
+func (p *processor) claimCoordKnown(n transport.Endpoint, ce *claimElect, coord NodeID) {
 	ce.coord = coord
 	if coord == p.id {
 		// Conflict reports can outrun the announcement on its way down
@@ -1345,7 +1345,7 @@ func (p *processor) claimCoordKnown(n *simnet.Network, ce *claimElect, coord Nod
 
 // onClaimDeath buffers the claim notification until the elected
 // coordinator is known, then mirrors onDeath read-only.
-func (p *processor) onClaimDeath(n *simnet.Network, m msgClaimDeath) {
+func (p *processor) onClaimDeath(n transport.Endpoint, m msgClaimDeath) {
 	ce := p.claimElectState()
 	if ce.coord == noNode {
 		ce.pend = append(ce.pend, m.V)
@@ -1362,7 +1362,7 @@ func (p *processor) onClaimDeath(n *simnet.Network, m msgClaimDeath) {
 // deletion — reports the member-member link as a direct conflict
 // instead, which is how adjacency-derived conflicts reach the
 // coordinator in-band.
-func (p *processor) processClaimDeath(n *simnet.Network, v, coord NodeID) {
+func (p *processor) processClaimDeath(n transport.Endpoint, v, coord NodeID) {
 	if p.dying {
 		n.Send(p.id, coord, msgConflict{A: p.id, B: v}, wordsConflict)
 		return
@@ -1394,7 +1394,7 @@ func (p *processor) processClaimDeath(n *simnet.Network, v, coord NodeID) {
 // dying processor (another batch member awaiting its own wave) exposes
 // a dependence between the two repairs, exactly as the execution-time
 // walk would have found its avatar missing.
-func (p *processor) onClaimWalk(n *simnet.Network, m msgClaimWalk) {
+func (p *processor) onClaimWalk(n transport.Endpoint, m msgClaimWalk) {
 	if p.dying {
 		n.Send(p.id, m.Coord, msgConflict{A: p.id, B: m.Epoch}, wordsConflict)
 		return

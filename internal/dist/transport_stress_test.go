@@ -1,0 +1,169 @@
+package dist_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/channet"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// TestOpenLoopRejectionAttribution is the regression test for the
+// arrival-order bug the transport differential exposed: a delete of an
+// already-dead node is rejected at its submission admission pass and
+// its event is emitted immediately — jumping ahead of an
+// earlier-submitted repair of the same node that is still in flight.
+// Any oracle that attributes events by per-node arrival order (rather
+// than the engine's Event.Seq submission ticket) mislabels the two and
+// reports a false divergence. The schedule here is the minimal
+// trigger: delete a leaf with no ticks in between, then delete it
+// again while the first repair is guaranteed in flight.
+func TestOpenLoopRejectionAttribution(t *testing.T) {
+	gen := func(*rand.Rand) *graph.Graph { return graph.Star(10) }
+	leaf := graph.Star(10).Nodes()[3]
+	sch := sched.Schedule{Ops: []sched.Op{
+		{Kind: sched.OpDelete, V: leaf, Gap: 0},
+		{Kind: sched.OpDelete, V: leaf, Gap: 0},
+	}}
+	diffTransports(t, gen, 0, sch, sched.ModeOpenLoop)
+}
+
+// TestInsertRejectionNamesSerializedNeighbor is the regression test
+// for the second bug the fuzzer found (corpus entry
+// testdata/fuzz/FuzzTransportSchedule/29ec281bcd00289c): an insert
+// whose neighbors include both an already-dead node and a node whose
+// delete is queued-but-not-launched was rejected naming whichever
+// neighbor happened to be dead at admission time — a transport-pacing
+// artifact. On simnet the queued delete was still region-blocked so
+// the other neighbor was named; on channet the tick had completed it.
+// The engine now treats targets of earlier-queued deletes as dead at
+// validation (ids are never reused, so they are doomed), making the
+// verdict and the named neighbor a pure function of serialized state.
+func TestInsertRejectionNamesSerializedNeighbor(t *testing.T) {
+	// Grid(4,4): deleteRegion(0)={0,1,4} overlaps deleteRegion(2)=
+	// {2,1,3,6} at node 1, so the second delete queues behind the
+	// first on simnet while channet's tick completes both.
+	gen := func(*rand.Rand) *graph.Graph { return graph.Grid(4, 4) }
+	sch := sched.Schedule{Ops: []sched.Op{
+		{Kind: sched.OpDelete, V: 0, Gap: 1},
+		{Kind: sched.OpDelete, V: 2, Gap: 1},
+		{Kind: sched.OpInsert, V: 10_000, Nbrs: []sched.NodeID{2, 9, 0}, Gap: 1},
+	}}
+	diffTransports(t, gen, 0, sch, sched.ModeOpenLoop)
+
+	// The named neighbor must be the first doomed one in Nbrs order —
+	// the answer a fully serialized (blocking) execution gives.
+	ref, err := sched.Run(graph.Grid(4, 4), sched.Config{Backend: sched.Simnet, Mode: sched.ModeOpenLoop}, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := ref.Outcomes[2]; o.OK || o.Err != "dist: insert 10000: neighbor 2 is not a live node" {
+		t.Fatalf("insert outcome %+v", o)
+	}
+}
+
+// TestEventSeqStamping pins the engine contract the replay oracle
+// depends on: the i-th successfully submitted op carries Seq i
+// (counted from 1) on its completion event, regardless of the order
+// events surface in.
+func TestEventSeqStamping(t *testing.T) {
+	g0 := graph.Star(10)
+	leaf := g0.Nodes()[3]
+	s := dist.NewSimulationOn(g0, channet.New())
+	if err := s.Submit(dist.Op{Kind: dist.OpDelete, V: leaf}); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	// Second delete of the same node: admitted (node is tentatively
+	// dead, not structurally absent) then rejected with Seq 2.
+	if err := s.Submit(dist.Op{Kind: dist.OpDelete, V: leaf}); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	evs := s.Poll()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(evs), evs)
+	}
+	bySeq := map[int]dist.Event{}
+	for _, ev := range evs {
+		if _, dup := bySeq[ev.Seq]; dup {
+			t.Fatalf("duplicate Seq %d: %+v", ev.Seq, evs)
+		}
+		bySeq[ev.Seq] = ev
+	}
+	if ev := bySeq[1]; ev.Kind != dist.EventRepairDone || ev.V != leaf {
+		t.Fatalf("Seq 1: want RepairDone for %d, got %+v", leaf, ev)
+	}
+	if ev := bySeq[2]; ev.Kind != dist.EventOpRejected || ev.V != leaf {
+		t.Fatalf("Seq 2: want OpRejected for %d, got %+v", leaf, ev)
+	}
+}
+
+// TestChannelChurnStress hammers the concurrent channel backend: a
+// large random topology, hundreds of pipelined ops with random submit
+// gaps, the Go scheduler free to interleave the per-processor
+// goroutines however it likes — and the healed graph must still match
+// simnet bit for bit. Skipped under -short; the CI race job runs it
+// un-short so every run is also a race-detector pass over channet's
+// pulse machinery.
+func TestChannelChurnStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test: skipped with -short")
+	}
+	for round := int64(0); round < 4; round++ {
+		round := round
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			gen := func(rng *rand.Rand) *graph.Graph {
+				return graph.PreferentialAttachment(120, 3, rng)
+			}
+			rng := rand.New(rand.NewSource(900 + round))
+			g0 := gen(rand.New(rand.NewSource(900 + round)))
+			sch := genValidSchedule(g0, 80, 9, rng)
+			diffTransports(t, gen, 900+round, sch, sched.ModeOpenLoop)
+		})
+	}
+}
+
+// FuzzTransportSchedule explores random op schedules and random
+// channel-scheduler interleavings. Every byte string decodes to a
+// valid schedule (sched.Decode is total); the seed picks one exact
+// deterministic interleaving of channet's scheduler, so any failure
+// here is reproducible bit-for-bit from the corpus entry alone. The
+// differential verdict comes from replaying the same schedule on
+// simnet: the two must heal identically or one of them is wrong.
+func FuzzTransportSchedule(f *testing.F) {
+	// The duplicate-delete arrival-order scenario that broke the first
+	// oracle (see TestOpenLoopRejectionAttribution): two deletes of the
+	// same target, zero gap.
+	f.Add([]byte{0, 5, 0, 5}, int64(1))
+	// Insert/delete/batch mix with varying gaps.
+	f.Add([]byte{2, 7, 0, 3, 3, 9, 64, 2, 1, 11}, int64(2))
+	f.Add([]byte{0, 0, 2, 255, 96, 4, 3, 3, 0, 1, 2, 8}, int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		if len(data) > 64 {
+			data = data[:64] // 32 ops is plenty; keep iterations fast
+		}
+		g0 := graph.Grid(4, 4)
+		sch := sched.Decode(data, g0)
+		if len(sch.Ops) == 0 {
+			t.Skip()
+		}
+		ref, refErr := sched.Run(graph.Grid(4, 4), sched.Config{Backend: sched.Simnet, Mode: sched.ModeOpenLoop}, sch)
+		got, gotErr := sched.Run(graph.Grid(4, 4), sched.Config{Backend: sched.ChannelSeeded, Seed: seed, Mode: sched.ModeOpenLoop}, sch)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("error asymmetry on %v:\nsimnet: %v\nchan-seeded(%d): %v", sch.Ops, refErr, seed, gotErr)
+		}
+		if refErr != nil {
+			// Both backends rejected the schedule the same way (e.g. a
+			// guarded engine state); nothing differential to assert.
+			t.Skip()
+		}
+		if err := sched.Diff(ref, got); err != nil {
+			t.Fatalf("divergence on %v (seed %d): %v", sch.Ops, seed, err)
+		}
+	})
+}

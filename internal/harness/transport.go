@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/channet"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/simnet"
+)
+
+// TransportNames lists the message substrates NewSimulationFor
+// accepts, in flag-help order.
+var TransportNames = []string{"sim", "chan"}
+
+// NewSimulationFor builds a dist.Simulation over g0 on the named
+// message substrate: "sim" is the deterministic round-synchronous
+// simulator (the measurement mode, with the full congestion model),
+// "chan" runs processors as goroutines over Go channels with
+// per-processor logical clocks and no bandwidth model. The experiment
+// tables in this package stay on "sim" — rounds and congestion are
+// only defined there — but soak campaigns and ad-hoc drivers pick
+// either through this one seam.
+func NewSimulationFor(g0 *graph.Graph, transport string) (*dist.Simulation, error) {
+	switch transport {
+	case "sim", "simnet":
+		return dist.NewSimulationOn(g0, simnet.New()), nil
+	case "chan", "channel", "channet":
+		return dist.NewSimulationOn(g0, channet.New()), nil
+	}
+	return nil, fmt.Errorf("harness: unknown transport %q (want sim or chan)", transport)
+}

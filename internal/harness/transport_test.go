@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestNewSimulationFor: the one seam soak and ad-hoc drivers use to
+// pick a substrate — both must heal a small deletion identically.
+func TestNewSimulationFor(t *testing.T) {
+	var healed []*graph.Graph
+	for _, name := range TransportNames {
+		s, err := NewSimulationFor(graph.Star(8), name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Delete(3); err != nil {
+			t.Fatalf("%s: delete: %v", name, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("%s: verify: %v", name, err)
+		}
+		healed = append(healed, s.Physical())
+	}
+	if !healed[0].Equal(healed[1]) {
+		t.Fatalf("transports healed differently:\nsim:  %v\nchan: %v", healed[0], healed[1])
+	}
+	if _, err := NewSimulationFor(graph.Star(4), "carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport must error")
+	}
+}

@@ -1,0 +1,431 @@
+// Package sched is the recorded-schedule replay layer for the
+// transport differential oracle.
+//
+// A Schedule is a transport-independent record of one churn run:
+// inserts, deletes, blocking batches, and (in open-loop mode) the tick
+// gaps between submissions. Run replays a schedule on a chosen
+// backend — simnet's deterministic rounds, channet's concurrent
+// goroutine scheduler, or channet's seeded deterministic scheduler —
+// and returns a canonical Result: the healed physical network, G′,
+// and the per-operation outcomes aligned to submission order.
+//
+// Because the engine serializes colliding operations in submission
+// order and the repair protocol is delivery-order-invariant (min-ID
+// leader election, counting-based phase gating, canonical descriptor
+// re-sorting at the leader), two backends given the same schedule must
+// produce bit-identical Results: the same healed graph and, per
+// operation, the same outcome in the same serialized (= submission)
+// position. Diff asserts exactly that. What legitimately differs
+// between backends — raw event *arrival* interleaving across disjoint
+// regions, round counts, congestion stats — is deliberately excluded
+// from Result.
+//
+// Schedules also serialize to bytes (Decode) so the fuzzer can explore
+// random interleavings on the channel backend and any crashing
+// schedule replays bit-for-bit — first on channet via its seed, then
+// on simnet for the differential verdict.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/channet"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// NodeID identifies a processor, shared with package graph.
+type NodeID = graph.NodeID
+
+// Backend selects a transport implementation.
+type Backend int
+
+const (
+	// Simnet is the deterministic round-synchronous simulator — the
+	// oracle side of every differential pair.
+	Simnet Backend = iota
+	// Channel is channet in concurrent mode: one goroutine per
+	// processor, the Go scheduler as the adversary.
+	Channel
+	// ChannelSeeded is channet's single-threaded deterministic
+	// scheduler; Config.Seed picks the interleaving.
+	ChannelSeeded
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Simnet:
+		return "simnet"
+	case Channel:
+		return "chan"
+	case ChannelSeeded:
+		return "chan-seeded"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// Mode selects how the schedule drives the simulation.
+type Mode int
+
+const (
+	// ModeBlocking applies every op through the blocking API: Insert,
+	// Delete, DeleteBatch — each runs to quiescence before the next.
+	ModeBlocking Mode = iota
+	// ModeOpenLoop pipelines inserts and deletes through Submit,
+	// advancing Gap ticks after each; batches still use the blocking
+	// DeleteBatch (the engine requires idle for batches), draining
+	// first.
+	ModeOpenLoop
+)
+
+func (m Mode) String() string {
+	if m == ModeOpenLoop {
+		return "open-loop"
+	}
+	return "blocking"
+}
+
+// Config selects the backend and drive mode for one replay.
+type Config struct {
+	Backend Backend
+	Seed    int64 // ChannelSeeded only
+	Mode    Mode
+}
+
+// OpKind distinguishes schedule operations.
+type OpKind uint8
+
+const (
+	// OpInsert adds node V attached to Nbrs.
+	OpInsert OpKind = iota + 1
+	// OpDelete removes node V.
+	OpDelete
+	// OpBatch removes Batch as one blocking DeleteBatch.
+	OpBatch
+)
+
+// Op is one recorded operation.
+type Op struct {
+	Kind  OpKind
+	V     NodeID
+	Nbrs  []NodeID // OpInsert
+	Batch []NodeID // OpBatch
+	// Gap is how many Ticks to run after submitting this op in
+	// open-loop mode (ignored when blocking).
+	Gap int
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpInsert:
+		return fmt.Sprintf("insert %d %v gap %d", o.V, o.Nbrs, o.Gap)
+	case OpDelete:
+		return fmt.Sprintf("delete %d gap %d", o.V, o.Gap)
+	case OpBatch:
+		return fmt.Sprintf("batch %v", o.Batch)
+	}
+	return "op?"
+}
+
+// Schedule is a recorded churn run, replayable on any backend.
+type Schedule struct {
+	Ops []Op
+}
+
+// Outcome is the canonical per-operation verdict, aligned to
+// submission order. Only backend-invariant fields belong here: what
+// the operation did to the graph, never how many rounds or messages
+// it took.
+type Outcome struct {
+	Kind OpKind
+	V    NodeID
+	// OK is false if the operation was rejected at its serialization
+	// point; Err then carries the error text (identical across
+	// backends — rejection is a serialized-state decision).
+	OK  bool
+	Err string
+	// DegreePrime and NsetSize characterize a completed repair
+	// (OpDelete only): the deleted node's G′ degree and the notified
+	// set's size — both functions of serialized state, not of the
+	// scheduler.
+	DegreePrime int
+	NsetSize    int
+}
+
+// Result is the canonical outcome of one replay.
+type Result struct {
+	Backend  Backend
+	Mode     Mode
+	Phys     *graph.Graph
+	GPrime   *graph.Graph
+	Outcomes []Outcome
+}
+
+// NewTransport builds the configured backend, empty.
+func NewTransport(c Config) transport.Transport {
+	switch c.Backend {
+	case Simnet:
+		return simnet.New()
+	case Channel:
+		return channet.New()
+	case ChannelSeeded:
+		return channet.NewSeeded(c.Seed)
+	}
+	panic(fmt.Sprintf("sched: unknown backend %d", int(c.Backend)))
+}
+
+// Run replays one schedule over g0 on the configured backend and
+// returns the canonical Result. The simulation is verified (full
+// invariant check) before returning; a verification failure is an
+// error, as is a repair that fails to quiesce.
+func Run(g0 *graph.Graph, c Config, sch Schedule) (*Result, error) {
+	s := dist.NewSimulationOn(g0, NewTransport(c))
+	var out []Outcome
+	var err error
+	if c.Mode == ModeOpenLoop {
+		out, err = runOpenLoop(s, sch)
+	} else {
+		out, err = runBlocking(s, sch)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sched: %s/%s: %w", c.Backend, c.Mode, err)
+	}
+	if verr := s.Verify(); verr != nil {
+		return nil, fmt.Errorf("sched: %s/%s: verify: %w", c.Backend, c.Mode, verr)
+	}
+	return &Result{
+		Backend:  c.Backend,
+		Mode:     c.Mode,
+		Phys:     s.Physical(),
+		GPrime:   s.GPrime(),
+		Outcomes: out,
+	}, nil
+}
+
+// runBlocking applies each op through the blocking API.
+func runBlocking(s *dist.Simulation, sch Schedule) ([]Outcome, error) {
+	var out []Outcome
+	for _, op := range sch.Ops {
+		o := Outcome{Kind: op.Kind, V: op.V, OK: true}
+		switch op.Kind {
+		case OpInsert:
+			if err := s.Insert(op.V, op.Nbrs); err != nil {
+				o.OK, o.Err = false, err.Error()
+			}
+		case OpDelete:
+			if err := s.Delete(op.V); err != nil {
+				o.OK, o.Err = false, err.Error()
+			} else {
+				st := s.LastRecovery()
+				o.DegreePrime, o.NsetSize = st.DegreePrime, st.NsetSize
+			}
+		case OpBatch:
+			if err := s.DeleteBatch(op.Batch); err != nil {
+				o.OK, o.Err = false, err.Error()
+			}
+		default:
+			return nil, fmt.Errorf("blocking: unknown op kind %d", op.Kind)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// runOpenLoop pipelines inserts and deletes through the engine,
+// ticking each op's Gap before the next submission, then drains and
+// folds the engine's typed events into submission-aligned outcomes.
+func runOpenLoop(s *dist.Simulation, sch Schedule) ([]Outcome, error) {
+	// posOf maps the engine's submission sequence number (Event.Seq)
+	// to the schedule position. Raw event arrival order is
+	// scheduler-dependent even for the same serialized behavior — a
+	// dead-target delete is rejected at submission, jumping ahead of
+	// an earlier repair still in flight — so alignment must come from
+	// the engine's own ticket, never from arrival heuristics.
+	posOf := make(map[int]int)
+	filled := make(map[int]bool)
+	out := make([]Outcome, 0, len(sch.Ops))
+	pos := 0
+	seq := 0 // engine tickets count submitted ops from 1, in order
+
+	fold := func(evs []dist.Event) error {
+		for _, ev := range evs {
+			o := Outcome{OK: true}
+			switch ev.Kind {
+			case dist.EventRepairDone:
+				o.Kind, o.V = OpDelete, ev.V
+				o.DegreePrime, o.NsetSize = ev.Repair.DegreePrime, ev.Repair.NsetSize
+			case dist.EventInsertApplied:
+				o.Kind, o.V = OpInsert, ev.V
+			case dist.EventOpRejected:
+				o.Kind, o.V = opKindOf(ev.Op.Kind), ev.V
+				o.OK, o.Err = false, ev.Err.Error()
+			case dist.EventBatchDone:
+				// Batches run blocking below and record their outcome
+				// there; the engine's event is redundant for alignment.
+				continue
+			default:
+				return fmt.Errorf("open-loop: unexpected event kind %d", ev.Kind)
+			}
+			p, ok := posOf[ev.Seq]
+			if !ok {
+				return fmt.Errorf("open-loop: event %d for node %d with unknown seq %d", ev.Kind, ev.V, ev.Seq)
+			}
+			if filled[p] {
+				return fmt.Errorf("open-loop: two events for schedule op %d (node %d)", p, ev.V)
+			}
+			filled[p] = true
+			out[p] = o
+		}
+		return nil
+	}
+
+	for _, op := range sch.Ops {
+		switch op.Kind {
+		case OpInsert, OpDelete:
+			dop := dist.Op{Kind: dist.OpDelete, V: op.V}
+			if op.Kind == OpInsert {
+				dop = dist.Op{Kind: dist.OpInsert, V: op.V, Nbrs: op.Nbrs}
+			}
+			out = append(out, Outcome{Kind: op.Kind, V: op.V})
+			if err := s.Submit(dop); err != nil {
+				// Structural rejection is synchronous and backend-free.
+				out[pos] = Outcome{Kind: op.Kind, V: op.V, OK: false, Err: err.Error()}
+				filled[pos] = true
+			} else {
+				seq++
+				posOf[seq] = pos
+			}
+			pos++
+			for i := 0; i < op.Gap; i++ {
+				s.Tick()
+			}
+			if err := fold(s.Poll()); err != nil {
+				return nil, err
+			}
+		case OpBatch:
+			// Batches require an idle engine: drain the pipeline first.
+			if err := s.Drain(); err != nil {
+				return nil, fmt.Errorf("open-loop: drain before batch: %w", err)
+			}
+			if err := fold(s.Poll()); err != nil {
+				return nil, err
+			}
+			o := Outcome{Kind: OpBatch, V: op.V, OK: true}
+			if err := s.DeleteBatch(op.Batch); err != nil {
+				o.OK, o.Err = false, err.Error()
+			}
+			out = append(out, o)
+			pos++
+			if err := fold(s.Poll()); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("open-loop: unknown op kind %d", op.Kind)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		return nil, fmt.Errorf("open-loop: final drain: %w", err)
+	}
+	if err := fold(s.Poll()); err != nil {
+		return nil, err
+	}
+	for eseq, p := range posOf {
+		if !filled[p] {
+			return nil, fmt.Errorf("open-loop: schedule op %d (engine seq %d) never completed", p, eseq)
+		}
+	}
+	return out, nil
+}
+
+func opKindOf(k dist.OpKind) OpKind {
+	if k == dist.OpInsert {
+		return OpInsert
+	}
+	return OpDelete
+}
+
+// Diff compares two Results for bit-identical healing. It returns nil
+// when the healed physical networks, the virtual graphs G′, and every
+// submission-aligned outcome agree; otherwise it describes the first
+// divergence.
+func Diff(a, b *Result) error {
+	if !a.Phys.Equal(b.Phys) {
+		return fmt.Errorf("healed physical graphs diverge:\n%s: %v\n%s: %v",
+			a.Backend, a.Phys, b.Backend, b.Phys)
+	}
+	if !a.GPrime.Equal(b.GPrime) {
+		return fmt.Errorf("G' diverges between %s and %s", a.Backend, b.Backend)
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		return fmt.Errorf("outcome counts diverge: %s has %d, %s has %d",
+			a.Backend, len(a.Outcomes), b.Backend, len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			return fmt.Errorf("outcome %d diverges:\n%s: %+v\n%s: %+v",
+				i, a.Backend, a.Outcomes[i], b.Backend, b.Outcomes[i])
+		}
+	}
+	return nil
+}
+
+// Decode derives a schedule from fuzzer bytes against an initial
+// topology. The mapping is total — every byte string is a valid
+// schedule — and deterministic, so a corpus entry replays the same
+// ops forever. Op targets are drawn from a closed ID universe (the
+// initial nodes plus the IDs the schedule itself inserts), so some
+// decoded ops are invalid at their serialization point; that is the
+// point — both backends must reject them identically.
+func Decode(data []byte, g0 *graph.Graph) Schedule {
+	ids := append([]NodeID(nil), g0.Nodes()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	next := NodeID(10_000)
+	var sch Schedule
+	pick := func(b byte) NodeID {
+		if len(ids) == 0 {
+			return 0
+		}
+		return ids[int(b)%len(ids)]
+	}
+	for i := 0; i+1 < len(data); i += 2 {
+		sel, arg := data[i], data[i+1]
+		gap := int(sel>>5) % 4 // 0..3 ticks between submissions
+		switch sel % 4 {
+		case 0, 1: // deletes twice as likely: repairs are the point
+			sch.Ops = append(sch.Ops, Op{Kind: OpDelete, V: pick(arg), Gap: gap})
+		case 2:
+			v := next
+			next++
+			k := 1 + int(arg)%3
+			nbrs := make([]NodeID, 0, k)
+			seen := make(map[NodeID]struct{}, k)
+			for j := 0; j < k && len(ids) > 0; j++ {
+				x := pick(arg + byte(j)*7)
+				if _, dup := seen[x]; dup {
+					continue
+				}
+				seen[x] = struct{}{}
+				nbrs = append(nbrs, x)
+			}
+			sch.Ops = append(sch.Ops, Op{Kind: OpInsert, V: v, Nbrs: nbrs, Gap: gap})
+			ids = append(ids, v)
+		case 3:
+			k := 2 + int(arg)%3
+			batch := make([]NodeID, 0, k)
+			seen := make(map[NodeID]struct{}, k)
+			for j := 0; j < k && len(ids) > 0; j++ {
+				x := pick(arg + byte(j)*13)
+				if _, dup := seen[x]; dup {
+					continue
+				}
+				seen[x] = struct{}{}
+				batch = append(batch, x)
+			}
+			sch.Ops = append(sch.Ops, Op{Kind: OpBatch, Batch: batch})
+		}
+	}
+	return sch
+}

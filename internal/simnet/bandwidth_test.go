@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"reflect"
+	"repro/internal/transport"
 	"testing"
 )
 
@@ -16,7 +17,7 @@ type delivery struct {
 }
 
 func recorder(log *[]delivery) Handler {
-	return func(n *Network, m Message) {
+	return func(n transport.Endpoint, m Message) {
 		*log = append(*log, delivery{Round: n.Round(), From: m.From, To: m.To, Payload: m.Payload})
 	}
 }
@@ -140,7 +141,7 @@ func TestTimersNeverConsumeBandwidth(t *testing.T) {
 
 func TestPendingCountsBacklog(t *testing.T) {
 	n := New()
-	n.AddNode(1, func(*Network, Message) {})
+	n.AddNode(1, func(transport.Endpoint, Message) {})
 	n.SetBandwidth(1)
 	n.Send(2, 1, "a", 1)
 	n.Send(2, 1, "b", 3)
@@ -210,13 +211,13 @@ func TestBandwidthDeterministicOrder(t *testing.T) {
 		var logs [5][]delivery // one slot per receiver: race-free in parallel mode
 		for _, id := range []NodeID{1, 2, 3} {
 			id := id
-			n.AddNode(id, func(net *Network, m Message) {
+			n.AddNode(id, func(net transport.Endpoint, m Message) {
 				logs[id] = append(logs[id], delivery{Round: net.Round(), From: m.From, To: m.To, Payload: m.Payload})
 			})
 		}
 		// Node 4 echoes one hop onward so spill-over interleaves with
 		// fresh sends.
-		n.AddNode(4, func(net *Network, m Message) {
+		n.AddNode(4, func(net transport.Endpoint, m Message) {
 			logs[4] = append(logs[4], delivery{Round: net.Round(), From: m.From, To: m.To, Payload: m.Payload})
 			net.Send(4, 1, "echo", 2)
 		})

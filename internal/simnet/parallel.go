@@ -44,7 +44,7 @@ func (n *Network) ParallelStep() int {
 		if a.From != b.From {
 			return a.From < b.From
 		}
-		return a.seq < b.seq
+		return a.Seq < b.Seq
 	})
 	// The bandwidth filter runs on the sorted batch before fan-out, so
 	// both delivery modes defer exactly the same messages.
@@ -74,7 +74,7 @@ func (n *Network) ParallelStep() int {
 			continue
 		}
 		for _, m := range g.msgs {
-			if m.timer {
+			if m.Timer {
 				continue
 			}
 			n.bookDelivery(m, &classes)
@@ -130,17 +130,17 @@ func (n *Network) ParallelStep() int {
 		qi, fi := 0, 0
 		for qi < len(shadow.queue) || fi < len(shadow.future) {
 			takeMsg := fi >= len(shadow.future) ||
-				(qi < len(shadow.queue) && shadow.queue[qi].seq < shadow.future[fi].msg.seq)
+				(qi < len(shadow.queue) && shadow.queue[qi].Seq < shadow.future[fi].msg.Seq)
 			n.seq++
 			if takeMsg {
 				m := shadow.queue[qi]
 				qi++
-				m.seq = n.seq
+				m.Seq = n.seq
 				n.queue = append(n.queue, m)
 			} else {
 				t := shadow.future[fi]
 				fi++
-				t.msg.seq = n.seq
+				t.msg.Seq = n.seq
 				n.future = append(n.future, t)
 			}
 		}

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"repro/internal/transport"
 	"sync/atomic"
 	"testing"
 )
@@ -12,7 +13,7 @@ func buildGossip(k int) (*Network, *atomic.Int64) {
 	var delivered atomic.Int64
 	for i := 0; i < k; i++ {
 		i := NodeID(i)
-		n.AddNode(i, func(net *Network, m Message) {
+		n.AddNode(i, func(net transport.Endpoint, m Message) {
 			delivered.Add(1)
 			ttl := m.Payload.(int)
 			if ttl <= 0 {
@@ -68,7 +69,7 @@ func TestParallelDeterministic(t *testing.T) {
 
 func TestParallelDropsDeadReceivers(t *testing.T) {
 	n := New()
-	n.AddNode(1, func(net *Network, m Message) {})
+	n.AddNode(1, func(net transport.Endpoint, m Message) {})
 	n.Send(0, 1, "x", 1)
 	n.Send(0, 2, "y", 1) // 2 does not exist
 	n.ParallelStep()
@@ -96,7 +97,7 @@ func TestParallelPerReceiverSerialization(t *testing.T) {
 	counts := make([]int, k) // intentionally not atomic
 	for i := 0; i < k; i++ {
 		i := i
-		n.AddNode(NodeID(i), func(net *Network, m Message) {
+		n.AddNode(NodeID(i), func(net transport.Endpoint, m Message) {
 			counts[i]++ // safe iff per-receiver messages are serialized
 		})
 	}

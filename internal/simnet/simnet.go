@@ -35,88 +35,45 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/transport"
 )
 
 // NodeID identifies a processor, shared with package graph.
 type NodeID = graph.NodeID
 
-// Class tags a message with its role in the protocol, so the cost of
-// coordination — leader election and termination detection — is
-// accounted separately from the repair payload it synchronizes. All
-// classes are real network traffic and count fully toward Messages,
-// TotalWords and the bandwidth model; the class only drives the
-// ElectionRounds/SyncRounds breakdown in Stats.
-type Class uint8
+// The wire-level vocabulary lives in package transport so that every
+// backend (this simulator, channet's goroutine scheduler) shares one
+// set of types; the aliases keep simnet's historical API intact.
+type (
+	// Class tags a message with its accounting role; see transport.Class.
+	Class = transport.Class
+	// Message is a unit of communication between two processors.
+	Message = transport.Message
+	// Handler is the per-processor message handler. It may call Send,
+	// SendTimer, and the accessors on the network, but must not call
+	// Step.
+	Handler = transport.Handler
+	// Stats aggregates traffic since the last ResetStats.
+	Stats = transport.Stats
+)
 
 const (
 	// ClassData is ordinary protocol traffic (the default).
-	ClassData Class = iota
+	ClassData = transport.ClassData
 	// ClassElection marks leader-election tournament messages.
-	ClassElection
+	ClassElection = transport.ClassElection
 	// ClassSync marks termination-detection traffic: walk acks,
 	// convergecast dones, and phase-completion reports.
-	ClassSync
+	ClassSync = transport.ClassSync
 )
 
-// Message is a unit of communication between two processors.
-type Message struct {
-	From, To NodeID
-	// Payload is the protocol-level content.
-	Payload any
-	// Words is the message size in words of O(log n) bits, the unit
-	// Lemma 4 counts. Timers have Words == 0 and are excluded from the
-	// traffic statistics.
-	Words int
-	// Class is the accounting category (see Class).
-	Class Class
-	// timer marks a local wake-up rather than a network message.
-	timer bool
-	seq   int
-}
-
-// Handler is the per-processor message handler. It may call Send,
-// SendTimer, and the accessors on the network, but must not call Step.
-type Handler func(n *Network, msg Message)
-
-// Stats aggregates traffic since the last ResetStats.
-type Stats struct {
-	// Messages is the number of network messages delivered.
-	Messages int
-	// Rounds is the number of rounds in which at least one message or
-	// timer was delivered.
-	Rounds int
-	// TotalWords sums the sizes of all delivered network messages.
-	TotalWords int
-	// MaxWords is the largest single message size seen.
-	MaxWords int
-	// MaxSentByNode is the largest number of messages sent by a single
-	// processor (the paper's "communication per node" metric counts
-	// bits; multiply by MaxWords for a bound).
-	MaxSentByNode int
-	// QueuedWords accumulates, per round, the words deferred by the
-	// per-edge bandwidth limit; a message stuck behind a full edge for
-	// k rounds contributes k times its size, so the counter weights
-	// backlog by how long it lingered.
-	QueuedWords int
-	// MaxEdgeBacklog is the largest number of words left queued on a
-	// single edge at any round boundary — the hotspot depth.
-	MaxEdgeBacklog int
-	// CongestionRounds counts rounds in which at least one message was
-	// deferred for lack of bandwidth.
-	CongestionRounds int
-	// ElectionMessages and SyncMessages split the Messages total by
-	// class: leader-election tournament traffic and termination-
-	// detection traffic (walk acks, convergecast dones). Both are
-	// included in Messages/TotalWords — coordination is not free.
-	ElectionMessages int
-	SyncMessages     int
-	// ElectionRounds and SyncRounds count rounds in which at least one
-	// message of the respective class was delivered: the rounds the
-	// protocol spends (at least partly) electing leaders and proving
-	// phase termination. A round carrying both classes counts in both.
-	ElectionRounds int
-	SyncRounds     int
-}
+// Network implements transport.Transport (and the optional
+// ParallelStepper extension) as the deterministic round-synchronous
+// measurement backend.
+var (
+	_ transport.Transport       = (*Network)(nil)
+	_ transport.ParallelStepper = (*Network)(nil)
+)
 
 // futureMsg is a timer waiting for its due round.
 type futureMsg struct {
@@ -272,7 +229,7 @@ func (n *Network) applyBandwidth(batch []Message) []Message {
 	var backlog map[edgeKey]int
 	out := batch[:0]
 	for _, m := range batch {
-		if !m.timer {
+		if !m.Timer {
 			e := edgeKey{from: m.From, to: m.To}
 			if cap := n.edgeBudget(e); cap > 0 {
 				// Once an edge has deferred a message, everything later
@@ -318,7 +275,7 @@ func (n *Network) SendClass(from, to NodeID, payload any, words int, class Class
 	}
 	n.seq++
 	n.queue = append(n.queue, Message{
-		From: from, To: to, Payload: payload, Words: words, Class: class, seq: n.seq,
+		From: from, To: to, Payload: payload, Words: words, Class: class, Seq: n.seq,
 	})
 }
 
@@ -329,7 +286,7 @@ func (n *Network) SendTimer(node NodeID, payload any, delay int) {
 		panic(fmt.Sprintf("simnet: timer with delay %d", delay))
 	}
 	n.seq++
-	m := Message{From: node, To: node, Payload: payload, timer: true, seq: n.seq}
+	m := Message{From: node, To: node, Payload: payload, Timer: true, Seq: n.seq}
 	n.future = append(n.future, futureMsg{due: n.round + delay, msg: m})
 }
 
@@ -362,7 +319,7 @@ func (n *Network) Step() int {
 		if a.From != b.From {
 			return a.From < b.From
 		}
-		return a.seq < b.seq
+		return a.Seq < b.Seq
 	})
 	batch = n.applyBandwidth(batch)
 	delivered := 0
@@ -374,7 +331,7 @@ func (n *Network) Step() int {
 			n.dropped++
 			continue
 		}
-		if !m.timer {
+		if !m.Timer {
 			n.bookDelivery(m, &classes)
 		}
 		delivered++

@@ -34,8 +34,11 @@ package protocol
 import (
 	"fmt"
 
+	"repro/internal/channet"
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // NodeID identifies a processor.
@@ -89,11 +92,59 @@ type RepairCost struct {
 // its own per-edge records and all repair coordination happens through
 // simulated messages. Not safe for concurrent use.
 type Network struct {
-	s *dist.Simulation
+	s    *dist.Simulation
+	kind TransportKind
 }
 
-// New builds the distributed network from an initial edge list.
+// TransportKind selects the message-passing substrate the processors
+// run on. Both substrates execute the identical per-processor protocol
+// and heal bit-identically (the transport-equivalence differential
+// tests assert this); they differ in how delivery is scheduled and in
+// which measurement knobs exist.
+type TransportKind int
+
+const (
+	// TransportSim is the deterministic round-synchronous simulator:
+	// global rounds, sorted delivery, and the full congestion model
+	// (SetBandwidth and friends). The measurement mode.
+	TransportSim TransportKind = iota
+	// TransportChan runs processors as goroutines over Go channels
+	// with per-processor logical clocks — no global round barrier, the
+	// Go scheduler picks the interleaving. It has no bandwidth model:
+	// SetBandwidth with a positive cap panics, and congestion counters
+	// read zero. Use it to check liveness and healing under a real
+	// scheduler; use TransportSim for cost tables.
+	TransportChan
+)
+
+func (k TransportKind) String() string {
+	if k == TransportChan {
+		return "chan"
+	}
+	return "sim"
+}
+
+// ParseTransport maps the command-line spellings ("sim", "chan") to a
+// TransportKind.
+func ParseTransport(s string) (TransportKind, error) {
+	switch s {
+	case "sim", "simnet":
+		return TransportSim, nil
+	case "chan", "channel", "channet":
+		return TransportChan, nil
+	}
+	return 0, fmt.Errorf("protocol: unknown transport %q (want sim or chan)", s)
+}
+
+// New builds the distributed network from an initial edge list on the
+// default deterministic round-synchronous transport.
 func New(edges []Edge) (*Network, error) {
+	return NewWithTransport(edges, TransportSim)
+}
+
+// NewWithTransport builds the distributed network on the chosen
+// message-passing substrate.
+func NewWithTransport(edges []Edge, kind TransportKind) (*Network, error) {
 	g0 := graph.New()
 	for _, e := range edges {
 		if e.U == e.V {
@@ -101,8 +152,20 @@ func New(edges []Edge) (*Network, error) {
 		}
 		g0.AddEdge(graph.NodeID(e.U), graph.NodeID(e.V))
 	}
-	return &Network{s: dist.NewSimulation(g0)}, nil
+	var net transport.Transport
+	switch kind {
+	case TransportSim:
+		net = simnet.New()
+	case TransportChan:
+		net = channet.New()
+	default:
+		return nil, fmt.Errorf("protocol: unknown transport kind %d", int(kind))
+	}
+	return &Network{s: dist.NewSimulationOn(g0, net), kind: kind}, nil
 }
+
+// Transport reports which substrate the network runs on.
+func (n *Network) Transport() TransportKind { return n.kind }
 
 // SetParallel switches between sequential message delivery (default,
 // the measurement mode) and a goroutine per processor per round. Both
@@ -114,7 +177,8 @@ func (n *Network) SetParallel(on bool) { n.s.SetParallel(on) }
 // model). Excess traffic queues FIFO per edge and spills into later
 // rounds: the healed graph and message counts are identical for every
 // cap; only rounds and the congestion counters in the cost reports
-// change.
+// change. The congestion model is TransportSim-only: on TransportChan
+// a positive cap panics.
 func (n *Network) SetBandwidth(words int) { n.s.SetBandwidth(words) }
 
 // SetEdgeBandwidth overrides the capacity of one directed edge,

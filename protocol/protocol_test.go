@@ -258,3 +258,73 @@ func TestAsyncFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChanTransportFacade drives the full facade surface on the
+// channel transport — blocking churn, the open-loop engine, events —
+// and cross-checks the healed overlay against the simulator transport
+// given the same operations.
+func TestChanTransportFacade(t *testing.T) {
+	run := func(kind TransportKind) *Network {
+		net, err := NewWithTransport(star(12), kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := net.Transport(); got != kind {
+			t.Fatalf("Transport() = %v, want %v", got, kind)
+		}
+		if err := net.Insert(100, []NodeID{3, 5}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Delete(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Submit(DeleteOp(3), DeleteOp(7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		repairs := 0
+		for _, ev := range net.Poll() {
+			if ev.Kind == EventRepairDone {
+				repairs++
+			}
+		}
+		if repairs != 2 {
+			t.Fatalf("%v: %d async repairs, want 2", kind, repairs)
+		}
+		if err := net.DeleteBatch([]NodeID{5, 9}); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Verify(); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		return net
+	}
+	sim, chn := run(TransportSim), run(TransportChan)
+	se, ce := sim.Edges(), chn.Edges()
+	if len(se) != len(ce) {
+		t.Fatalf("healed edge counts differ: sim %d, chan %d", len(se), len(ce))
+	}
+	for i := range se {
+		if se[i] != ce[i] {
+			t.Fatalf("healed edge %d differs: sim %v, chan %v", i, se[i], ce[i])
+		}
+	}
+}
+
+// TestParseTransport pins the command-line spellings.
+func TestParseTransport(t *testing.T) {
+	for s, want := range map[string]TransportKind{
+		"sim": TransportSim, "simnet": TransportSim,
+		"chan": TransportChan, "channel": TransportChan, "channet": TransportChan,
+	} {
+		got, err := ParseTransport(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseTransport(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseTransport("udp"); err == nil {
+		t.Fatal("unknown spelling must error")
+	}
+}
