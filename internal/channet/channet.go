@@ -204,9 +204,11 @@ func (n *Network) AddNode(id NodeID, h transport.Handler) {
 	n.orderDirty = true
 }
 
-// RemoveNode unregisters a processor. Its queued messages and armed
-// timers are dropped (the node is dead); later sends to it drop on
-// arrival.
+// RemoveNode unregisters a processor. Its queued messages are dropped
+// eagerly (simnet drops at delivery time; the Transport contract
+// permits either) and count toward Dropped; its armed timers are
+// discarded but NOT counted — timers are local wake-ups, not network
+// traffic. Later sends to the dead node drop on arrival.
 func (n *Network) RemoveNode(id NodeID) {
 	nd, ok := n.nodes[id]
 	if !ok {
@@ -223,21 +225,13 @@ func (n *Network) RemoveNode(id NodeID) {
 	}
 	n.timersMu.Lock()
 	kept := n.timers[:0]
-	stale := 0
 	for _, t := range n.timers {
-		if t.owner == id {
-			stale++
-			continue
+		if t.owner != id {
+			kept = append(kept, t)
 		}
-		kept = append(kept, t)
 	}
 	n.timers = kept
 	n.timersMu.Unlock()
-	if stale > 0 {
-		n.statsMu.Lock()
-		n.dropped += stale
-		n.statsMu.Unlock()
-	}
 }
 
 // HasNode reports whether a processor is registered.
@@ -304,10 +298,19 @@ func (n *Network) deliverTo(to NodeID, e entry) {
 		n.statsMu.Unlock()
 		return
 	}
+	// Count the message in flight BEFORE it becomes visible in the
+	// inbox. The other order is a pulse-termination race: a receiver
+	// could pop, handle, and decrement the entry before this increment
+	// runs, transiently driving inflight to 0 while the sending handler
+	// is still live — drainConcurrent would close `done` and end the
+	// pulse with deliverable messages stranded. Incrementing first
+	// keeps inflight >= the true count at all times (the sender's own
+	// +1 is held until its handler returns), so zero really does prove
+	// no further send can occur.
+	n.inflight.Add(1)
 	nd.mu.Lock()
 	nd.inbox = append(nd.inbox, e)
 	nd.mu.Unlock()
-	n.inflight.Add(1)
 	// Nudge the node's runner if a concurrent pulse is underway; the
 	// buffered channel makes this a no-op when a nudge is already
 	// pending or nobody is listening.
@@ -575,7 +578,9 @@ func (n *Network) DropPending() int {
 	return k
 }
 
-// Dropped returns the number of messages addressed to dead processors.
+// Dropped returns the number of network messages addressed to dead
+// processors (messages queued at removal plus later sends to the dead
+// node). Purged timers are not counted — they are not network traffic.
 func (n *Network) Dropped() int {
 	n.statsMu.Lock()
 	defer n.statsMu.Unlock()

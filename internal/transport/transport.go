@@ -169,9 +169,15 @@ type Transport interface {
 	// AddNode registers a processor. Re-registering replaces the
 	// handler. Must only be called between Steps.
 	AddNode(id NodeID, h Handler)
-	// RemoveNode unregisters a processor; queued messages to it are
-	// dropped at delivery time (the node is dead). Must only be called
-	// between Steps.
+	// RemoveNode unregisters a processor (the node is dead). Messages
+	// addressed to it are dropped and counted by Dropped — an
+	// implementation may drop already-queued messages eagerly at
+	// removal (channet) or lazily at delivery time (simnet), so the
+	// same scenario can read differently in Pending/Dropped *timing*
+	// across backends, though every such message is eventually counted.
+	// The dead node's armed timers are discarded without being counted:
+	// timers are local wake-ups, not network traffic. Must only be
+	// called between Steps.
 	RemoveNode(id NodeID)
 	// HasNode reports whether a processor is registered.
 	HasNode(id NodeID) bool
