@@ -138,7 +138,9 @@ func tolerance(key string, nsTol, msgsTol float64) (tol float64, twoSided bool) 
 	case strings.HasPrefix(key, "msgs_"),
 		strings.HasPrefix(key, "rounds_"),
 		strings.HasPrefix(key, "syncrounds_"),
-		strings.HasPrefix(key, "electionrounds_"):
+		strings.HasPrefix(key, "electionrounds_"),
+		strings.HasPrefix(key, "auditmsgs_"),
+		strings.HasPrefix(key, "auditrounds_"):
 		return msgsTol, true
 	default:
 		return -1, false

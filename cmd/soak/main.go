@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -91,6 +92,8 @@ func run() error {
 		async     = flag.Bool("async", false, "with -dist: drive the open-loop engine (Submit/Tick) instead of the blocking calls")
 		asyncGap  = flag.Int("async-gap", 2, "with -async: max rounds the adversary waits between submissions (0 = fully open loop)")
 		transp    = flag.String("transport", "sim", "with -dist: message substrate: sim (round simulator, congestion model) or chan (goroutine-per-processor channels, logical clocks)")
+		corruptP  = flag.Float64("corrupt-rate", 0, "with -dist: probability per step of silently corrupting one processor's state (random mode); enables the self-stabilizing audit layer, and checkpoints assert the corruption healed via the full Verify")
+		auditPrd  = flag.Int("audit-period", 128, "with -corrupt-rate: audit pulse interval in rounds")
 	)
 	flag.Parse()
 
@@ -149,6 +152,15 @@ func run() error {
 	if *asyncGap < 0 {
 		return fmt.Errorf("-async-gap must be >= 0, got %d", *asyncGap)
 	}
+	if *corruptP < 0 || *corruptP >= 1 {
+		return fmt.Errorf("-corrupt-rate must be in [0, 1), got %v", *corruptP)
+	}
+	if *corruptP > 0 && !*useDist {
+		return fmt.Errorf("-corrupt-rate perturbs distributed processor state; add -dist")
+	}
+	if *auditPrd < 1 {
+		return fmt.Errorf("-audit-period must be >= 1, got %d", *auditPrd)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	g0 := gen(*n, rng)
 	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v transport=%s parallel=%v batch=%d strategy=%s delete=%s bandwidth=%d spread=%v slow-frac=%v async=%v\n",
@@ -157,6 +169,7 @@ func run() error {
 
 	var (
 		target soakTarget
+		sim    *dist.Simulation
 	)
 	if *useDist {
 		s, err := harness.NewSimulationFor(g0, *transp)
@@ -170,6 +183,15 @@ func run() error {
 			slow := harness.MarkSlowNodes(s, *slowFrac)
 			fmt.Printf("soak: %d slow nodes (node cap 1 word/round)\n", slow)
 		}
+		if *corruptP > 0 {
+			// A large batch makes every audit pass examine all of a
+			// processor's records, so convergence latency is a small
+			// constant number of periods.
+			if err := s.EnableAudit(audit.Config{Period: *auditPrd, Batch: 1 << 12}); err != nil {
+				return err
+			}
+		}
+		sim = s
 		target = distTarget{s}
 	} else {
 		target = engineTarget{core.NewEngine(g0)}
@@ -183,7 +205,7 @@ func run() error {
 	}
 	if *async {
 		dt := target.(distTarget)
-		return soakAsync(dt.s, churn, rng, *steps, *asyncGap, *checkEvy, *fullCheck, *slowFrac)
+		return soakAsync(dt.s, churn, rng, *steps, *asyncGap, *checkEvy, *fullCheck, *slowFrac, *corruptP, *auditPrd)
 	}
 	// In batch mode the insert-vs-burst decision is drawn by the soak
 	// loop itself, so the insert branch must always insert: InsertP 1
@@ -198,7 +220,7 @@ func run() error {
 	var cong metrics.Congestion
 	var coord metrics.Coordination
 	start := time.Now()
-	deletions, batches := 0, 0
+	deletions, batches, corruptions := 0, 0, 0
 	for step := 1; step <= *steps; step++ {
 		if *batchK > 1 {
 			if rng.Float64() < *insertP {
@@ -254,9 +276,38 @@ func run() error {
 				coord = coord.Merge(target.LastCoordination(false))
 			}
 		}
+		if *corruptP > 0 && rng.Float64() < *corruptP {
+			// The footprint mode plants a phantom in-flight repair that
+			// keeps the engine busy until the audit sweep retires it —
+			// the blocking calls require an idle engine, so that mode is
+			// exercised by the -async campaign only.
+			mode := dist.CorruptModes[rng.Intn(len(dist.CorruptModes))]
+			if mode != dist.CorruptFootprint {
+				if _, ok := sim.Corrupt(mode, rng); ok {
+					corruptions++
+					// Heal window: a later repair reading the corrupted
+					// records mid-heal can do anything (the repair
+					// protocol is not self-stabilizing against arbitrary
+					// state — the audit layer is), so the adversary
+					// yields the convergence window before moving again.
+					for i := 0; i < 6*(*auditPrd); i++ {
+						sim.Tick()
+					}
+				}
+			}
+		}
 		if step%*checkEvy == 0 {
 			check := target.ValidateDelta
 			if *fullCheck {
+				check = target.Validate
+			}
+			if *corruptP > 0 {
+				// Silent corruption is invisible to the incremental check
+				// and is healed in-band: pump empty rounds so the audit
+				// layer converges, then assert with the full Verify.
+				for i := 0; i < 6*(*auditPrd); i++ {
+					sim.Tick()
+				}
 				check = target.Validate
 			}
 			if err := check(); err != nil {
@@ -270,6 +321,11 @@ func run() error {
 			if deg.Max > 4 {
 				return fmt.Errorf("step %d: degree ratio %v > 4", step, deg.Max)
 			}
+		}
+	}
+	if *corruptP > 0 {
+		for i := 0; i < 6*(*auditPrd); i++ {
+			sim.Tick()
 		}
 	}
 	if err := target.Validate(); err != nil {
@@ -301,7 +357,19 @@ func run() error {
 			coord.ElectionMessages, coord.SyncMessages, coord.ElectionRounds, coord.SyncRounds,
 			coord.Rounds, 100*coord.SyncFrac())
 	}
+	if *corruptP > 0 {
+		printAuditSummary(sim, corruptions)
+	}
 	return nil
+}
+
+// printAuditSummary reports the audit layer's cumulative counters and
+// transport-level traffic at the end of a corruption campaign.
+func printAuditSummary(s *dist.Simulation, corruptions int) {
+	st := s.AuditStats()
+	msgs, rounds := s.AuditTraffic()
+	fmt.Printf("audit: %d corruptions injected; %d passes, %d probes, %d mismatches, %d repairs, %d deferred; %d audit messages over %d audit rounds\n",
+		corruptions, st.Passes, st.Probes, st.Mismatches, st.Repairs, st.Deferred, msgs, rounds)
 }
 
 // soakAsync drives the open-loop engine: one submission per step, up
@@ -312,7 +380,7 @@ func run() error {
 // engine bug and fails the soak. Checkpoints drain the engine first,
 // then run the usual (incremental) validation.
 func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
-	steps, maxGap, checkEvery int, fullCheck bool, slowFrac float64) error {
+	steps, maxGap, checkEvery int, fullCheck bool, slowFrac, corruptP float64, auditPeriod int) error {
 
 	nextID := graph.NodeID(1 << 20)
 	alloc := func() graph.NodeID { nextID++; return nextID }
@@ -324,7 +392,7 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 	degRatios := metrics.NewHistogram(0, 4.25, 17)
 	outstanding := make(map[graph.NodeID]struct{}) // submitted, not yet completed
 	start := time.Now()
-	deletions := 0
+	deletions, corruptions := 0, 0
 
 	// runCounted advances up to max rounds, counting each and sampling
 	// the in-flight depth per round — admissions triggered by mid-drain
@@ -405,17 +473,43 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 		if err := drainEvents(); err != nil {
 			return fmt.Errorf("step %d: %w", step, err)
 		}
+		if corruptP > 0 && rng.Float64() < corruptP {
+			// Mid-churn injection: repairs may be in flight; Corrupt
+			// itself steers clear of their footprints (pending regions
+			// are RT-closed, so nothing already submitted can read the
+			// perturbed records). The heal pump gives the audit its
+			// convergence window before the next submission — in-flight
+			// repairs keep draining underneath it.
+			mode := dist.CorruptModes[rng.Intn(len(dist.CorruptModes))]
+			if _, ok := s.Corrupt(mode, rng); ok {
+				corruptions++
+				for i := 0; i < 6*auditPeriod; i++ {
+					s.Tick()
+				}
+				if err := drainEvents(); err != nil {
+					return fmt.Errorf("step %d: %w", step, err)
+				}
+			}
+		}
 
 		if step%checkEvery == 0 {
 			runCounted(1 << 22)
 			if !s.Idle() {
-				return fmt.Errorf("step %d: engine failed to drain for checkpoint", step)
+				return fmt.Errorf("step %d: engine failed to drain for checkpoint (pending %d, inflight %d)", step, s.PendingOps(), s.InFlight())
 			}
 			if err := drainEvents(); err != nil {
 				return fmt.Errorf("step %d: %w", step, err)
 			}
 			check := s.VerifyDelta
 			if fullCheck {
+				check = func(int) error { return s.Verify() }
+			}
+			if corruptP > 0 {
+				// Pump empty rounds so the audit layer converges on any
+				// outstanding corruption, then assert with the full check.
+				for i := 0; i < 6*auditPeriod; i++ {
+					s.Tick()
+				}
 				check = func(int) error { return s.Verify() }
 			}
 			if err := check(8); err != nil {
@@ -437,6 +531,11 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 	if err := drainEvents(); err != nil {
 		return fmt.Errorf("final: %w", err)
 	}
+	if corruptP > 0 {
+		for i := 0; i < 6*auditPeriod; i++ {
+			s.Tick()
+		}
+	}
 	if err := s.Verify(); err != nil {
 		return fmt.Errorf("final validation: %w", err)
 	}
@@ -452,6 +551,9 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 	fmt.Println(latencies.Render(40))
 	fmt.Println("max degree ratio at checkpoints:")
 	fmt.Println(degRatios.Render(40))
+	if corruptP > 0 {
+		printAuditSummary(s, corruptions)
+	}
 	return nil
 }
 

@@ -1,0 +1,44 @@
+package audit
+
+import "testing"
+
+func TestNormalizeDefaults(t *testing.T) {
+	c, err := Config{}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize zero config: %v", err)
+	}
+	if c.Period != DefaultPeriod || c.Batch != DefaultBatch {
+		t.Fatalf("Normalize zero config = %+v, want defaults", c)
+	}
+	if _, err := (Config{Period: -1}).Normalize(); err == nil {
+		t.Fatalf("Normalize accepted negative period")
+	}
+	if _, err := (Config{Batch: -3}).Normalize(); err == nil {
+		t.Fatalf("Normalize accepted negative batch")
+	}
+	kept, err := Config{Period: 16, Batch: 4}.Normalize()
+	if err != nil || kept.Period != 16 || kept.Batch != 4 {
+		t.Fatalf("Normalize changed explicit config: %+v, %v", kept, err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	s := Stats{Passes: 1, Probes: 2, Mismatches: 3, Repairs: 4, Deferred: 5}
+	s.Add(Stats{Passes: 10, Probes: 20, Mismatches: 30, Repairs: 40, Deferred: 50})
+	want := Stats{Passes: 11, Probes: 22, Mismatches: 33, Repairs: 44, Deferred: 55}
+	if s != want {
+		t.Fatalf("Add = %+v, want %+v", s, want)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum(1, 2, 3) == Sum(3, 2, 1) {
+		t.Fatalf("Sum is order-insensitive; permuted fields must differ")
+	}
+	if Sum(1, 2, 3) != Sum(1, 2, 3) {
+		t.Fatalf("Sum not deterministic")
+	}
+	if Sum() == Sum(0) {
+		t.Fatalf("Sum of nothing collides with Sum of a zero word")
+	}
+}

@@ -160,6 +160,7 @@ type Network struct {
 	dropped     int
 	sawElection bool // classes seen this pulse, folded into
 	sawSync     bool // ElectionRounds/SyncRounds at pulse end
+	sawAudit    bool // ... and AuditRounds
 
 	// rng, when non-nil, selects the single-threaded deterministic
 	// scheduler: it picks which nonempty inbox delivers next.
@@ -238,6 +239,69 @@ func (n *Network) RemoveNode(id NodeID) {
 func (n *Network) HasNode(id NodeID) bool {
 	_, ok := n.nodes[id]
 	return ok
+}
+
+// CancelTimers discards every armed timer owned by one processor,
+// returning how many were cancelled. RemoveNode already purges the
+// dead node's timers; this is the standalone form drivers with
+// standing per-node timers (the audit layer) use when they need the
+// same effect without unregistering. Must only be called between
+// Steps.
+func (n *Network) CancelTimers(id NodeID) int {
+	n.timersMu.Lock()
+	defer n.timersMu.Unlock()
+	cancelled := 0
+	kept := n.timers[:0]
+	for _, t := range n.timers {
+		if t.owner == id {
+			cancelled++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	n.timers = kept
+	return cancelled
+}
+
+// SkewClock perturbs one processor's logical clock by delta — a fault-
+// injection hook for the self-stabilization tests (a corrupted clock
+// models a processor rebooting with garbage local time). The Lamport
+// max-merge on every delivery means a skewed-back clock heals from any
+// incoming message and a negative stamp never spreads: receivers only
+// ever take the max. Must only be called between Steps.
+func (n *Network) SkewClock(id NodeID, delta int64) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return
+	}
+	nd.mu.Lock()
+	nd.clock += delta
+	nd.mu.Unlock()
+}
+
+// Validate checks the backend's own state invariants: every logical
+// clock non-negative and every armed timer owned by a registered
+// processor. The dist verifier type-asserts for it, so transport-level
+// corruption (SkewClock) is caught by the same Verify that audits
+// protocol state. Must only be called between Steps.
+func (n *Network) Validate() error {
+	for _, id := range n.sortedIDs() {
+		nd := n.nodes[id]
+		nd.mu.Lock()
+		c := nd.clock
+		nd.mu.Unlock()
+		if c < 0 {
+			return fmt.Errorf("channet: processor %d has negative logical clock %d", id, c)
+		}
+	}
+	n.timersMu.Lock()
+	defer n.timersMu.Unlock()
+	for _, t := range n.timers {
+		if _, ok := n.nodes[t.owner]; !ok {
+			return fmt.Errorf("channet: armed timer owned by unregistered processor %d", t.owner)
+		}
+	}
+	return nil
 }
 
 // Round returns the macro-pulse counter: how many Steps have run.
@@ -371,8 +435,11 @@ func (n *Network) Step() int {
 		if n.sawSync {
 			n.stats.SyncRounds++
 		}
+		if n.sawAudit {
+			n.stats.AuditRounds++
+		}
 	}
-	n.sawElection, n.sawSync = false, false
+	n.sawElection, n.sawSync, n.sawAudit = false, false, false
 	n.statsMu.Unlock()
 	return delivered
 }
@@ -540,6 +607,9 @@ func (n *Network) book(m transport.Message) {
 	case transport.ClassSync:
 		n.stats.SyncMessages++
 		n.sawSync = true
+	case transport.ClassAudit:
+		n.stats.AuditMessages++
+		n.sawAudit = true
 	}
 }
 

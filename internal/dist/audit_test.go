@@ -1,0 +1,230 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/graph"
+)
+
+// Liveness and quiescence properties of the audit layer on HEALTHY
+// networks: the probing never stops, the writing never starts
+// (silence, in the Devismes sense), live repairs are deferred to
+// rather than raced, and the background traffic stays a small
+// fraction of repair traffic (BenchmarkAuditOverhead, gated in
+// BENCH_dist.json via cmd/benchcheck).
+
+// TestAuditSilence: on a corruption-free campaign the audit layer
+// keeps examining — passes and probes grow, its traffic class is
+// accounted — but never writes: zero mismatches, zero repairs, and
+// the network stays Verify-clean with the audit running throughout.
+func TestAuditSilence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := NewSimulation(graph.PreferentialAttachment(96, 3, rng))
+	const period = 32
+	if err := s.EnableAudit(audit.Config{Period: period, Batch: 1 << 12}); err != nil {
+		t.Fatal(err)
+	}
+	nextID := NodeID(1 << 18)
+	for i := 0; i < 24; i++ {
+		live := s.LiveNodes()
+		if rng.Float64() < 0.3 {
+			v := nextID
+			nextID++
+			if err := s.Insert(v, []NodeID{live[rng.Intn(len(live))]}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := s.Delete(live[rng.Intn(len(live))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A few audit pulses between ops: most fire on a quiet network,
+		// some land mid-repair via the open-loop waves below.
+		for j := 0; j < 2*period; j++ {
+			s.Tick()
+		}
+	}
+	// One pipelined wave, audit pulsing underneath the live repairs.
+	live := s.LiveNodes()
+	var ops []Op
+	for _, idx := range rng.Perm(len(live))[:4] {
+		ops = append(ops, Op{Kind: OpDelete, V: live[idx]})
+	}
+	if err := s.Submit(ops...); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 1<<14 && !s.Idle(); r++ {
+		s.Tick()
+	}
+	if !s.Idle() {
+		t.Fatal("failed to drain")
+	}
+	for i := 0; i < 6*period; i++ {
+		s.Tick()
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.AuditStats()
+	if st.Passes == 0 || st.Probes == 0 {
+		t.Fatalf("audit not live: %+v", st)
+	}
+	if st.Mismatches != 0 || st.Repairs != 0 {
+		t.Fatalf("audit wrote on a clean run (not silent): %+v", st)
+	}
+	msgs, rounds := s.AuditTraffic()
+	if msgs == 0 || rounds == 0 {
+		t.Fatalf("audit traffic not accounted under its class: %d msgs, %d rounds", msgs, rounds)
+	}
+	if total := s.net.Stats().Messages; total < msgs {
+		t.Fatalf("class accounting inconsistent: %d audit msgs > %d total", msgs, total)
+	}
+}
+
+// TestAuditDefersToLiveRepair: audit pulses landing in the middle of a
+// live repair epoch must defer (busy replies, skipped damaged
+// helpers), not inject duplicate repairs. The aggressive period makes
+// every repair window host several pulses.
+func TestAuditDefersToLiveRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := NewSimulation(graph.PreferentialAttachment(256, 3, rng))
+	const period = 4
+	if err := s.EnableAudit(audit.Config{Period: period, Batch: 1 << 12}); err != nil {
+		t.Fatal(err)
+	}
+	// Grow some standing records first, so the audit has something to
+	// probe while the next wave's repairs run.
+	for i := 0; i < 6; i++ {
+		live := s.LiveNodes()
+		if err := s.Delete(live[rng.Intn(len(live))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := s.LiveNodes()
+	var ops []Op
+	for _, idx := range rng.Perm(len(live))[:12] {
+		ops = append(ops, Op{Kind: OpDelete, V: live[idx]})
+	}
+	if err := s.Submit(ops...); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 1<<14 && !s.Idle(); r++ {
+		s.Tick()
+	}
+	if !s.Idle() {
+		t.Fatal("failed to drain")
+	}
+	for i := 0; i < 6*period; i++ {
+		s.Tick()
+	}
+	st := s.AuditStats()
+	if st.Deferred == 0 {
+		t.Fatalf("no audit pulse deferred to the live repairs: %+v", st)
+	}
+	if st.Repairs != 0 {
+		t.Fatalf("audit duplicated live repair work: %+v", st)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnableAuditErrors pins the driver API contract: bad pacing is
+// rejected, double-enable is rejected, and the enabled flag reports
+// truthfully.
+func TestEnableAuditErrors(t *testing.T) {
+	s := NewSimulation(graph.Path(8))
+	if s.AuditEnabled() {
+		t.Fatal("audit on before EnableAudit")
+	}
+	if err := s.EnableAudit(audit.Config{Period: -1}); err == nil {
+		t.Fatal("negative period accepted")
+	}
+	if err := s.EnableAudit(audit.Config{Batch: -3}); err == nil {
+		t.Fatal("negative batch accepted")
+	}
+	if s.AuditEnabled() {
+		t.Fatal("failed enable left the audit on")
+	}
+	if err := s.EnableAudit(audit.Config{}); err != nil {
+		t.Fatalf("defaulted config rejected: %v", err)
+	}
+	if !s.AuditEnabled() {
+		t.Fatal("audit off after EnableAudit")
+	}
+	if err := s.EnableAudit(audit.Config{Period: 64}); err == nil {
+		t.Fatal("double enable accepted")
+	}
+}
+
+// BenchmarkAuditOverhead measures the audit layer's background tax on
+// a corruption-free churn-heavy campaign: mixed insert/delete waves
+// pipelined back-to-back on powerlaw-512 for one full default audit
+// period, audit running at production pacing throughout. The headline
+// metric is auditpct/period — delivered ClassAudit messages as a
+// percentage of all other traffic — which must stay ≤ 5%; the
+// absolute counts are gated against BENCH_dist.json like the other
+// benchmarks.
+func BenchmarkAuditOverhead(b *testing.B) {
+	base := graph.PreferentialAttachment(512, 3, rand.New(rand.NewSource(42)))
+	cfg := audit.Default()
+	b.ReportAllocs()
+	var auditMsgs, otherMsgs, pulses float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng := rand.New(rand.NewSource(int64(i)))
+		s := NewSimulation(base)
+		if err := s.EnableAudit(cfg); err != nil {
+			b.Fatal(err)
+		}
+		s.net.ResetStats()
+		nextID := NodeID(1 << 18)
+		b.StartTimer()
+		for s.net.Round() <= cfg.Period {
+			live := s.LiveNodes()
+			perm := rng.Perm(len(live))
+			var ops []Op
+			for _, idx := range perm[:6] {
+				ops = append(ops, Op{Kind: OpDelete, V: live[idx]})
+			}
+			// Anchors come from the survivors' side of the permutation, so
+			// an insert never races its own wave's deletions.
+			for j := 0; j < 6; j++ {
+				v := nextID
+				nextID++
+				ops = append(ops, Op{Kind: OpInsert, V: v, Nbrs: []NodeID{live[perm[6+j]]}})
+			}
+			if err := s.Submit(ops...); err != nil {
+				b.Fatal(err)
+			}
+			for !s.Idle() {
+				s.Tick()
+			}
+			for _, ev := range s.Poll() {
+				if ev.Kind == EventOpRejected {
+					b.Fatalf("rejected: %v", ev.Err)
+				}
+			}
+		}
+		b.StopTimer()
+		st := s.net.Stats()
+		auditMsgs += float64(st.AuditMessages)
+		otherMsgs += float64(st.Messages - st.AuditMessages)
+		pulses += float64(st.AuditRounds)
+		if as := s.AuditStats(); as.Repairs != 0 {
+			b.Fatalf("audit wrote on a clean run: %+v", as)
+		}
+		b.StartTimer()
+	}
+	n := float64(b.N)
+	pct := 100 * auditMsgs / otherMsgs
+	b.ReportMetric(auditMsgs/n, "auditmsgs/period")
+	b.ReportMetric(otherMsgs/n, "msgs/period")
+	b.ReportMetric(pulses/n, "auditrounds/period")
+	b.ReportMetric(pct, "auditpct")
+	if pct > 5 {
+		b.Errorf("clean-run audit overhead %.2f%% > 5%% of non-audit traffic", pct)
+	}
+}

@@ -325,13 +325,16 @@ func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{
 	// round-identical to sequential, so the abort round — and with it
 	// the batch's stats — is the same in both modes.
 	bound := s.roundBound()
-	for rounds := 0; s.net.Pending() > 0; rounds++ {
+	for rounds := 0; !s.netQuiet(); rounds++ {
 		if rounds >= bound {
 			return nil, false, fmt.Errorf("claim discovery not quiescent after %d rounds", bound)
 		}
 		s.step()
 		if cp := s.procs[coord]; cp.batch != nil && cp.batch.decided {
+			// The abort drops the audit layer's standing ticks along with
+			// the moot claim traffic; re-arm them or netQuiet drifts.
 			s.net.DropPending()
+			s.reArmAuditTicks()
 			aborted = true
 			break
 		}

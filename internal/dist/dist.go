@@ -72,6 +72,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/audit"
 	"repro/internal/graph"
 	"repro/internal/haft"
 	"repro/internal/simnet"
@@ -180,6 +181,14 @@ type Simulation struct {
 	// must not recompute it per round.
 	bound      int
 	boundDirty bool
+
+	// Self-stabilizing audit layer (see audit.go): the pacing config,
+	// the driver-side counters (phantom-footprint sweeps), and the
+	// sweep's stall counter.
+	auditOn    bool
+	auditCfg   audit.Config
+	audStats   audit.Stats
+	auditStall int
 }
 
 // NewSimulation builds the distributed network over an initial
@@ -234,6 +243,10 @@ func (s *Simulation) addProcessor(v NodeID) {
 	s.procs[v] = p
 	s.alive[v] = struct{}{}
 	s.net.AddNode(v, p.handle)
+	if s.auditOn {
+		p.auditOn, p.auditCfg = true, s.auditCfg
+		s.armAuditTick(v)
+	}
 }
 
 // SetParallel switches between sequential message delivery (default,
@@ -341,6 +354,14 @@ func (s *Simulation) GPrime() *graph.Graph { return s.gprime.Clone() }
 // cost in the RepairDone event instead.
 func (s *Simulation) LastRecovery() RecoveryStats { return s.last }
 
+// Round returns the transport's pulse counter: rounds on simnet,
+// delivered pulses on channet.
+func (s *Simulation) Round() int { return s.net.Round() }
+
+// NetMessages returns the delivered network message total since the
+// transport's stats were last reset, all classes included.
+func (s *Simulation) NetMessages() int { return s.net.Stats().Messages }
+
 // Insert adds processor v connected to the given live neighbors, per
 // the model's adversarial insertion, applied synchronously. It is the
 // blocking form of submitting an OpInsert and requires an idle engine;
@@ -434,6 +455,10 @@ func (s *Simulation) affectedBy(v NodeID) map[NodeID]struct{} {
 // their death handlers).
 func (s *Simulation) removeProcessor(v NodeID) {
 	p := s.procs[v]
+	// Audit counters survive their processor: fold them into the
+	// simulation-level accumulator, or churn silently erases most of
+	// the pass/probe/repair history AuditStats reports.
+	s.audStats.Add(p.aStats)
 	s.gprime.EachNeighbor(v, func(x NodeID) {
 		if _, live := s.alive[x]; live && x != v {
 			s.physDel(v, x)
@@ -452,6 +477,14 @@ func (s *Simulation) removeProcessor(v NodeID) {
 	delete(s.alive, v)
 	s.dead[v] = struct{}{}
 	delete(s.procs, v)
+	if s.auditOn {
+		// The dead processor's standing audit tick must go with it, or
+		// netQuiet's "one armed tick per live processor" count drifts
+		// (simnet discards a removed node's timers only at fire time).
+		if tc, ok := s.net.(interface{ CancelTimers(NodeID) int }); ok {
+			tc.CancelTimers(v)
+		}
+	}
 	s.net.RemoveNode(v)
 	s.phys.RemoveNode(v)
 }
@@ -527,6 +560,12 @@ func (s *Simulation) roundBound() int {
 		if B := s.minCap; B > 0 {
 			bound += 64 * (s.gprime.NumNodes() + 2) * logn / B
 		}
+		if s.auditOn {
+			// Audit passes fire mid-drain and their conversations need a
+			// couple of rounds each; two full periods of slack covers any
+			// pass the bound window can contain.
+			bound += 2*s.auditCfg.Period + 64
+		}
 		s.bound, s.boundDirty = bound, false
 	}
 	return s.bound
@@ -556,7 +595,7 @@ func (s *Simulation) run() error {
 	bound := s.roundBound()
 	var err error
 	pulses := 0
-	for s.net.Pending() > 0 {
+	for !s.netQuiet() {
 		if pulses >= bound {
 			err = fmt.Errorf("dist: not quiescent after %d pulses (%d pending)",
 				pulses, s.net.Pending())

@@ -202,6 +202,7 @@ func (s *Simulation) Submit(ops ...Op) error {
 func (s *Simulation) Tick() bool {
 	s.step()
 	s.afterRound()
+	s.auditEngineSweep()
 	s.flushObserver()
 	if s.Idle() {
 		// Quiescent: fold the handlers' pending physical-graph edits so
@@ -249,9 +250,10 @@ func (s *Simulation) Drain() error {
 }
 
 // Idle reports whether the engine has nothing left to do: no pending
-// operations, no repairs in flight, no traffic or timers queued.
+// operations, no repairs in flight, no traffic or timers queued beyond
+// the audit layer's standing ticks.
 func (s *Simulation) Idle() bool {
-	return len(s.pending) == 0 && len(s.inflight) == 0 && s.net.Pending() == 0
+	return len(s.pending) == 0 && len(s.inflight) == 0 && s.netQuiet()
 }
 
 // InFlight returns the number of repairs currently in progress.

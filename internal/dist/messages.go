@@ -416,6 +416,93 @@ type msgSetParent struct {
 	Epoch  NodeID
 }
 
+// Self-stabilizing audit layer (see audit.go). All audit traffic is
+// ClassAudit: O(1)-word background probes that detect and repair
+// corrupted records without driver intervention. The exchange is two
+// request/response pairs — a parent probing the children it lists
+// (down) and a child asking the parent it records to confirm the link
+// (up) — plus the standing zero-word tick that paces each processor's
+// passes.
+
+// msgAuditTick is the standing local timer driving one processor's
+// audit passes (zero words, not network traffic). The handler re-arms
+// it first thing, so a live audited processor always holds exactly one
+// armed tick — the invariant the driver's netQuiet counts against.
+type msgAuditTick struct{}
+
+// auditStatus is a probe reply's verdict about the probed record.
+type auditStatus uint8
+
+const (
+	// auditOK: the record exists and lists the prober as its parent;
+	// the reply carries its audited fields.
+	auditOK auditStatus = iota + 1
+	// auditGone: the owner holds no such record — the prober's child
+	// pointer dangles.
+	auditGone
+	// auditForeign: the record exists but its parent field disagrees
+	// with the prober (it names someone else, or an adoption is still
+	// unconfirmed).
+	auditForeign
+	// auditBusy: the owner (or the record) is inside a live repair
+	// epoch; the audit defers rather than racing the repair machinery.
+	auditBusy
+)
+
+// msgAuditProbe asks the owner of one tree node to report that node's
+// audited fields. Parent is the probing helper — the prober believes
+// Target is its Side child (0 left, 1 right).
+type msgAuditProbe struct {
+	Target addr
+	Parent addr
+	Side   int
+}
+
+// msgAuditReply answers a probe with the target record's O(1)-word
+// summary: the fields the prober folds (audit.Sum) to recompute its
+// own aggregates. Kind/Height/LeafCount/Rep are meaningful only when
+// Status is auditOK.
+type msgAuditReply struct {
+	Target addr
+	Parent addr
+	Side   int
+	Status auditStatus
+	Kind   kind
+	Height int
+	Count  int
+	Rep    slot
+}
+
+// auditVerdict is a claim reply's verdict about the claimed link.
+type auditVerdict uint8
+
+const (
+	// auditVMine: the target record lists the claimant as a child (or
+	// just adopted it into a confirmed-dangling side).
+	auditVMine auditVerdict = iota + 1
+	// auditVMissing: the owner holds no such record — the claimant's
+	// parent pointer dangles.
+	auditVMissing
+	// auditVDeny: the record exists but does not list the claimant.
+	auditVDeny
+	// auditVBusy: the owner or record is inside a live repair epoch.
+	auditVBusy
+)
+
+// msgAuditClaim asks the parent a child records to confirm the link:
+// "is Child one of Target's children?"
+type msgAuditClaim struct {
+	Child  addr
+	Target addr
+}
+
+// msgAuditVerdict answers a claim.
+type msgAuditVerdict struct {
+	Child   addr
+	Target  addr
+	Verdict auditVerdict
+}
+
 // words counts for the accounting (number of O(log n)-bit scalars).
 // The epoch tag costs one word on every message that carries it; since
 // the open-loop engine, that includes the merge-plan instructions
@@ -449,4 +536,11 @@ const (
 	wordsClaimCoord   = 1
 	wordsClaimWalk    = 5
 	wordsConflict     = 2
+
+	// Audit traffic (ClassAudit). Every message is O(1) words — the
+	// audit's overhead guarantee is per-message, not amortized.
+	wordsAuditProbe   = 7  // target addr 3, parent addr 3, side 1
+	wordsAuditReply   = 13 // probe echo 7, status 1, kind 1, height 1, count 1, rep 2
+	wordsAuditClaim   = 6  // child addr 3, target addr 3
+	wordsAuditVerdict = 7  // claim echo 6, verdict 1
 )

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/audit"
 	"repro/internal/transport"
 )
 
@@ -129,6 +130,31 @@ type processor struct {
 	flushScheduled bool
 	outRound       int
 	outUsed        map[NodeID]int
+
+	// Self-stabilizing audit layer (see audit.go). Zero value = off.
+	// aProtoSeen counts every non-audit message this processor handled;
+	// it is the activity witness the confirm-twice rules compare — two
+	// matching observations with aProtoSeen unchanged between them mean
+	// no repair machinery touched this processor in the interval, so
+	// the disagreement is corruption, not a repair in flight. aCursor is
+	// the round-robin position of the structural pass; aStaleFP /
+	// aStaleMark / aStaleRuns drive the stale-transient-state detector;
+	// aWait stashes in-flight probe conversations per audited helper;
+	// aSuspect counts consecutive dangling-probe verdicts per child
+	// side; aAdopt / aClaimBad hold the one-prior-observation entries of
+	// the adopt-zero and clear-parent confirm rules.
+	auditOn    bool
+	auditCfg   audit.Config
+	aStats     audit.Stats
+	aProtoSeen int
+	aCursor    int
+	aStaleFP   uint64
+	aStaleMark int
+	aStaleRuns int
+	aWait      map[addr]*auditAgg
+	aSuspect   map[auditSideKey]*auditConfirm
+	aAdopt     map[addr]*auditConfirm
+	aClaimBad  map[addr]*auditConfirm
 }
 
 // partState is one participant's transient view of one repair it was
@@ -313,6 +339,14 @@ func newProcessor(id NodeID) *processor {
 // handle dispatches one delivered message. It is the transport.Handler of
 // this processor.
 func (p *processor) handle(n transport.Endpoint, m transport.Message) {
+	// Count protocol activity for the audit layer's confirm rules.
+	// Audit traffic itself is excluded: probes must not mask the quiet
+	// intervals they are probing for.
+	switch m.Payload.(type) {
+	case msgAuditTick, msgAuditProbe, msgAuditReply, msgAuditClaim, msgAuditVerdict:
+	default:
+		p.aProtoSeen++
+	}
 	switch msg := m.Payload.(type) {
 	case msgDeath:
 		p.onDeath(n, msg)
@@ -395,6 +429,16 @@ func (p *processor) handle(n transport.Endpoint, m transport.Message) {
 		p.batchState().addConflict(msg.A, msg.B)
 	case msgFlushOutbox:
 		p.onFlushOutbox(n)
+	case msgAuditTick:
+		p.onAuditTick(n)
+	case msgAuditProbe:
+		p.onAuditProbe(n, msg)
+	case msgAuditReply:
+		p.onAuditReply(n, msg)
+	case msgAuditClaim:
+		p.onAuditClaim(n, msg)
+	case msgAuditVerdict:
+		p.onAuditVerdict(n, msg)
 	default:
 		panic(fmt.Sprintf("dist: processor %d: unknown message %T", p.id, m.Payload))
 	}
@@ -879,10 +923,28 @@ func (p *processor) maybeStartKeys(n transport.Endpoint, epoch NodeID, rs *repai
 // recover from.
 func (p *processor) markDamaged(h *helperRec, self addr, epoch NodeID) {
 	if h.damaged && h.depoch != epoch {
-		panic(fmt.Sprintf("dist: helper %v double-stripped: damaged by concurrent epochs %d and %d",
-			self, h.depoch, epoch))
+		if !p.staleBreakflag(h) {
+			panic(fmt.Sprintf("dist: helper %v double-stripped: damaged by concurrent epochs %d and %d",
+				self, h.depoch, epoch))
+		}
 	}
 	h.damaged, h.depoch = true, epoch
+}
+
+// staleBreakflag decides what a cross-epoch Breakflag collision means.
+// Without the audit layer, state is only ever what the protocol wrote,
+// so a collision is a conflict-detector bug and the caller panics. With
+// the audit on, the self-stabilization model admits transient faults:
+// the foreign flag is presumed corrupt, cleared, and counted, and the
+// live repair proceeds as if the helper were fresh.
+func (p *processor) staleBreakflag(h *helperRec) bool {
+	if !p.auditOn {
+		return false
+	}
+	h.damaged, h.depoch = false, 0
+	p.aStats.Mismatches++
+	p.aStats.Repairs++
+	return true
 }
 
 // onMarkDamaged continues a damage walk through this processor's helper
@@ -896,10 +958,12 @@ func (p *processor) markDamaged(h *helperRec, self addr, epoch NodeID) {
 func (p *processor) onMarkDamaged(n transport.Endpoint, m msgMarkDamaged) {
 	h := p.mustHelper(m.Target)
 	if h.damaged {
-		if h.depoch != m.Epoch {
+		if h.depoch != m.Epoch && !p.staleBreakflag(h) {
 			panic(fmt.Sprintf("dist: helper %v double-stripped: damaged by concurrent epochs %d and %d",
 				m.Target, h.depoch, m.Epoch))
 		}
+	}
+	if h.damaged {
 		n.SendClass(p.id, m.Origin, msgWalkAck{Epoch: m.Epoch, Announced: 0}, wordsWalkAck, transport.ClassSync)
 		return
 	}
@@ -1089,7 +1153,7 @@ func (p *processor) onStripVisit(n transport.Endpoint, m msgStripVisit) {
 		return
 	}
 	h := p.mustHelper(m.Target)
-	if h.damaged && h.depoch != m.Epoch {
+	if h.damaged && h.depoch != m.Epoch && !p.staleBreakflag(h) {
 		panic(fmt.Sprintf("dist: helper %v stripped by epoch %d while damaged by epoch %d",
 			m.Target, m.Epoch, h.depoch))
 	}

@@ -22,6 +22,12 @@ import (
 // also resets the incremental pass's touched set.
 func (s *Simulation) Verify() error {
 	s.takeTouched()
+	if err := s.checkEngineFootprint(); err != nil {
+		return err
+	}
+	if err := s.checkTransport(); err != nil {
+		return err
+	}
 	// Record-level checks and global index.
 	idx := make(map[addr]*haft.Node)
 	for id, p := range s.procs {
@@ -204,6 +210,33 @@ func (s *Simulation) Verify() error {
 		}
 	}
 	return s.checkConnectivity(phys)
+}
+
+// checkEngineFootprint catches phantom open-loop engine state: an
+// in-flight repair epoch that no processor holds scratch for — while
+// the network is quiet, so nothing carrying the epoch is in transit —
+// can never complete in-band. Skipped while traffic is pending: a
+// freshly launched repair's scratch may still be in its notification
+// messages.
+func (s *Simulation) checkEngineFootprint() error {
+	if !s.netQuiet() {
+		return nil
+	}
+	for _, e := range s.phantomEpochs() {
+		return fmt.Errorf("dist: phantom in-flight repair epoch %d: no processor holds scratch for it", e)
+	}
+	return nil
+}
+
+// checkTransport runs the backend's own state validation when it has
+// one (channet: logical-clock sanity and timer ownership).
+func (s *Simulation) checkTransport() error {
+	if v, ok := s.net.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("dist: transport: %w", err)
+		}
+	}
+	return nil
 }
 
 // checkConnectivity verifies that live processors are connected in the

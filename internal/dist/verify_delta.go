@@ -35,6 +35,12 @@ import (
 // the full Verify would.
 func (s *Simulation) VerifyDelta(sample int) error {
 	s.drainPhys()
+	if err := s.checkEngineFootprint(); err != nil {
+		return err
+	}
+	if err := s.checkTransport(); err != nil {
+		return err
+	}
 	procs := s.takeTouched()
 	if sample > 0 {
 		// Opportunistic extra coverage: sweep a few more live

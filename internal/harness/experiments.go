@@ -129,6 +129,12 @@ func Experiments() []Experiment {
 			Claim: "how far the added edges reach in the original network",
 			Run:   expSpan,
 		},
+		{
+			ID:    "EXP-AUDIT",
+			Title: "Extension: self-stabilizing audit under corruption faults",
+			Claim: "every silent corruption mode is detected by O(1)-word neighbor probes and healed in-band within a few audit pulses; clean-run overhead stays <= 5% of traffic",
+			Run:   expAudit,
+		},
 	}
 }
 

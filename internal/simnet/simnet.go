@@ -65,6 +65,9 @@ const (
 	// ClassSync marks termination-detection traffic: walk acks,
 	// convergecast dones, and phase-completion reports.
 	ClassSync = transport.ClassSync
+	// ClassAudit marks the self-stabilizing audit layer's background
+	// traffic (checksum probes and their replies).
+	ClassAudit = transport.ClassAudit
 )
 
 // Network implements transport.Transport (and the optional
@@ -129,6 +132,27 @@ func (n *Network) AddNode(id NodeID, h Handler) {
 // at delivery time (the node is dead).
 func (n *Network) RemoveNode(id NodeID) {
 	delete(n.handlers, id)
+}
+
+// CancelTimers discards every armed timer owned by one processor,
+// returning how many were cancelled. Timers are local wake-ups — a
+// dead processor's pending wake-ups are meaningless — but by default
+// they linger in the future queue until their due round (where the
+// missing handler drops them). Drivers that keep standing per-node
+// timers (the audit layer's periodic ticks) cancel them eagerly at
+// removal so Pending reflects only live processors' wake-ups.
+func (n *Network) CancelTimers(id NodeID) int {
+	cancelled := 0
+	keep := n.future[:0]
+	for _, t := range n.future {
+		if t.msg.From == id {
+			cancelled++
+			continue
+		}
+		keep = append(keep, t)
+	}
+	n.future = keep
+	return cancelled
 }
 
 // HasNode reports whether a processor is registered.
@@ -344,7 +368,7 @@ func (n *Network) Step() int {
 // roundClasses records which accounting classes saw a delivery this
 // round, so ElectionRounds/SyncRounds count rounds, not messages.
 type roundClasses struct {
-	election, sync bool
+	election, sync, audit bool
 }
 
 func (c *roundClasses) book(s *Stats) {
@@ -353,6 +377,9 @@ func (c *roundClasses) book(s *Stats) {
 	}
 	if c.sync {
 		s.SyncRounds++
+	}
+	if c.audit {
+		s.AuditRounds++
 	}
 }
 
@@ -374,6 +401,9 @@ func (n *Network) bookDelivery(m Message, classes *roundClasses) {
 	case ClassSync:
 		n.stats.SyncMessages++
 		classes.sync = true
+	case ClassAudit:
+		n.stats.AuditMessages++
+		classes.audit = true
 	}
 }
 

@@ -68,6 +68,11 @@ const (
 	// ClassSync marks termination-detection traffic: walk acks,
 	// convergecast dones, and phase-completion reports.
 	ClassSync
+	// ClassAudit marks the self-stabilizing audit layer's background
+	// traffic: checksum probes, claim checks, and their replies. Audit
+	// traffic is charged like everything else; the class exists so the
+	// clean-run audit tax is measurable (and CI-gated) separately.
+	ClassAudit
 )
 
 // Message is a unit of communication between two processors.
@@ -135,6 +140,11 @@ type Stats struct {
 	// both classes counts in both.
 	ElectionRounds int
 	SyncRounds     int
+	// AuditMessages counts delivered background-audit messages
+	// (ClassAudit), and AuditRounds the pulses that carried at least one
+	// of them — the standing cost of the self-stabilizing audit layer.
+	AuditMessages int
+	AuditRounds   int
 }
 
 // Endpoint is the narrow interface handlers (and the driver's message-

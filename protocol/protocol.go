@@ -33,7 +33,9 @@ package protocol
 
 import (
 	"fmt"
+	"math/rand"
 
+	"repro/internal/audit"
 	"repro/internal/channet"
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -445,6 +447,116 @@ func (n *Network) SetObserver(fn func(Event)) {
 		return
 	}
 	n.s.SetObserver(func(ev dist.Event) { fn(n.convEvent(ev)) })
+}
+
+// AuditConfig tunes the background self-stabilizing audit layer (see
+// EnableAudit). Zero fields select the defaults.
+type AuditConfig struct {
+	// Period is the audit pulse interval in rounds: every Period rounds
+	// each processor examines a slice of its own records against its
+	// tree neighbors.
+	Period int
+	// Batch is how many records one pulse examines per processor
+	// (round-robin over the rest); larger batches converge faster at
+	// more audit traffic per pulse.
+	Batch int
+}
+
+// AuditStats reports the audit layer's cumulative counters.
+type AuditStats struct {
+	// Passes counts audit pulses handled, Probes the checksum probes
+	// and claims sent, Mismatches the invariant violations detected,
+	// Repairs the state corrections applied, and Deferred the
+	// examinations skipped because a live repair owned the state.
+	Passes, Probes, Mismatches, Repairs, Deferred int
+	// Messages and Rounds are the transport-level audit traffic since
+	// the last stats reset: delivered audit-class messages and the
+	// pulses that carried at least one.
+	Messages, Rounds int
+}
+
+// EnableAudit switches on the background audit layer: processors
+// periodically exchange O(1)-word checksum probes with their
+// Reconstruction Tree neighbors, detect silently corrupted state
+// (Corrupt's fault modes, or any transient fault with the same
+// footprint), and repair it in-band. Off by default; enabling is
+// one-way for the life of the network.
+func (n *Network) EnableAudit(cfg AuditConfig) error {
+	return n.s.EnableAudit(audit.Config{Period: cfg.Period, Batch: cfg.Batch})
+}
+
+// AuditEnabled reports whether the audit layer is on.
+func (n *Network) AuditEnabled() bool { return n.s.AuditEnabled() }
+
+// AuditStats returns the audit layer's counters so far.
+func (n *Network) AuditStats() AuditStats {
+	st := n.s.AuditStats()
+	msgs, rounds := n.s.AuditTraffic()
+	return AuditStats{
+		Passes: st.Passes, Probes: st.Probes, Mismatches: st.Mismatches,
+		Repairs: st.Repairs, Deferred: st.Deferred,
+		Messages: msgs, Rounds: rounds,
+	}
+}
+
+// CorruptMode selects what kind of processor state Corrupt perturbs.
+type CorruptMode int
+
+const (
+	// CorruptLeafCount inflates a helper's stored leaf count.
+	CorruptLeafCount CorruptMode = CorruptMode(dist.CorruptLeafCount)
+	// CorruptHeight inflates a helper's stored height.
+	CorruptHeight CorruptMode = CorruptMode(dist.CorruptHeight)
+	// CorruptRep misdirects a helper's representative.
+	CorruptRep CorruptMode = CorruptMode(dist.CorruptRep)
+	// CorruptDroppedParent clears a record's parent pointer.
+	CorruptDroppedParent CorruptMode = CorruptMode(dist.CorruptDroppedParent)
+	// CorruptDanglingParent points a parent pointer at a record that
+	// does not exist.
+	CorruptDanglingParent CorruptMode = CorruptMode(dist.CorruptDanglingParent)
+	// CorruptChildPtr points one child side of a helper at a
+	// nonexistent record.
+	CorruptChildPtr CorruptMode = CorruptMode(dist.CorruptChildPtr)
+	// CorruptDamageFlag raises a stale repair damage flag.
+	CorruptDamageFlag CorruptMode = CorruptMode(dist.CorruptDamageFlag)
+	// CorruptStaleEpoch plants repair scratch for a finished epoch.
+	CorruptStaleEpoch CorruptMode = CorruptMode(dist.CorruptStaleEpoch)
+	// CorruptClaimMark plants a phantom batch-claim mark.
+	CorruptClaimMark CorruptMode = CorruptMode(dist.CorruptClaimMark)
+	// CorruptFootprint plants a phantom in-flight repair footprint in
+	// the open-loop engine.
+	CorruptFootprint CorruptMode = CorruptMode(dist.CorruptFootprint)
+	// CorruptClock skews one processor's logical clock far negative
+	// (TransportChan only; unsupported on TransportSim).
+	CorruptClock CorruptMode = CorruptMode(dist.CorruptClock)
+)
+
+// CorruptModes lists every corruption mode, for sweeps.
+func CorruptModes() []CorruptMode {
+	out := make([]CorruptMode, len(dist.CorruptModes))
+	for i, m := range dist.CorruptModes {
+		out[i] = CorruptMode(m)
+	}
+	return out
+}
+
+func (m CorruptMode) String() string { return dist.CorruptMode(m).String() }
+
+// CorruptReport describes one injected fault.
+type CorruptReport struct {
+	Mode   CorruptMode
+	Victim NodeID
+	Detail string
+}
+
+// Corrupt silently injects one transient fault of the given mode,
+// driven by rng: the perturbation updates no bookkeeping, so nothing
+// notices until a full Verify or the audit layer looks. It reports
+// false when the mode has no viable target in the current state — a
+// no-op, not an error.
+func (n *Network) Corrupt(mode CorruptMode, rng *rand.Rand) (CorruptReport, bool) {
+	r, ok := n.s.Corrupt(dist.CorruptMode(mode), rng)
+	return CorruptReport{Mode: CorruptMode(r.Mode), Victim: NodeID(r.Victim), Detail: r.Detail}, ok
 }
 
 func (n *Network) convEvent(ev dist.Event) Event {
