@@ -31,6 +31,13 @@
 // simulator never produces. The chan substrate has no bandwidth model:
 // it rejects -bandwidth, -slow-frac and -parallel.
 //
+// With -dist -transport=wire, the processors are sharded across worker
+// OS processes and every message crosses loopback TCP (length-prefixed
+// frames, per-edge FIFO, reconnect-with-resend) — the most hostile
+// delivery substrate the repro has, with real kernel scheduling and
+// socket buffering picking the interleaving. Like chan, wire has no
+// bandwidth model and rejects -bandwidth, -slow-frac and -parallel.
+//
 // With -dist -async, the campaign drives the OPEN-LOOP engine instead
 // of the blocking calls: operations are submitted on the adversary's
 // clock (up to -async-gap rounds between submissions, including zero)
@@ -46,7 +53,7 @@
 //	     [-check-every C] [-dist] [-parallel] [-full-check]
 //	     [-batch K] [-batch-strategy random|disjoint|colliding]
 //	     [-delete STRATEGY] [-bandwidth B] [-no-spread] [-slow-frac F]
-//	     [-async] [-async-gap G] [-transport sim|chan]
+//	     [-async] [-async-gap G] [-transport sim|chan|wire]
 package main
 
 import (
@@ -63,9 +70,13 @@ import (
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/wirenet"
 )
 
 func main() {
+	// With -transport=wire the hub re-executes this binary to spawn its
+	// shard workers; in a worker, MaybeWorker never returns.
+	wirenet.MaybeWorker()
 	if err := run(); err != nil {
 		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
 		os.Exit(1)
@@ -91,7 +102,7 @@ func run() error {
 		fullCheck = flag.Bool("full-check", false, "run the full O(n) verification at every checkpoint instead of the incremental one (the final check is always full)")
 		async     = flag.Bool("async", false, "with -dist: drive the open-loop engine (Submit/Tick) instead of the blocking calls")
 		asyncGap  = flag.Int("async-gap", 2, "with -async: max rounds the adversary waits between submissions (0 = fully open loop)")
-		transp    = flag.String("transport", "sim", "with -dist: message substrate: sim (round simulator, congestion model) or chan (goroutine-per-processor channels, logical clocks)")
+		transp    = flag.String("transport", "sim", "with -dist: message substrate: sim (round simulator, congestion model), chan (goroutine-per-processor channels, logical clocks), or wire (processor shards in worker OS processes over loopback TCP)")
 		corruptP  = flag.Float64("corrupt-rate", 0, "with -dist: probability per step of silently corrupting one processor's state (random mode); enables the self-stabilizing audit layer, and checkpoints assert the corruption healed via the full Verify")
 		auditPrd  = flag.Int("audit-period", 128, "with -corrupt-rate: audit pulse interval in rounds")
 	)
@@ -127,21 +138,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *transp != "sim" && *transp != "chan" {
-		return fmt.Errorf("-transport must be sim or chan, got %q", *transp)
+	if *transp != "sim" && *transp != "chan" && *transp != "wire" {
+		return fmt.Errorf("-transport must be sim, chan or wire, got %q", *transp)
 	}
-	useChan := *transp == "chan"
-	if useChan && !*useDist {
+	// chan and wire share the guard set: both substrates deliver on
+	// their own (scheduler- or kernel-picked) interleaving and neither
+	// carries the simnet congestion model.
+	concurrent := *transp == "chan" || *transp == "wire"
+	if concurrent && !*useDist {
 		return fmt.Errorf("-transport applies to the distributed protocol only; add -dist")
 	}
-	if useChan && *bandwidth > 0 {
-		return fmt.Errorf("-transport=chan has no bandwidth model (congestion experiments are simnet-only)")
+	if concurrent && *bandwidth > 0 {
+		return fmt.Errorf("-transport=%s has no bandwidth model (congestion experiments are simnet-only)", *transp)
 	}
-	if useChan && *slowFrac > 0 {
-		return fmt.Errorf("-slow-frac needs the simnet bandwidth model; drop -transport=chan")
+	if concurrent && *slowFrac > 0 {
+		return fmt.Errorf("-slow-frac needs the simnet bandwidth model; drop -transport=%s", *transp)
 	}
-	if useChan && *parallel {
-		return fmt.Errorf("-parallel selects simnet's shadow-network delivery; -transport=chan is already concurrent")
+	if concurrent && *parallel {
+		return fmt.Errorf("-parallel selects simnet's shadow-network delivery; -transport=%s is already concurrent", *transp)
 	}
 	if *async && !*useDist {
 		return fmt.Errorf("-async drives the distributed protocol's open-loop engine; add -dist")
@@ -176,6 +190,8 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// On wire, Close is what terminates the worker processes.
+		defer s.Close()
 		s.SetParallel(*parallel)
 		s.SetBandwidth(*bandwidth)
 		s.SetSpread(!*noSpread)

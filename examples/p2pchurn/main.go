@@ -12,9 +12,12 @@
 //
 // With -transport=chan the peers run as goroutines over Go channels
 // (per-processor logical clocks, the Go scheduler picking the delivery
-// interleaving) instead of the round-synchronous simulator; the healed
-// overlay is identical either way — that invariance is exactly what
-// the transport-equivalence tests assert.
+// interleaving) instead of the round-synchronous simulator. With
+// -transport=wire the overlay becomes a real multi-process system:
+// the peers are sharded across -shards worker OS processes and every
+// protocol message crosses loopback TCP. The healed overlay is
+// identical in all three modes — that invariance is exactly what the
+// transport-equivalence tests assert.
 package main
 
 import (
@@ -22,12 +25,18 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
+	"repro/internal/wirenet"
 	"repro/protocol"
 )
 
 func main() {
-	transp := flag.String("transport", "sim", "message substrate: sim or chan")
+	// When this binary re-executes itself as a wire-transport shard
+	// worker, MaybeWorker takes over and never returns.
+	wirenet.MaybeWorker()
+	transp := flag.String("transport", "sim", "message substrate: sim, chan or wire")
+	shards := flag.Int("shards", 4, "with -transport=wire: worker process count")
 	flag.Parse()
 	kind, err := protocol.ParseTransport(*transp)
 	if err != nil {
@@ -48,11 +57,20 @@ func main() {
 			}
 		}
 	}
-	net, err := protocol.NewWithTransport(edges, kind)
+	opts := []protocol.Option{protocol.WithTransport(kind)}
+	if kind == protocol.TransportWire {
+		opts = append(opts, protocol.WithWireShards(*shards))
+	}
+	net, err := protocol.New(edges, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("bootstrapped overlay: %d peers (%s transport)\n\n", net.NumAlive(), kind)
+	defer net.Close()
+	fmt.Printf("bootstrapped overlay: %d peers (%s transport)\n", net.NumAlive(), kind)
+	if pids := net.WorkerPIDs(); len(pids) > 0 {
+		fmt.Printf("fabric: hub pid %d + %d shard worker processes %v\n", os.Getpid(), len(pids), pids)
+	}
+	fmt.Println()
 
 	// The churn stream: 120 events submitted open-loop, at most two
 	// rounds apart, repairs pipelining underneath. Peers pending

@@ -206,10 +206,11 @@ func (n *Network) AddNode(id NodeID, h transport.Handler) {
 }
 
 // RemoveNode unregisters a processor. Its queued messages are dropped
-// eagerly (simnet drops at delivery time; the Transport contract
-// permits either) and count toward Dropped; its armed timers are
+// eagerly and count toward Dropped — the single counting point the
+// Plane contract defines (earliest moment the backend knows the target
+// is dead; simnet and wirenet do the same); its armed timers are
 // discarded but NOT counted — timers are local wake-ups, not network
-// traffic. Later sends to the dead node drop on arrival.
+// traffic. Later sends to the dead node drop and count at send.
 func (n *Network) RemoveNode(id NodeID) {
 	nd, ok := n.nodes[id]
 	if !ok {

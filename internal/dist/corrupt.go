@@ -240,7 +240,7 @@ func (s *Simulation) Corrupt(mode CorruptMode, rng *rand.Rand) (CorruptReport, b
 		return rep, true
 
 	case CorruptClock:
-		sk, canSkew := s.net.(interface{ SkewClock(NodeID, int64) })
+		sk, canSkew := netAs[interface{ SkewClock(NodeID, int64) }](s.net)
 		if !canSkew {
 			return rep, false
 		}

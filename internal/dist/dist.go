@@ -69,6 +69,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -126,7 +127,7 @@ type RecoveryStats struct {
 // It is not safe for concurrent use; the model is a strictly
 // alternating adversary/repair loop.
 type Simulation struct {
-	net    transport.Transport
+	net    transport.Driver
 	gprime *graph.Graph
 	alive  map[NodeID]struct{}
 	dead   map[NodeID]struct{}
@@ -203,11 +204,16 @@ func NewSimulation(g0 *graph.Graph) *Simulation {
 // NewSimulationOn builds the distributed network over an initial
 // topology on an explicit transport backend (internal/simnet for
 // deterministic rounds, internal/channet for goroutine-per-processor
-// real concurrency). The transport must be empty: the simulation owns
-// node registration.
+// real concurrency, internal/wirenet for TCP between OS processes).
+// The transport must be empty: the simulation owns node registration.
+//
+// The simulation drives the backend through the asynchronous control
+// plane (transport.Driver): synchronous transports are adapted by
+// transport.NewDriver, backends that already implement Driver (the
+// wire hub) are used natively.
 func NewSimulationOn(g0 *graph.Graph, net transport.Transport) *Simulation {
 	s := &Simulation{
-		net:    net,
+		net:    transport.NewDriver(net),
 		gprime: g0.Clone(),
 		alive:  make(map[NodeID]struct{}, g0.NumNodes()),
 		dead:   make(map[NodeID]struct{}),
@@ -230,7 +236,39 @@ func NewSimulationOn(g0 *graph.Graph, net transport.Transport) *Simulation {
 			p.nbrs[x] = struct{}{}
 		})
 	}
+	_ = s.net.Drive(context.Background())
 	return s
+}
+
+// Close releases the transport's machinery (worker processes and
+// sockets on the wire backend; a no-op for the in-process backends).
+// The simulation must not be used afterwards.
+func (s *Simulation) Close() error { return s.net.Close() }
+
+// WorkerPIDs returns the OS process IDs of the transport's worker
+// processes, or nil for in-process backends — introspection for demos
+// and operational checks that the fabric really spans processes.
+func (s *Simulation) WorkerPIDs() []int {
+	if w, ok := netAs[interface{ WorkerPIDs() []int }](s.net); ok {
+		return w.WorkerPIDs()
+	}
+	return nil
+}
+
+// netAs probes the backend for an optional capability T. The probe
+// must reach the backend itself, not the Driver adapter a synchronous
+// transport is wrapped in, so it type-asserts on the driver first and
+// then behind Unwrap.
+func netAs[T any](d transport.Driver) (T, bool) {
+	if v, ok := any(d).(T); ok {
+		return v, true
+	}
+	if u, ok := any(d).(transport.Unwrapper); ok {
+		v, ok := any(u.Unwrap()).(T)
+		return v, ok
+	}
+	var zero T
+	return zero, false
 }
 
 func (s *Simulation) addProcessor(v NodeID) {
@@ -481,7 +519,7 @@ func (s *Simulation) removeProcessor(v NodeID) {
 		// The dead processor's standing audit tick must go with it, or
 		// netQuiet's "one armed tick per live processor" count drifts
 		// (simnet discards a removed node's timers only at fire time).
-		if tc, ok := s.net.(interface{ CancelTimers(NodeID) int }); ok {
+		if tc, ok := netAs[interface{ CancelTimers(NodeID) int }](s.net); ok {
 			tc.CancelTimers(v)
 		}
 	}
@@ -574,14 +612,15 @@ func (s *Simulation) roundBound() int {
 // step advances the transport one pulse in the current delivery mode.
 // Parallel mode is a capability: transports that cannot offer an
 // observationally-identical concurrent round (only simnet can) just
-// run their ordinary Step — channet is concurrent by construction.
+// run their ordinary pulse — channet is concurrent by construction,
+// and the wire backend's Pulse is one full fabric drain.
 func (s *Simulation) step() int {
 	if s.parallel {
-		if ps, ok := s.net.(transport.ParallelStepper); ok {
+		if ps, ok := netAs[transport.ParallelStepper](s.net); ok {
 			return ps.ParallelStep()
 		}
 	}
-	return s.net.Step()
+	return s.net.Pulse().Delivered
 }
 
 // run steps the network to quiescence in the current delivery mode,

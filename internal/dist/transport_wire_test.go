@@ -1,0 +1,156 @@
+package dist_test
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/wirenet"
+)
+
+// TestMain makes the wire-backend tests possible: when a Hub under
+// test spawns its shard workers, the children re-execute this test
+// binary and must become workers instead of running the tests.
+func TestMain(m *testing.M) {
+	wirenet.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// diffWire replays one schedule on simnet (the oracle) and on the wire
+// backend — shard worker processes over loopback TCP — and asserts
+// bit-identical healing. This is the strongest form of the transport
+// differential: the repair protocol crossing real sockets between OS
+// processes, with genuinely nondeterministic arrival order, must still
+// produce the same physical network, the same G′, and the same
+// submission-aligned outcome for every operation.
+func diffWire(t *testing.T, gen func(rng *rand.Rand) *graph.Graph, topoSeed int64, sch sched.Schedule, mode sched.Mode) {
+	t.Helper()
+	g0 := gen(rand.New(rand.NewSource(topoSeed)))
+	ref, err := sched.Run(g0, sched.Config{Backend: sched.Simnet, Mode: mode}, sch)
+	if err != nil {
+		t.Fatalf("simnet replay: %v", err)
+	}
+	g0 = gen(rand.New(rand.NewSource(topoSeed)))
+	got, err := sched.Run(g0, sched.Config{Backend: sched.Wire, Shards: 3, Mode: mode}, sch)
+	if err != nil {
+		t.Fatalf("wire replay: %v", err)
+	}
+	if err := sched.Diff(ref, got); err != nil {
+		t.Fatalf("simnet vs wire: %v", err)
+	}
+}
+
+// TestTransportEquivalenceWireBlocking: one-op-at-a-time churn over
+// the 5 topology families, every message crossing loopback TCP.
+func TestTransportEquivalenceWireBlocking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	for _, topo := range equivTopologies {
+		topo := topo
+		t.Run(topo.name, func(t *testing.T) {
+			t.Parallel()
+			g0 := topo.gen(rand.New(rand.NewSource(500)))
+			sch := genValidSchedule(g0, 12, 0, rand.New(rand.NewSource(19)))
+			diffWire(t, topo.gen, 500, sch, sched.ModeBlocking)
+		})
+	}
+}
+
+// TestTransportEquivalenceWireOpenLoop: pipelined churn on the wire
+// backend — repairs in flight across OS processes while new operations
+// are submitted.
+func TestTransportEquivalenceWireOpenLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	for _, topo := range equivTopologies {
+		topo := topo
+		t.Run(topo.name, func(t *testing.T) {
+			t.Parallel()
+			g0 := topo.gen(rand.New(rand.NewSource(600)))
+			sch := genValidSchedule(g0, 14, 0, rand.New(rand.NewSource(23)))
+			diffWire(t, topo.gen, 600, sch, sched.ModeOpenLoop)
+		})
+	}
+}
+
+// TestWireKillWorkerMidRepair is the fault-injection smoke test: a
+// shard worker process is SIGKILLed while repairs are in flight. The
+// hub must respawn the shard, retransmit everything outstanding, and
+// the protocol must heal to a fully verified state — and, because
+// delivery stays exactly-once FIFO through the crash, heal
+// bit-identically to the simnet oracle on the same schedule.
+func TestWireKillWorkerMidRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	gen := func(rng *rand.Rand) *graph.Graph { return graph.PreferentialAttachment(28, 2, rng) }
+	g0 := gen(rand.New(rand.NewSource(700)))
+	sch := genValidSchedule(g0, 12, 0, rand.New(rand.NewSource(29)))
+	ref, err := sched.Run(g0, sched.Config{Backend: sched.Simnet, Mode: sched.ModeOpenLoop}, sch)
+	if err != nil {
+		t.Fatalf("simnet replay: %v", err)
+	}
+
+	h, err := wirenet.New(wirenet.Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dist.NewSimulationOn(gen(rand.New(rand.NewSource(700))), h)
+	defer s.Close()
+
+	// Drive the schedule by hand so a worker can be killed mid-flight.
+	killed := 0
+	pos := 0
+	for _, op := range sch.Ops {
+		var dop dist.Op
+		switch op.Kind {
+		case sched.OpInsert:
+			nbrs := make([]dist.NodeID, len(op.Nbrs))
+			for i, x := range op.Nbrs {
+				nbrs[i] = dist.NodeID(x)
+			}
+			dop = dist.Op{Kind: dist.OpInsert, V: dist.NodeID(op.V), Nbrs: nbrs}
+		case sched.OpDelete:
+			dop = dist.Op{Kind: dist.OpDelete, V: dist.NodeID(op.V)}
+		default:
+			t.Fatalf("unexpected op kind %d in schedule", op.Kind)
+		}
+		if err := s.Submit(dop); err != nil {
+			// Structural rejection — identical on the oracle run; skip.
+			pos++
+			continue
+		}
+		pos++
+		for i := 0; i < op.Gap; i++ {
+			s.Tick()
+		}
+		// Kill a different shard every few ops, while repairs are
+		// typically in flight.
+		if pos%4 == 0 && killed < 3 {
+			if err := h.KillWorker(killed % 3); err != nil {
+				t.Fatalf("kill worker %d: %v", killed%3, err)
+			}
+			killed++
+		}
+	}
+	if killed == 0 {
+		t.Fatal("schedule too short: no worker was ever killed")
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain after kills: %v", err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("verify after kills: %v", err)
+	}
+	if !s.Physical().Equal(ref.Phys) {
+		t.Fatal("healed physical network diverges from simnet oracle after worker kills")
+	}
+	if !s.GPrime().Equal(ref.GPrime) {
+		t.Fatal("G' diverges from simnet oracle after worker kills")
+	}
+}

@@ -229,9 +229,10 @@ func (s *Simulation) checkEngineFootprint() error {
 }
 
 // checkTransport runs the backend's own state validation when it has
-// one (channet: logical-clock sanity and timer ownership).
+// one (channet: logical-clock sanity and timer ownership; wirenet:
+// reliability-state invariants).
 func (s *Simulation) checkTransport() error {
-	if v, ok := s.net.(interface{ Validate() error }); ok {
+	if v, ok := netAs[interface{ Validate() error }](s.net); ok {
 		if err := v.Validate(); err != nil {
 			return fmt.Errorf("dist: transport: %w", err)
 		}

@@ -7,26 +7,37 @@ import (
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/simnet"
+	"repro/internal/wirenet"
 )
 
 // TransportNames lists the message substrates NewSimulationFor
 // accepts, in flag-help order.
-var TransportNames = []string{"sim", "chan"}
+var TransportNames = []string{"sim", "chan", "wire"}
 
 // NewSimulationFor builds a dist.Simulation over g0 on the named
 // message substrate: "sim" is the deterministic round-synchronous
 // simulator (the measurement mode, with the full congestion model),
 // "chan" runs processors as goroutines over Go channels with
-// per-processor logical clocks and no bandwidth model. The experiment
-// tables in this package stay on "sim" — rounds and congestion are
-// only defined there — but soak campaigns and ad-hoc drivers pick
-// either through this one seam.
+// per-processor logical clocks and no bandwidth model, and "wire"
+// shards processors across worker OS processes over loopback TCP
+// (the calling binary must invoke wirenet.MaybeWorker first — see
+// that function's doc). The experiment tables in this package stay
+// on "sim" — rounds and congestion are only defined there — but soak
+// campaigns and ad-hoc drivers pick any substrate through this one
+// seam. Callers should Close the simulation when done; on "wire"
+// that is what terminates the worker processes.
 func NewSimulationFor(g0 *graph.Graph, transport string) (*dist.Simulation, error) {
 	switch transport {
 	case "sim", "simnet":
 		return dist.NewSimulationOn(g0, simnet.New()), nil
 	case "chan", "channel", "channet":
 		return dist.NewSimulationOn(g0, channet.New()), nil
+	case "wire", "wirenet", "tcp":
+		h, err := wirenet.New(wirenet.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return dist.NewSimulationOn(g0, h), nil
 	}
-	return nil, fmt.Errorf("harness: unknown transport %q (want sim or chan)", transport)
+	return nil, fmt.Errorf("harness: unknown transport %q (want sim, chan or wire)", transport)
 }

@@ -1,16 +1,28 @@
 package harness
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/wirenet"
 )
 
+// TestMain lets the "wire" substrate spawn its shard worker processes
+// by re-executing this test binary (see wirenet.MaybeWorker).
+func TestMain(m *testing.M) {
+	wirenet.MaybeWorker()
+	os.Exit(m.Run())
+}
+
 // TestNewSimulationFor: the one seam soak and ad-hoc drivers use to
-// pick a substrate — both must heal a small deletion identically.
+// pick a substrate — all must heal a small deletion identically.
 func TestNewSimulationFor(t *testing.T) {
 	var healed []*graph.Graph
 	for _, name := range TransportNames {
+		if name == "wire" && testing.Short() {
+			continue // spawns worker processes
+		}
 		s, err := NewSimulationFor(graph.Star(8), name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -22,9 +34,15 @@ func TestNewSimulationFor(t *testing.T) {
 			t.Fatalf("%s: verify: %v", name, err)
 		}
 		healed = append(healed, s.Physical())
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
 	}
-	if !healed[0].Equal(healed[1]) {
-		t.Fatalf("transports healed differently:\nsim:  %v\nchan: %v", healed[0], healed[1])
+	for i := 1; i < len(healed); i++ {
+		if !healed[0].Equal(healed[i]) {
+			t.Fatalf("transport %s healed differently from %s:\n%v\nvs\n%v",
+				TransportNames[i], TransportNames[0], healed[i], healed[0])
+		}
 	}
 	if _, err := NewSimulationFor(graph.Star(4), "carrier-pigeon"); err == nil {
 		t.Fatal("unknown transport must error")

@@ -35,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/wirenet"
 )
 
 // NodeID identifies a processor, shared with package graph.
@@ -53,6 +54,9 @@ const (
 	// ChannelSeeded is channet's single-threaded deterministic
 	// scheduler; Config.Seed picks the interleaving.
 	ChannelSeeded
+	// Wire is wirenet: shard worker processes over loopback TCP, real
+	// sockets as the adversary. Config.Shards picks the process count.
+	Wire
 )
 
 func (b Backend) String() string {
@@ -63,6 +67,8 @@ func (b Backend) String() string {
 		return "chan"
 	case ChannelSeeded:
 		return "chan-seeded"
+	case Wire:
+		return "wire"
 	}
 	return fmt.Sprintf("backend(%d)", int(b))
 }
@@ -93,6 +99,7 @@ type Config struct {
 	Backend Backend
 	Seed    int64 // ChannelSeeded only
 	Mode    Mode
+	Shards  int // Wire only: worker process count (0 = wirenet default)
 }
 
 // OpKind distinguishes schedule operations.
@@ -164,15 +171,19 @@ type Result struct {
 	Outcomes []Outcome
 }
 
-// NewTransport builds the configured backend, empty.
-func NewTransport(c Config) transport.Transport {
+// NewTransport builds the configured backend, empty. The Wire backend
+// spawns OS processes and binds sockets, which can fail; the
+// in-process backends never do.
+func NewTransport(c Config) (transport.Transport, error) {
 	switch c.Backend {
 	case Simnet:
-		return simnet.New()
+		return simnet.New(), nil
 	case Channel:
-		return channet.New()
+		return channet.New(), nil
 	case ChannelSeeded:
-		return channet.NewSeeded(c.Seed)
+		return channet.NewSeeded(c.Seed), nil
+	case Wire:
+		return wirenet.New(wirenet.Config{Shards: c.Shards})
 	}
 	panic(fmt.Sprintf("sched: unknown backend %d", int(c.Backend)))
 }
@@ -182,9 +193,13 @@ func NewTransport(c Config) transport.Transport {
 // invariant check) before returning; a verification failure is an
 // error, as is a repair that fails to quiesce.
 func Run(g0 *graph.Graph, c Config, sch Schedule) (*Result, error) {
-	s := dist.NewSimulationOn(g0, NewTransport(c))
+	net, err := NewTransport(c)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %s: %w", c.Backend, err)
+	}
+	s := dist.NewSimulationOn(g0, net)
+	defer s.Close()
 	var out []Outcome
-	var err error
 	if c.Mode == ModeOpenLoop {
 		out, err = runOpenLoop(s, sch)
 	} else {

@@ -70,7 +70,13 @@ func (n *Network) ParallelStep() int {
 	var classes roundClasses
 	for _, g := range groups {
 		if !n.HasNode(g.to) {
-			n.dropped += len(g.msgs)
+			// Defensive only, like the sequential Step: dead-addressed
+			// traffic is counted at send or RemoveNode, never here.
+			for _, m := range g.msgs {
+				if !m.Timer {
+					n.dropped++
+				}
+			}
 			continue
 		}
 		for _, m := range g.msgs {
@@ -127,6 +133,9 @@ func (n *Network) ParallelStep() int {
 		if shadow == nil {
 			continue
 		}
+		// Sends to dead targets were dropped-and-counted at send time
+		// inside the shadow; fold them into the real counter.
+		n.dropped += shadow.dropped
 		qi, fi := 0, 0
 		for qi < len(shadow.queue) || fi < len(shadow.future) {
 			takeMsg := fi >= len(shadow.future) ||

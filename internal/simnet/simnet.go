@@ -128,10 +128,31 @@ func (n *Network) AddNode(id NodeID, h Handler) {
 	n.handlers[id] = h
 }
 
-// RemoveNode unregisters a processor; queued messages to it are dropped
-// at delivery time (the node is dead).
+// RemoveNode unregisters a processor (the node is dead). Messages
+// already queued for it are dropped and counted now, and its armed
+// timers are discarded uncounted — the single defined counting point
+// shared with channet: a message is counted Dropped at the earliest
+// moment the backend knows its target is dead (here, or at send time
+// for later sends), and timers never count.
 func (n *Network) RemoveNode(id NodeID) {
 	delete(n.handlers, id)
+	keepQ := n.queue[:0]
+	for _, m := range n.queue {
+		if m.To == id && !m.Timer {
+			n.dropped++
+			continue
+		}
+		keepQ = append(keepQ, m)
+	}
+	n.queue = keepQ
+	keepF := n.future[:0]
+	for _, t := range n.future {
+		if t.msg.From == id {
+			continue
+		}
+		keepF = append(keepF, t)
+	}
+	n.future = keepF
 }
 
 // CancelTimers discards every armed timer owned by one processor,
@@ -293,11 +314,19 @@ func (n *Network) Send(from, to NodeID, payload any, words int) {
 }
 
 // SendClass is Send with an explicit accounting class (see Class).
+// Sends to unregistered (dead) targets are dropped and counted here —
+// the send is the earliest point the backend knows the target is dead.
+// The sequence number is still consumed, so the deterministic delivery
+// order of the surviving traffic is unchanged.
 func (n *Network) SendClass(from, to NodeID, payload any, words int, class Class) {
 	if words < 1 {
 		panic(fmt.Sprintf("simnet: message with %d words", words))
 	}
 	n.seq++
+	if _, ok := n.handlers[to]; !ok {
+		n.dropped++
+		return
+	}
 	n.queue = append(n.queue, Message{
 		From: from, To: to, Payload: payload, Words: words, Class: class, Seq: n.seq,
 	})
@@ -352,7 +381,12 @@ func (n *Network) Step() int {
 	for _, m := range batch {
 		h, ok := n.handlers[m.To]
 		if !ok {
-			n.dropped++
+			// Defensive only: dead-addressed traffic is dropped and
+			// counted at send or at RemoveNode, never here. Timers are
+			// never counted as Dropped.
+			if !m.Timer {
+				n.dropped++
+			}
 			continue
 		}
 		if !m.Timer {

@@ -38,13 +38,19 @@
 // to conclude that something did NOT happen — so slower clocks are
 // always safe, merely slower.
 //
-// Step drives the network in driver-controlled pulses. Between two
-// Step calls no handler is running and no handler will run, so the
-// driver may freely inspect processor state, add or remove nodes, and
-// inject messages. How much work one Step performs is implementation-
-// defined (simnet: exactly one synchronous round; channet: all
-// currently deliverable traffic plus at most one timer epoch); drivers
-// must only rely on "repeated Step eventually drains Pending".
+// # Two planes
+//
+// The driver surface is split in two. The data plane (Plane) is what
+// handlers and lifecycle management see: Send/SendTimer, node
+// add/remove, introspection, bandwidth. The control plane is how
+// delivery is driven, and it comes in two flavors: synchronous
+// backends implement Transport (Plane + Step, the frozen-world pulse
+// contract), while asynchronous backends — where traffic moves on real
+// links and no global freeze exists — implement Driver (Plane + Drive
+// + quiescence notifications + safe-point requests, see driver.go).
+// NewDriver adapts any Transport into a Driver, so the dist driver
+// loop speaks only the async contract and the entire existing
+// simnet/channet test suite runs unmodified behind the shim.
 package transport
 
 import "repro/internal/graph"
@@ -170,33 +176,30 @@ type Endpoint interface {
 	Round() int
 }
 
-// Transport is the full substrate the dist driver runs on: Endpoint
-// plus processor lifecycle, pulse scheduling, introspection, and the
-// (optional) bandwidth model.
-type Transport interface {
+// Plane is the data-plane surface of a substrate: everything a driver
+// needs except pulse scheduling. It is the part of the contract shared
+// by the synchronous in-process backends (simnet, channet) and the
+// asynchronous wire backend — Endpoint plus processor lifecycle,
+// introspection, and the (optional) bandwidth model. How delivery is
+// *driven* is deliberately absent: synchronous backends add Step
+// (Transport), asynchronous ones add the control plane (Driver).
+type Plane interface {
 	Endpoint
 
 	// AddNode registers a processor. Re-registering replaces the
 	// handler. Must only be called between Steps.
 	AddNode(id NodeID, h Handler)
-	// RemoveNode unregisters a processor (the node is dead). Messages
-	// addressed to it are dropped and counted by Dropped — an
-	// implementation may drop already-queued messages eagerly at
-	// removal (channet) or lazily at delivery time (simnet), so the
-	// same scenario can read differently in Pending/Dropped *timing*
-	// across backends, though every such message is eventually counted.
-	// The dead node's armed timers are discarded without being counted:
-	// timers are local wake-ups, not network traffic. Must only be
-	// called between Steps.
+	// RemoveNode unregisters a processor (the node is dead). Every
+	// message addressed to it — already queued or sent later — is
+	// dropped and counted by Dropped at the earliest point the backend
+	// knows the target is dead: at RemoveNode for messages already
+	// queued, at send time afterwards. The dead node's armed timers are
+	// discarded without being counted: timers are local wake-ups, not
+	// network traffic. Must only be called between Steps.
 	RemoveNode(id NodeID)
 	// HasNode reports whether a processor is registered.
 	HasNode(id NodeID) bool
 
-	// Step delivers some implementation-defined, nonempty-if-possible
-	// amount of pending traffic and returns the number of deliveries
-	// performed. Repeatedly calling Step drains Pending to zero in
-	// finite pulses for any terminating protocol.
-	Step() int
 	// Pending reports how many messages and timers are waiting for
 	// delivery.
 	Pending() int
@@ -229,6 +232,24 @@ type Transport interface {
 	SetNodeBandwidth(id NodeID, words int)
 	// Bandwidth returns the global per-edge cap (0 = unlimited).
 	Bandwidth() int
+}
+
+// Transport is a synchronous substrate: a Plane driven in frozen-world
+// pulses. Between two Step calls no handler is running and no handler
+// will run, so the driver may freely inspect processor state, add or
+// remove nodes, and inject messages. How much work one Step performs
+// is implementation-defined (simnet: exactly one synchronous round;
+// channet: all currently deliverable traffic plus at most one timer
+// epoch); drivers must only rely on "repeated Step eventually drains
+// Pending".
+type Transport interface {
+	Plane
+
+	// Step delivers some implementation-defined, nonempty-if-possible
+	// amount of pending traffic and returns the number of deliveries
+	// performed. Repeatedly calling Step drains Pending to zero in
+	// finite pulses for any terminating protocol.
+	Step() int
 }
 
 // ParallelStepper is implemented by transports that offer an

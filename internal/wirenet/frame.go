@@ -1,0 +1,265 @@
+package wirenet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Wire format. Every connection — hub↔worker and worker↔worker —
+// carries a stream of length-prefixed frames:
+//
+//	uvarint bodyLen | body
+//
+// and every body starts with a one-byte frame kind. Message-bearing
+// frames (route/fwd/deliver) share one body layout, so relaying a
+// message is a one-byte rewrite of the kind, not a re-encode.
+const (
+	// fkHello is a worker's first frame on its hub connection: its
+	// shard index, the shared secret, and its peer-listener address.
+	fkHello = byte(iota + 1)
+	// fkPeers is the hub's shard directory broadcast: every shard's
+	// peer-listener address. Re-broadcast whenever a worker respawns.
+	fkPeers
+	// fkRoute carries a message hub → shard(From): "inject this into
+	// the fabric".
+	fkRoute
+	// fkFwd carries a message worker → worker along the peer link
+	// shard(From) → shard(To).
+	fkFwd
+	// fkDeliver carries a message shard(To) → hub: "this arrived".
+	fkDeliver
+	// fkLinkHello opens a worker↔worker link: the dialer's shard index
+	// plus the shared secret.
+	fkLinkHello
+	// fkShutdown asks a worker to exit cleanly.
+	fkShutdown
+)
+
+// maxFrame bounds one frame body. Protocol payloads are O(1) words, so
+// even the hub's k-entry peer directory sits far below this.
+const maxFrame = 1 << 20
+
+// wmsg is a protocol message in transit: the transport.Message scalars
+// plus the fields the fabric itself needs — the per-directed-edge
+// sequence number (FIFO and exactly-once are enforced hub-side against
+// it) and the sender's logical-clock stamp.
+type wmsg struct {
+	From, To transport.NodeID
+	EdgeSeq  uint64 // position on the directed edge From→To, from 1
+	GSeq     int    // global send ticket (transport.Message.Seq)
+	At       int64  // sender's Lamport stamp at send time
+	Class    transport.Class
+	Words    int
+	Payload  []byte // codec-encoded payload, opaque to workers
+}
+
+// appendWmsg appends the shared message body (without the kind byte).
+func appendWmsg(buf []byte, m wmsg) []byte {
+	buf = binary.AppendVarint(buf, int64(m.From))
+	buf = binary.AppendVarint(buf, int64(m.To))
+	buf = binary.AppendUvarint(buf, m.EdgeSeq)
+	buf = binary.AppendUvarint(buf, uint64(m.GSeq))
+	buf = binary.AppendVarint(buf, m.At)
+	buf = append(buf, byte(m.Class))
+	buf = binary.AppendUvarint(buf, uint64(m.Words))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
+// parseWmsg decodes the shared message body (after the kind byte).
+func parseWmsg(data []byte) (wmsg, error) {
+	var m wmsg
+	d := decoder{data: data}
+	m.From = transport.NodeID(d.varint())
+	m.To = transport.NodeID(d.varint())
+	m.EdgeSeq = d.uvarint()
+	m.GSeq = int(d.uvarint())
+	m.At = d.varint()
+	m.Class = transport.Class(d.byte())
+	m.Words = int(d.uvarint())
+	n := int(d.uvarint())
+	if d.err == nil && (n < 0 || n > len(d.data)-d.off) {
+		d.err = fmt.Errorf("wirenet: payload length %d exceeds frame", n)
+	}
+	if d.err != nil {
+		return wmsg{}, d.err
+	}
+	m.Payload = append([]byte(nil), d.data[d.off:d.off+n]...)
+	return m, nil
+}
+
+// decoder is a cursor over one frame body with sticky errors.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("wirenet: bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("wirenet: bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.data)-d.off {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) string() string { return string(d.bytes()) }
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendString(buf []byte, s string) []byte { return appendBytes(buf, []byte(s)) }
+
+// readFrame reads one length-prefixed frame body.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("wirenet: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// sendq is a per-connection write pump: an unbounded queue drained by
+// one goroutine, so no protocol goroutine ever blocks on a full TCP
+// buffer (the classic two-sided write deadlock). Frames enqueued after
+// close, or left when the connection errors, are silently discarded —
+// reliability is end-to-end (the hub retransmits outstanding frames),
+// not per-link.
+type sendq struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      [][]byte
+	closed bool
+	conn   net.Conn
+}
+
+func newSendq(conn net.Conn) *sendq {
+	s := &sendq{conn: conn}
+	s.cond = sync.NewCond(&s.mu)
+	go s.pump()
+	return s
+}
+
+// send enqueues one frame body (the length prefix is added on write).
+func (s *sendq) send(body []byte) {
+	s.mu.Lock()
+	if !s.closed {
+		s.q = append(s.q, body)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// close drains what is already queued, then closes the connection.
+func (s *sendq) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *sendq) pump() {
+	w := bufio.NewWriter(s.conn)
+	var hdr [binary.MaxVarintLen64]byte
+	for {
+		s.mu.Lock()
+		for len(s.q) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		batch := s.q
+		s.q = nil
+		closed := s.closed
+		s.mu.Unlock()
+		for _, body := range batch {
+			n := binary.PutUvarint(hdr[:], uint64(len(body)))
+			if _, err := w.Write(hdr[:n]); err != nil {
+				s.fail()
+				return
+			}
+			if _, err := w.Write(body); err != nil {
+				s.fail()
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			s.fail()
+			return
+		}
+		if closed {
+			s.conn.Close()
+			return
+		}
+	}
+}
+
+// fail closes the connection and discards everything still queued.
+func (s *sendq) fail() {
+	s.mu.Lock()
+	s.closed = true
+	s.q = nil
+	s.mu.Unlock()
+	s.conn.Close()
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/wirenet"
 )
 
 // NodeID identifies a processor.
@@ -117,36 +118,101 @@ const (
 	// read zero. Use it to check liveness and healing under a real
 	// scheduler; use TransportSim for cost tables.
 	TransportChan
+	// TransportWire runs the message fabric as shard worker processes
+	// over loopback TCP (internal/wirenet): every message crosses real
+	// sockets between OS processes. Like TransportChan it has no
+	// bandwidth model; unlike the in-process transports it holds OS
+	// resources, so call Close when done. The spawning binary must call
+	// wirenet.MaybeWorker first in main (see that package).
+	TransportWire
 )
 
 func (k TransportKind) String() string {
-	if k == TransportChan {
+	switch k {
+	case TransportChan:
 		return "chan"
+	case TransportWire:
+		return "wire"
 	}
 	return "sim"
 }
 
-// ParseTransport maps the command-line spellings ("sim", "chan") to a
-// TransportKind.
+// ParseTransport maps the command-line spellings ("sim", "chan",
+// "wire") to a TransportKind.
 func ParseTransport(s string) (TransportKind, error) {
 	switch s {
 	case "sim", "simnet":
 		return TransportSim, nil
 	case "chan", "channel", "channet":
 		return TransportChan, nil
+	case "wire", "wirenet", "tcp":
+		return TransportWire, nil
 	}
-	return 0, fmt.Errorf("protocol: unknown transport %q (want sim or chan)", s)
+	return 0, fmt.Errorf("protocol: unknown transport %q (want sim, chan or wire)", s)
 }
 
-// New builds the distributed network from an initial edge list on the
-// default deterministic round-synchronous transport.
-func New(edges []Edge) (*Network, error) {
-	return NewWithTransport(edges, TransportSim)
+// Option configures a Network at construction time.
+type Option func(*options)
+
+type options struct {
+	kind      TransportKind
+	shards    int
+	bandwidth int
+	spread    *bool
+	audit     *AuditConfig
+	observer  func(Event)
 }
 
-// NewWithTransport builds the distributed network on the chosen
-// message-passing substrate.
-func NewWithTransport(edges []Edge, kind TransportKind) (*Network, error) {
+// WithTransport selects the message-passing substrate (default
+// TransportSim).
+func WithTransport(kind TransportKind) Option {
+	return func(o *options) { o.kind = kind }
+}
+
+// WithWireShards sets the worker process count for TransportWire
+// (0 = the wirenet default). Ignored on other transports.
+func WithWireShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithBandwidth caps every edge at the given words per round, exactly
+// like SetBandwidth — but applied before the first operation, so even
+// the first repair runs congested. TransportSim only.
+func WithBandwidth(words int) Option {
+	return func(o *options) { o.bandwidth = words }
+}
+
+// WithSpread sets the sender-side pacing of leader instruction bursts
+// (see SetSpread; default on).
+func WithSpread(on bool) Option {
+	return func(o *options) { o.spread = &on }
+}
+
+// WithAudit enables the background self-stabilizing audit layer from
+// the start (see EnableAudit).
+func WithAudit(cfg AuditConfig) Option {
+	return func(o *options) { o.audit = &cfg }
+}
+
+// WithObserver streams completion events to fn from the first
+// operation on (see SetObserver).
+func WithObserver(fn func(Event)) Option {
+	return func(o *options) { o.observer = fn }
+}
+
+// New builds the distributed network from an initial edge list. With
+// no options it runs on the deterministic round-synchronous transport
+// with default settings; options select the substrate and apply
+// initial configuration in one place:
+//
+//	n, err := protocol.New(edges,
+//	    protocol.WithTransport(protocol.TransportChan),
+//	    protocol.WithAudit(protocol.AuditConfig{}))
+func New(edges []Edge, opts ...Option) (*Network, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	g0 := graph.New()
 	for _, e := range edges {
 		if e.U == e.V {
@@ -155,19 +221,58 @@ func NewWithTransport(edges []Edge, kind TransportKind) (*Network, error) {
 		g0.AddEdge(graph.NodeID(e.U), graph.NodeID(e.V))
 	}
 	var net transport.Transport
-	switch kind {
+	switch o.kind {
 	case TransportSim:
 		net = simnet.New()
 	case TransportChan:
 		net = channet.New()
+	case TransportWire:
+		h, err := wirenet.New(wirenet.Config{Shards: o.shards})
+		if err != nil {
+			return nil, fmt.Errorf("protocol: wire transport: %w", err)
+		}
+		net = h
 	default:
-		return nil, fmt.Errorf("protocol: unknown transport kind %d", int(kind))
+		return nil, fmt.Errorf("protocol: unknown transport kind %d", int(o.kind))
 	}
-	return &Network{s: dist.NewSimulationOn(g0, net), kind: kind}, nil
+	n := &Network{s: dist.NewSimulationOn(g0, net), kind: o.kind}
+	if o.bandwidth > 0 {
+		n.SetBandwidth(o.bandwidth)
+	}
+	if o.spread != nil {
+		n.SetSpread(*o.spread)
+	}
+	if o.audit != nil {
+		if err := n.EnableAudit(*o.audit); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	if o.observer != nil {
+		n.SetObserver(o.observer)
+	}
+	return n, nil
+}
+
+// NewWithTransport builds the distributed network on the chosen
+// message-passing substrate.
+//
+// Deprecated: use New(edges, WithTransport(kind)).
+func NewWithTransport(edges []Edge, kind TransportKind) (*Network, error) {
+	return New(edges, WithTransport(kind))
 }
 
 // Transport reports which substrate the network runs on.
 func (n *Network) Transport() TransportKind { return n.kind }
+
+// Close releases the transport's resources: worker processes and
+// sockets on TransportWire, nothing on the in-process transports. The
+// network must not be used afterwards.
+func (n *Network) Close() error { return n.s.Close() }
+
+// WorkerPIDs returns the OS process IDs of the transport's shard
+// workers (TransportWire), or nil on the in-process transports.
+func (n *Network) WorkerPIDs() []int { return n.s.WorkerPIDs() }
 
 // SetParallel switches between sequential message delivery (default,
 // the measurement mode) and a goroutine per processor per round. Both
