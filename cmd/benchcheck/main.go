@@ -35,6 +35,7 @@ func main() {
 		inputPath    = flag.String("input", "-", "bench output to check (- = stdin)")
 		nsTol        = flag.Float64("ns-tol", 0.30, "allowed fractional ns/op regression")
 		msgsTol      = flag.Float64("msgs-tol", 0.05, "allowed fractional message-count regression")
+		allocsTol    = flag.Float64("allocs-tol", 0.15, "allowed fractional allocs/op and B/op deviation")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 		defer f.Close()
 		input = f
 	}
-	if err := check(baseline, input, *nsTol, *msgsTol, os.Stdout); err != nil {
+	if err := check(baseline, input, *nsTol, *msgsTol, *allocsTol, os.Stdout); err != nil {
 		fatal(err)
 	}
 }
@@ -130,11 +131,18 @@ func metricKey(unit string) string {
 // in-band coordination counters (sync/election rounds) are
 // deterministic protocol properties at a pinned -benchtime, so moving
 // in *either* direction beyond tolerance means the protocol changed
-// and the baseline is stale. Informational metrics return -1.
-func tolerance(key string, nsTol, msgsTol float64) (tol float64, twoSided bool) {
+// and the baseline is stale. Allocation counts (allocs/op, B/op) are
+// gated the same two-sided way — an allocation regression is a perf
+// bug, and a silent improvement means the recorded diet is stale —
+// but at their own tolerance: map-growth timing adds a little honest
+// run-to-run jitter that exact message counts do not have.
+// Informational metrics return -1.
+func tolerance(key string, nsTol, msgsTol, allocsTol float64) (tol float64, twoSided bool) {
 	switch {
 	case key == "ns_per_op":
 		return nsTol, false
+	case key == "allocs_per_op", key == "bytes_per_op":
+		return allocsTol, true
 	case strings.HasPrefix(key, "msgs_"),
 		strings.HasPrefix(key, "rounds_"),
 		strings.HasPrefix(key, "syncrounds_"),
@@ -147,7 +155,7 @@ func tolerance(key string, nsTol, msgsTol float64) (tol float64, twoSided bool) 
 	}
 }
 
-func check(baseline []byte, input io.Reader, nsTol, msgsTol float64, out io.Writer) error {
+func check(baseline []byte, input io.Reader, nsTol, msgsTol, allocsTol float64, out io.Writer) error {
 	var base baselineFile
 	if err := json.Unmarshal(baseline, &base); err != nil {
 		return fmt.Errorf("parsing baseline: %w", err)
@@ -183,7 +191,7 @@ func check(baseline []byte, input io.Reader, nsTol, msgsTol float64, out io.Writ
 			if !ok {
 				continue // non-numeric metadata
 			}
-			tol, twoSided := tolerance(key, nsTol, msgsTol)
+			tol, twoSided := tolerance(key, nsTol, msgsTol, allocsTol)
 			if tol < 0 {
 				continue
 			}

@@ -9,14 +9,15 @@ const baseline = `{
   "benchmarks": [
     {"name": "BenchmarkBatchedDelete/k=1", "ns_per_op": 40000, "msgs_per_batch": 20.0, "rounds_per_batch": 6.0},
     {"name": "BenchmarkBandwidthRepair/B=1", "ns_per_op": 300000, "msgs_per_repair": 400.0},
-    {"name": "BenchmarkPhysicalSnapshot/incremental", "ns_per_op": 1000000}
+    {"name": "BenchmarkPhysicalSnapshot/incremental", "ns_per_op": 1000000},
+    {"name": "BenchmarkTickSteadyState", "ns_per_op": 20000, "msgs_per_tick": 3.0, "allocs_per_op": 15, "bytes_per_op": 2200}
   ]
 }`
 
 func run(t *testing.T, input string) (string, error) {
 	t.Helper()
 	var out strings.Builder
-	err := check([]byte(baseline), strings.NewReader(input), 0.30, 0.05, &out)
+	err := check([]byte(baseline), strings.NewReader(input), 0.30, 0.05, 0.15, &out)
 	return out.String(), err
 }
 
@@ -89,6 +90,56 @@ BenchmarkBandwidthRepair/B=1-8  50    200000 ns/op   399.0 msgs/repair
 `)
 	if err != nil {
 		t.Fatalf("improvement flagged as regression: %v\n%s", err, out)
+	}
+}
+
+func TestFailsOnAllocRegression(t *testing.T) {
+	// 15 * 1.15 = 17.25 allocs allowed; 25 is an allocation regression
+	// even with wall time and messages unchanged.
+	out, err := run(t, `
+BenchmarkTickSteadyState-8    50    20000 ns/op    3.000 msgs/tick    2200 B/op    25 allocs/op
+`)
+	if err == nil {
+		t.Fatalf("synthetic allocs/op regression passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "allocs_per_op regressed") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+}
+
+func TestFailsOnBytesRegression(t *testing.T) {
+	// 2200 * 1.15 = 2530 B/op allowed; 4000 fails.
+	out, err := run(t, `
+BenchmarkTickSteadyState-8    50    20000 ns/op    3.000 msgs/tick    4000 B/op    15 allocs/op
+`)
+	if err == nil {
+		t.Fatalf("synthetic B/op regression passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "bytes_per_op regressed") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+}
+
+func TestFailsOnAllocDeviationBelow(t *testing.T) {
+	// A drop to 2 allocs/op means the recorded diet is stale: the gate
+	// demands a re-record, like the deterministic message counts.
+	out, err := run(t, `
+BenchmarkTickSteadyState-8    50    20000 ns/op    3.000 msgs/tick    2200 B/op    2 allocs/op
+`)
+	if err == nil {
+		t.Fatalf("alloc count fell far below baseline and passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "allocs_per_op deviates below baseline") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+}
+
+func TestAllocsWithinTolerancePass(t *testing.T) {
+	out, err := run(t, `
+BenchmarkTickSteadyState-8    50    21000 ns/op    3.050 msgs/tick    2300 B/op    16 allocs/op
+`)
+	if err != nil {
+		t.Fatalf("in-tolerance alloc metrics flagged: %v\n%s", err, out)
 	}
 }
 

@@ -61,6 +61,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/adversary"
@@ -235,6 +238,7 @@ func run() error {
 	degRatios := metrics.NewHistogram(0, 4.25, 17)
 	var cong metrics.Congestion
 	var coord metrics.Coordination
+	var cost checkCost
 	start := time.Now()
 	deletions, batches, corruptions := 0, 0, 0
 	for step := 1; step <= *steps; step++ {
@@ -326,9 +330,11 @@ func run() error {
 				}
 				check = target.Validate
 			}
+			ckStart := time.Now()
 			if err := check(); err != nil {
 				return fmt.Errorf("step %d: INVARIANT VIOLATION: %w", step, err)
 			}
+			cost.observe(time.Since(ckStart))
 			net := target.Network()
 			gp := target.GPrime()
 			live := target.LiveNodes()
@@ -352,7 +358,8 @@ func run() error {
 	if *batchK > 1 {
 		fmt.Printf(" in %d batches", batches)
 	}
-	fmt.Printf(") in %v — all invariants held\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf(") in %v — all invariants held\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("checkpoint validation: %s; peak RSS %.0f MB\n\n", cost.String(), peakRSSMB())
 	if *useDist {
 		fmt.Println("repair messages per deletion/batch:")
 		fmt.Println(repairMsgs.Render(40))
@@ -377,6 +384,54 @@ func run() error {
 		printAuditSummary(sim, corruptions)
 	}
 	return nil
+}
+
+// checkCost accumulates the wall-clock cost of checkpoint validations.
+// At scale this is the number the incremental mode is about: with
+// VerifyDelta plus the connectivity certificate a checkpoint costs
+// O(region touched since the last check), so avg/max must stay flat as
+// n grows (the EXP-SCALE table in EXPERIMENTS.md records the sweep).
+type checkCost struct {
+	n     int
+	total time.Duration
+	max   time.Duration
+}
+
+func (c *checkCost) observe(d time.Duration) {
+	c.n++
+	c.total += d
+	if d > c.max {
+		c.max = d
+	}
+}
+
+func (c *checkCost) String() string {
+	if c.n == 0 {
+		return "no checkpoints"
+	}
+	avg := c.total / time.Duration(c.n)
+	return fmt.Sprintf("%d checkpoints: avg %v, max %v", c.n, avg.Round(10*time.Microsecond), c.max.Round(10*time.Microsecond))
+}
+
+// peakRSSMB reads the process's high-water resident set from
+// /proc/self/status (Linux), falling back to the Go heap's Sys figure
+// where /proc is unavailable.
+func peakRSSMB() float64 {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+				f := strings.Fields(rest)
+				if len(f) >= 1 {
+					if kb, err := strconv.ParseFloat(f[0], 64); err == nil {
+						return kb / 1024
+					}
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Sys) / (1 << 20)
 }
 
 // printAuditSummary reports the audit layer's cumulative counters and
@@ -407,6 +462,7 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 	latencies := metrics.NewHistogram(0, 400, 20)
 	degRatios := metrics.NewHistogram(0, 4.25, 17)
 	outstanding := make(map[graph.NodeID]struct{}) // submitted, not yet completed
+	var cost checkCost
 	start := time.Now()
 	deletions, corruptions := 0, 0
 
@@ -528,9 +584,11 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 				}
 				check = func(int) error { return s.Verify() }
 			}
+			ckStart := time.Now()
 			if err := check(8); err != nil {
 				return fmt.Errorf("step %d: INVARIANT VIOLATION: %w", step, err)
 			}
+			cost.observe(time.Since(ckStart))
 			deg := metrics.Degrees(s.Physical(), s.GPrime(), s.LiveNodes())
 			degRatios.Observe(deg.Max)
 			if deg.Max > 4 {
@@ -556,8 +614,9 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 		return fmt.Errorf("final validation: %w", err)
 	}
 
-	fmt.Printf("\n%d steps (%d deletions) open-loop in %v — all invariants held\n\n",
+	fmt.Printf("\n%d steps (%d deletions) open-loop in %v — all invariants held\n",
 		steps, deletions, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("checkpoint validation: %s; peak RSS %.0f MB\n\n", cost.String(), peakRSSMB())
 	lat := pipe.Latency()
 	fmt.Printf("pipeline: %d ops over %d rounds (%.3f ops/round), peak %d repairs in flight\n",
 		pipe.Completed, pipe.Rounds, pipe.Throughput(), pipe.PeakInFlight)

@@ -696,6 +696,8 @@ func (s *Simulation) phantomEpochs() []NodeID {
 			out = append(out, e)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
 	return out
 }

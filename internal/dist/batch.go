@@ -302,7 +302,7 @@ func (s *Simulation) claimPhase(batch []NodeID) (conflicts map[[2]NodeID]struct{
 	// coordinator; the driver knows who that will be (it laid the
 	// tree), which is where it later reads the conflicts back.
 	coord := union[0]
-	layBT(union, func(x, parent, left, right NodeID) {
+	s.layBT(union, func(x, parent, left, right NodeID) {
 		s.net.Send(x, x, msgClaimElect{
 			BTParent: parent, BTLeft: left, BTRight: right, K: len(batch),
 		}, wordsClaimElect)

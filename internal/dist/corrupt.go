@@ -62,6 +62,12 @@ const (
 	// Only transports with per-processor clocks (channet) support it;
 	// on simnet the mode reports unsupported.
 	CorruptClock
+	// CorruptCertificate silently perturbs the incremental connectivity
+	// certificate (cert.go): either forges one live processor's
+	// component label or skews the component counters — driver state
+	// the in-band record audit cannot see, healed by the driver-side
+	// certificate sweep instead.
+	CorruptCertificate
 )
 
 // CorruptModes lists every mode, for table-driven tests.
@@ -69,7 +75,7 @@ var CorruptModes = []CorruptMode{
 	CorruptLeafCount, CorruptHeight, CorruptRep,
 	CorruptDroppedParent, CorruptDanglingParent, CorruptChildPtr,
 	CorruptDamageFlag, CorruptStaleEpoch, CorruptClaimMark,
-	CorruptFootprint, CorruptClock,
+	CorruptFootprint, CorruptClock, CorruptCertificate,
 }
 
 func (m CorruptMode) String() string {
@@ -96,6 +102,8 @@ func (m CorruptMode) String() string {
 		return "footprint"
 	case CorruptClock:
 		return "clock"
+	case CorruptCertificate:
+		return "certificate"
 	}
 	return fmt.Sprintf("corrupt(%d)", int(m))
 }
@@ -252,6 +260,37 @@ func (s *Simulation) Corrupt(mode CorruptMode, rng *rand.Rand) (CorruptReport, b
 		sk.SkewClock(p.id, delta)
 		rep.Victim = p.id
 		rep.Detail = fmt.Sprintf("clock %+d", delta)
+		return rep, true
+
+	case CorruptCertificate:
+		// Two faces of certificate rot: a forged component label on one
+		// live processor (caught by the per-node label-consistency
+		// check; the victim needs a physical neighbor for the forgery
+		// to be observable — on an isolated node a fresh unique label
+		// is just a legal relabeling), or a silently skewed component
+		// counter (caught by the O(1) count-equality check). Both heal
+		// by the audit layer's certificate sweep rebuilding the
+		// trackers from the graphs.
+		if rng.Intn(2) == 0 {
+			p, ok := s.corruptPickProc(rng, func(p *processor) bool {
+				return s.phys.Degree(p.id) >= 1
+			})
+			if !ok {
+				return rep, false
+			}
+			f := s.physCC.ForgeLabel(p.id)
+			rep.Victim = p.id
+			rep.Detail = fmt.Sprintf("physical component label forged -> %d", f)
+		} else {
+			rep.Victim = noNode
+			if rng.Intn(2) == 0 {
+				s.physCC.SkewCount(1)
+				rep.Detail = "physical component count +1"
+			} else {
+				s.gpCC.SkewCount(1)
+				rep.Detail = "G' marked-component count +1"
+			}
+		}
 		return rep, true
 	}
 	return rep, false

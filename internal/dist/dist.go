@@ -190,6 +190,27 @@ type Simulation struct {
 	auditCfg   audit.Config
 	audStats   audit.Stats
 	auditStall int
+
+	// Incremental connectivity certificate (see cert.go): component
+	// trackers over the maintained physical graph and over G′ (live
+	// nodes marked), the sticky refinement-violation error, and scratch
+	// for the removal path.
+	physCC     *graph.Components
+	gpCC       *graph.Components
+	certErr    error
+	nbrScratch []NodeID
+
+	// Deterministic sample cursor (see verify_delta.go): live processors
+	// in insertion order (IDs are never reused), the round-robin cursors
+	// of VerifyDelta's opportunistic sweep and the audit layer's
+	// certificate sweep, and the last sample taken (reused buffer).
+	sweepSeq   []NodeID
+	sweepCur   int
+	certCur    int
+	lastSample []NodeID
+
+	// btOrder is layBT's reusable scratch (driver-side only).
+	btOrder []NodeID
 }
 
 // NewSimulation builds the distributed network over an initial
@@ -280,6 +301,9 @@ func (s *Simulation) addProcessor(v NodeID) {
 	p.spread = s.spread
 	s.procs[v] = p
 	s.alive[v] = struct{}{}
+	s.sweepSeq = append(s.sweepSeq, v)
+	s.gpCC.OnAddNode(v) // no-op for initial nodes, labeled at construction
+	s.gpCC.Mark(v)
 	s.net.AddNode(v, p.handle)
 	if s.auditOn {
 		p.auditOn, p.auditCfg = true, s.auditCfg
@@ -437,10 +461,13 @@ func (s *Simulation) insertNow(v NodeID, nbrs []NodeID) error {
 	s.boundDirty = true
 	s.addProcessor(v)
 	s.phys.AddNode(v)
+	s.physCC.OnAddNode(v)
 	p := s.procs[v]
 	p.markTouched()
 	for _, x := range nbrs {
-		s.gprime.AddEdge(v, x)
+		if s.gprime.AddEdge(v, x) {
+			s.gpCC.OnAddEdge(v, x)
+		}
 		p.nbrs[x] = struct{}{}
 		s.procs[x].nbrs[v] = struct{}{}
 		s.procs[x].markTouched()
@@ -524,7 +551,25 @@ func (s *Simulation) removeProcessor(v NodeID) {
 		}
 	}
 	s.net.RemoveNode(v)
+	// Physical edges into v from OTHER processors' records (parent-link
+	// images owned by survivors) may still carry positive multiplicity;
+	// their delete edits arrive through the survivors' edit logs and
+	// drain later. The node leaves the graph now, so remove the
+	// remaining incident edges explicitly — keeping the connectivity
+	// certificate in lockstep with every graph mutation — and let the
+	// late drains find multiplicity hitting zero with the edge already
+	// gone (physDel tolerates that). Neighbors are collected first: the
+	// adjacency set must not be mutated mid-iteration.
+	s.nbrScratch = s.nbrScratch[:0]
+	s.phys.EachNeighbor(v, func(x NodeID) { s.nbrScratch = append(s.nbrScratch, x) })
+	for _, x := range s.nbrScratch {
+		if s.phys.RemoveEdge(v, x) {
+			s.physCC.OnRemoveEdge(v, x)
+		}
+	}
 	s.phys.RemoveNode(v)
+	s.physCC.OnRemoveNode(v)
+	s.gpCC.Unmark(v)
 }
 
 // prepareRepair removes v from the network, returning nil when v was

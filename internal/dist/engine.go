@@ -207,8 +207,11 @@ func (s *Simulation) Tick() bool {
 	if s.Idle() {
 		// Quiescent: fold the handlers' pending physical-graph edits so
 		// snapshots and verification see a settled state, exactly like
-		// the blocking path's post-quiescence drain.
+		// the blocking path's post-quiescence drain. The settled state
+		// is also when the audit layer can vouch for the connectivity
+		// certificate (count equality only holds between repairs).
 		s.drainPhys()
+		s.auditCertSweep()
 		return false
 	}
 	return true
@@ -628,7 +631,7 @@ func (s *Simulation) beginBlocking() func() {
 // DESCENDING ID order, so the eventual winner (the smallest ID)
 // genuinely has to win log d knockout matches on its way up.
 func (s *Simulation) sendDeathNotifications(r *pendingRepair, from NodeID, handoff bool) {
-	layBT(r.notify, func(x, parent, left, right NodeID) {
+	s.layBT(r.notify, func(x, parent, left, right NodeID) {
 		src := x
 		if handoff {
 			src = from
@@ -644,10 +647,14 @@ func (s *Simulation) sendDeathNotifications(r *pendingRepair, from NodeID, hando
 // root holds the largest ID, so the knockout winner — the smallest —
 // genuinely plays log k matches on its way up), calling place once per
 // member with its tree links (noNode where absent). Shared by the
-// repair's BT_v and the batch claim election tree.
-func layBT(notify []NodeID, place func(x, parent, left, right NodeID)) {
+// repair's BT_v and the batch claim election tree. Driver-side only
+// (launch and batch-claim paths), so one reusable scratch suffices.
+func (s *Simulation) layBT(notify []NodeID, place func(x, parent, left, right NodeID)) {
 	k := len(notify)
-	order := make([]NodeID, k)
+	if cap(s.btOrder) < k {
+		s.btOrder = make([]NodeID, k)
+	}
+	order := s.btOrder[:k]
 	for i, x := range notify {
 		order[k-1-i] = x
 	}

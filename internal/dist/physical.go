@@ -59,6 +59,11 @@ func (s *Simulation) initPhys(g0 *graph.Graph) {
 		s.physMult[e] = 1
 	}
 	s.dirty = &dirtyList{}
+	// The connectivity certificates (see cert.go) shadow every mutation
+	// of the two graphs from here on. gprime was cloned before initPhys
+	// runs; its initial nodes are marked live by addProcessor.
+	s.physCC = graph.NewComponents(s.phys)
+	s.gpCC = graph.NewComponents(s.gprime)
 }
 
 // physAdd records one more virtual-edge image mapping onto {a, b}.
@@ -69,12 +74,28 @@ func (s *Simulation) physAdd(a, b NodeID) {
 	e := graph.NewEdge(a, b)
 	s.physMult[e]++
 	if s.physMult[e] == 1 {
-		s.phys.AddEdge(a, b)
+		if s.phys.AddEdge(a, b) {
+			s.physCC.OnAddEdge(a, b)
+		}
+		// Refinement invariant: a physical edge only ever materializes
+		// between processors already connected in G′ (it is the image of
+		// a live G′ edge, or of a tree link inside an RT whose members
+		// are connected through dead nodes). Recording a violation here
+		// — sticky, surfaced by VerifyDelta — is what lets the delta
+		// pass prove connectivity equivalence from component counts
+		// alone, with no O(n) sweep.
+		if s.certErr == nil && !s.gpCC.Same(a, b) {
+			s.certErr = fmt.Errorf("dist: certificate: physical edge %d-%d appeared between G'-disconnected processors", a, b)
+		}
 	}
 }
 
 // physDel records one fewer virtual-edge image mapping onto {a, b};
-// the physical edge disappears when the last image does.
+// the physical edge disappears when the last image does. The edge may
+// already be gone from the graph when its owner died first
+// (removeProcessor removes a dead node's incident edges eagerly, the
+// multiplicity drains catch up here) — the certificate saw that
+// removal then, so it is only told about removals the graph performs.
 func (s *Simulation) physDel(a, b NodeID) {
 	if a == b {
 		return
@@ -85,7 +106,9 @@ func (s *Simulation) physDel(a, b NodeID) {
 		s.physMult[e] = c
 	case c == 0:
 		delete(s.physMult, e)
-		s.phys.RemoveEdge(a, b)
+		if s.phys.RemoveEdge(a, b) {
+			s.physCC.OnRemoveEdge(a, b)
+		}
 	default:
 		panic(fmt.Sprintf("dist: physical edge %v-%v multiplicity went negative", a, b))
 	}

@@ -68,6 +68,14 @@ type processor struct {
 	// participant proves its subtree done.
 	parts map[NodeID]*partState
 
+	// Free-lists for the per-epoch scratch above. A churning network
+	// retires one partState per notified neighbor and one repairState
+	// per repair every deletion; recycling them (reset at reuse, so a
+	// frame that just retired its scratch may still read it) keeps the
+	// steady-state tick path off the allocator.
+	partFree []*partState
+	repFree  []*repairState
+
 	// stripWait tracks retired helpers whose strip cascades are still
 	// resolving below them: the record itself is gone, but the
 	// completion convergecast needs to know where to forward the last
@@ -130,6 +138,7 @@ type processor struct {
 	flushScheduled bool
 	outRound       int
 	outUsed        map[NodeID]int
+	outBlocked     map[NodeID]bool // flush scratch, cleared per flush
 
 	// Self-stabilizing audit layer (see audit.go). Zero value = off.
 	// aProtoSeen counts every non-audit message this processor handled;
@@ -270,7 +279,11 @@ func (d *doneList) take() []doneEntry {
 	entries := d.entries
 	d.entries = nil
 	d.mu.Unlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].epoch < entries[j].epoch })
+	// sort.Slice costs an allocation even on an empty slice, and the
+	// engine drains this list every tick — almost always empty.
+	if len(entries) > 1 {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].epoch < entries[j].epoch })
+	}
 	return entries
 }
 
@@ -461,13 +474,29 @@ func (p *processor) repair(epoch NodeID) *repairState {
 	}
 	r, ok := p.reps[epoch]
 	if !ok {
-		r = &repairState{
-			roots: make(map[addr]struct{}),
-			comps: make(map[addr]*component),
+		if n := len(p.repFree); n > 0 {
+			r = p.repFree[n-1]
+			p.repFree = p.repFree[:n-1]
+			r.reset()
+		} else {
+			r = &repairState{
+				roots: make(map[addr]struct{}),
+				comps: make(map[addr]*component),
+			}
 		}
 		p.reps[epoch] = r
 	}
 	return r
+}
+
+// reset readies a recycled repairState for a new epoch, keeping its
+// map storage.
+func (r *repairState) reset() {
+	clear(r.roots)
+	clear(r.comps)
+	r.phase, r.outstanding, r.maxRootHeight = 0, 0, 0
+	r.annRecvd, r.annExpected, r.haveNotifyDone = 0, 0, false
+	r.descRecvd, r.descExpected = 0, 0
 }
 
 // batchState returns the coordinator scratch, allocating on first use.
@@ -612,19 +641,30 @@ func (p *processor) sendPacedClass(n transport.Endpoint, to NodeID, payload any,
 func (p *processor) onFlushOutbox(n transport.Endpoint) {
 	p.flushScheduled = false
 	p.rollOutRound(n)
-	var keep []outMsg
-	blocked := make(map[NodeID]bool)
+	if p.outBlocked == nil {
+		p.outBlocked = make(map[NodeID]bool)
+	} else {
+		clear(p.outBlocked)
+	}
+	// Compact in place: kept messages only ever move toward the front,
+	// so the outbox keeps its storage instead of reallocating per flush.
+	keep := p.outbox[:0]
 	for _, m := range p.outbox {
 		used := p.outUsed[m.to]
 		budget := n.EdgeBudget(p.id, m.to)
-		if blocked[m.to] || (budget > 0 && used > 0 && used+m.words > budget) {
-			blocked[m.to] = true // preserve per-destination FIFO
+		if p.outBlocked[m.to] || (budget > 0 && used > 0 && used+m.words > budget) {
+			p.outBlocked[m.to] = true // preserve per-destination FIFO
 			keep = append(keep, m)
 			continue
 		}
 		p.outUsed[m.to] = used + m.words
 		p.outQueued[m.to]--
 		n.SendClass(p.id, m.to, m.payload, m.words, m.class)
+	}
+	// Drop payload references in the now-unused tail so sent messages
+	// do not pin their payloads until the next burst overwrites them.
+	for i := len(keep); i < len(p.outbox); i++ {
+		p.outbox[i] = outMsg{}
 	}
 	p.outbox = keep
 	if len(keep) > 0 {
@@ -634,11 +674,16 @@ func (p *processor) onFlushOutbox(n transport.Endpoint) {
 }
 
 // rollOutRound resets the per-destination words-sent accounting when a
-// new round begins.
+// new round begins. The map is cleared, not reallocated: a pacing
+// processor rolls it every round it sends.
 func (p *processor) rollOutRound(n transport.Endpoint) {
 	if p.outRound != n.Round() || p.outUsed == nil {
 		p.outRound = n.Round()
-		p.outUsed = make(map[NodeID]int)
+		if p.outUsed == nil {
+			p.outUsed = make(map[NodeID]int)
+		} else {
+			clear(p.outUsed)
+		}
 	}
 }
 
@@ -695,7 +740,9 @@ func sortedRecordKeys[T any](m map[NodeID]T) []NodeID {
 	for o := range m {
 		keys = append(keys, o)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(keys) > 1 {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
 	return keys
 }
 
@@ -738,7 +785,13 @@ func (p *processor) partFor(epoch NodeID) *partState {
 	}
 	ps := p.parts[epoch]
 	if ps == nil {
-		ps = &partState{
+		if n := len(p.partFree); n > 0 {
+			ps = p.partFree[n-1]
+			p.partFree = p.partFree[:n-1]
+		} else {
+			ps = &partState{}
+		}
+		*ps = partState{
 			v: epoch, champ: p.id, leader: noNode,
 			btParent: noNode, btLeft: noNode, btRight: noNode,
 		}
@@ -888,21 +941,26 @@ func (p *processor) maybeNotifyDone(n transport.Endpoint, epoch NodeID, ps *part
 		return
 	}
 	delete(p.parts, epoch)
-	if ps.btParent != noNode {
-		n.SendClass(p.id, ps.btParent, msgSubtreeDone{Epoch: epoch, Announced: ps.annSent}, wordsSubtreeDone, transport.ClassSync)
+	// Recycle the scratch before the report goes out: everything still
+	// needed is in locals (reuse resets the struct, so late reads of a
+	// freed-but-unreused ps stay harmless).
+	btParent, leader, annSent := ps.btParent, ps.leader, ps.annSent
+	p.partFree = append(p.partFree, ps)
+	if btParent != noNode {
+		n.SendClass(p.id, btParent, msgSubtreeDone{Epoch: epoch, Announced: annSent}, wordsSubtreeDone, transport.ClassSync)
 		return
 	}
-	if ps.leader == p.id {
+	if leader == p.id {
 		// Root and leader at once (k = 1): apply the completion report
 		// locally — the phase still starts only once our self-addressed
 		// announcements have all arrived.
 		rs := p.repair(epoch)
 		rs.haveNotifyDone = true
-		rs.annExpected = ps.annSent
+		rs.annExpected = annSent
 		p.maybeStartKeys(n, epoch, rs)
 		return
 	}
-	n.SendClass(p.id, ps.leader, msgPhaseDone{Epoch: epoch, Announced: ps.annSent}, wordsPhaseDone, transport.ClassSync)
+	n.SendClass(p.id, leader, msgPhaseDone{Epoch: epoch, Announced: annSent}, wordsPhaseDone, transport.ClassSync)
 }
 
 // maybeStartKeys launches the key phase once the notification phase is
@@ -1270,9 +1328,14 @@ func (p *processor) onMergeAck(n transport.Endpoint, m msgMergeAck) {
 	}
 }
 
-// finishRepair retires one repair the leader has proven complete.
+// finishRepair retires one repair the leader has proven complete,
+// recycling its scratch (reset happens at reuse, so callers that just
+// passed the scratch in may still read it after returning here).
 func (p *processor) finishRepair(epoch NodeID) {
-	delete(p.reps, epoch)
+	if r, ok := p.reps[epoch]; ok {
+		delete(p.reps, epoch)
+		p.repFree = append(p.repFree, r)
+	}
 	p.done.add(epoch, p.id)
 }
 

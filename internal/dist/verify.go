@@ -202,6 +202,12 @@ func (s *Simulation) Verify() error {
 	if err := s.checkPhysIncremental(); err != nil {
 		return err
 	}
+	// The incremental connectivity certificate audited against
+	// from-scratch BFS partitions; checkConnectivity below stays the
+	// independent authority the certificate itself is judged by.
+	if err := s.checkCertFull(); err != nil {
+		return err
+	}
 	phys := s.phys
 	for v := range s.alive {
 		dp := s.gprime.Degree(v)

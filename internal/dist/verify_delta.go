@@ -30,9 +30,15 @@ import (
 
 // VerifyDelta revalidates the records touched since the last
 // verification plus, opportunistically, up to sample additional live
-// processors (0 disables the extra sweep). It returns nil on a healthy
-// network; corruption inside a changed region is detected exactly like
-// the full Verify would.
+// processors (0 disables the extra sweep; the pick is a deterministic
+// round-robin cursor in insertion order, see appendSample). It returns
+// nil on a healthy network; corruption inside a changed region is
+// detected exactly like the full Verify would.
+//
+// Connectivity equivalence and physical-graph equality are proved by
+// the incremental certificate (see cert.go): an O(1) component-count
+// comparison plus per-touched-processor label and multiplicity checks —
+// no O(n) pass anywhere on this path.
 func (s *Simulation) VerifyDelta(sample int) error {
 	s.drainPhys()
 	if err := s.checkEngineFootprint(); err != nil {
@@ -41,27 +47,10 @@ func (s *Simulation) VerifyDelta(sample int) error {
 	if err := s.checkTransport(); err != nil {
 		return err
 	}
-	procs := s.takeTouched()
-	if sample > 0 {
-		// Opportunistic extra coverage: sweep a few more live
-		// processors. Map order makes the pick arbitrary, which is fine
-		// — on a healthy network every choice passes, and the sweep only
-		// widens detection, never narrows it.
-		seen := make(map[NodeID]struct{}, len(procs))
-		for _, p := range procs {
-			seen[p.id] = struct{}{}
-		}
-		for id, p := range s.procs {
-			if sample == 0 {
-				break
-			}
-			if _, dup := seen[id]; dup {
-				continue
-			}
-			procs = append(procs, p)
-			sample--
-		}
+	if err := s.checkCertCounts(); err != nil {
+		return err
 	}
+	procs := s.appendSample(s.takeTouched(), sample)
 	checkedRoots := make(map[addr]struct{})
 	for _, p := range procs {
 		if s.procs[p.id] != p {
@@ -71,6 +60,9 @@ func (s *Simulation) VerifyDelta(sample int) error {
 			return err
 		}
 		if err := s.checkPhysIncident(p); err != nil {
+			return err
+		}
+		if err := s.checkCertIncident(p); err != nil {
 			return err
 		}
 		for o := range p.leaves {

@@ -149,6 +149,93 @@ func TestVerifyDeltaCatchesCorruption(t *testing.T) {
 	}
 }
 
+// TestVerifyDeltaSampleDeterministic pins the opportunistic-sample
+// cursor: two simulations fed the identical operation schedule must
+// sample the identical processor sequence on every VerifyDelta call.
+// (The sample used to be drawn by map iteration, so a sampled-sweep
+// failure in a soak run was not replayable from its seed.)
+func TestVerifyDeltaSampleDeterministic(t *testing.T) {
+	run := func() [][]NodeID {
+		rng := rand.New(rand.NewSource(77))
+		s := NewSimulation(graph.PreferentialAttachment(32, 3, rng))
+		var picks [][]NodeID
+		nextID := NodeID(90_000)
+		for i := 0; i < 25; i++ {
+			live := s.LiveNodes()
+			if len(live) == 0 {
+				break
+			}
+			if rng.Float64() < 0.3 {
+				v := nextID
+				nextID++
+				if err := s.Insert(v, []NodeID{live[rng.Intn(len(live))]}); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := s.Delete(live[rng.Intn(len(live))]); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.VerifyDelta(3); err != nil {
+				t.Fatal(err)
+			}
+			picks = append(picks, append([]NodeID(nil), s.LastSample()...))
+		}
+		return picks
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay produced %d sample sets, original %d", len(b), len(a))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("call %d: sample %v vs replay %v", i, a[i], b[i])
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("call %d: sample %v vs replay %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestVerifyDeltaSampleRoundRobin checks the cursor actually rotates:
+// on a quiet network, consecutive sampled deltas must cover every live
+// processor in insertion order before revisiting any.
+func TestVerifyDeltaSampleRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSimulation(graph.PreferentialAttachment(24, 2, rng))
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	n := s.NumAlive()
+	per := 5
+	var seen []NodeID
+	for len(seen) < n {
+		if err := s.VerifyDelta(per); err != nil {
+			t.Fatal(err)
+		}
+		got := s.LastSample()
+		if len(got) != per && len(seen)+len(got) < n {
+			t.Fatalf("sampled %d processors, want %d", len(got), per)
+		}
+		seen = append(seen, got...)
+	}
+	firstRound := seen[:n]
+	dup := make(map[NodeID]struct{}, n)
+	for _, id := range firstRound {
+		if _, ok := dup[id]; ok {
+			t.Fatalf("processor %d sampled twice before full rotation: %v", id, firstRound)
+		}
+		dup[id] = struct{}{}
+	}
+	// Insertion order: the seed graph's nodes are added in ascending ID
+	// order, so the first rotation must be sorted.
+	for i := 1; i < n; i++ {
+		if firstRound[i] < firstRound[i-1] {
+			t.Fatalf("rotation not in insertion order: %v", firstRound)
+		}
+	}
+}
+
 // TestVerifyDeltaScaling sanity-checks the point of the incremental
 // mode: after one deletion on a large churned network, the delta
 // visits a region-sized slice of the state, not all of it. Measured

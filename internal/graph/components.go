@@ -1,0 +1,443 @@
+package graph
+
+import "fmt"
+
+// Components is an incrementally-maintained connected-components
+// certificate over a Graph. It shadows every mutation of the underlying
+// graph (the caller reports each successful AddNode/AddEdge/RemoveEdge/
+// RemoveNode) and answers component queries in near-constant time:
+//
+//   - Same(u, v): are u and v in one component — O(α)
+//   - Count(): number of components — O(1)
+//   - MarkedCount(): number of components containing a marked node — O(1)
+//
+// The representation is a label per node plus a union–find forest over
+// the labels themselves. Edge insertions union two label roots (O(α));
+// edge deletions run an interleaved bidirectional BFS from the two
+// endpoints on the already-updated graph: if the searches meet the
+// component survived and nothing changes; if one side exhausts first,
+// that side — the smaller, up to the interleaving — is a new component
+// and is relabeled with one fresh label. The search scratch (generation-
+// stamped visited maps and reusable queues) is retained across calls, so
+// steady-state updates allocate nothing.
+//
+// Marks are an orthogonal per-node bit with per-component counts; the
+// Forgiving Graph driver marks the live nodes of G′ so MarkedCount
+// counts components restricted to live vertices without enumerating the
+// dead ones.
+//
+// Components is a certificate, not an authority: Check recomputes the
+// partition from the graph by BFS and verifies the labels are a
+// bijective relabeling of it, and Relabel rebuilds the certificate from
+// the graph (the heal action when an audit detects corruption).
+type Components struct {
+	g      *Graph
+	comp   map[NodeID]int64 // node -> label
+	parent map[int64]int64  // label union-find; absent entry = self-root
+	next   int64            // last label handed out
+	count  int              // number of components
+
+	marked      map[NodeID]struct{} // marked nodes
+	markedCnt   map[int64]int       // root label -> marked nodes in component
+	markedComps int                 // components with >= 1 marked node
+
+	// damaged is set when an update observes a state that cannot occur
+	// under correct maintenance (e.g. removing an edge whose endpoints
+	// already carry different labels). It is sticky until Relabel.
+	damaged bool
+
+	// Split-search scratch, retained across RemoveEdge calls.
+	visitA, visitB map[NodeID]uint64
+	genA, genB     uint64
+	queueA, queueB []NodeID
+}
+
+// NewComponents builds the certificate for the current state of g by a
+// full BFS labeling. g is observed, not owned: the caller must report
+// every subsequent mutation through the On* methods.
+func NewComponents(g *Graph) *Components {
+	c := &Components{
+		g:         g,
+		comp:      make(map[NodeID]int64, g.NumNodes()),
+		parent:    make(map[int64]int64),
+		marked:    make(map[NodeID]struct{}),
+		markedCnt: make(map[int64]int),
+		visitA:    make(map[NodeID]uint64),
+		visitB:    make(map[NodeID]uint64),
+	}
+	c.relabel()
+	return c
+}
+
+// fresh returns a never-used label (a self-root: no parent entry).
+func (c *Components) fresh() int64 {
+	c.next++
+	return c.next
+}
+
+// find returns the root of a label with path compression. Labels with
+// no parent entry are their own root, so fresh labels cost nothing.
+func (c *Components) find(l int64) int64 {
+	r := l
+	for {
+		p, ok := c.parent[r]
+		if !ok || p == r {
+			break
+		}
+		r = p
+	}
+	for l != r {
+		p := c.parent[l]
+		c.parent[l] = r
+		l = p
+	}
+	return r
+}
+
+// rootOf returns the component root of node v, creating a singleton
+// component defensively if v was never registered.
+func (c *Components) rootOf(v NodeID) int64 {
+	l, ok := c.comp[v]
+	if !ok {
+		l = c.fresh()
+		c.comp[v] = l
+		c.count++
+		return l
+	}
+	return c.find(l)
+}
+
+// Count returns the number of connected components.
+func (c *Components) Count() int { return c.count }
+
+// MarkedCount returns the number of components containing at least one
+// marked node.
+func (c *Components) MarkedCount() int { return c.markedComps }
+
+// Same reports whether u and v carry labels in the same component.
+func (c *Components) Same(u, v NodeID) bool {
+	lu, ok := c.comp[u]
+	if !ok {
+		return false
+	}
+	lv, ok := c.comp[v]
+	if !ok {
+		return false
+	}
+	return c.find(lu) == c.find(lv)
+}
+
+// Damaged reports whether an update observed an impossible state (a
+// symptom of external corruption). Sticky until Relabel.
+func (c *Components) Damaged() bool { return c.damaged }
+
+// OnAddNode registers a new isolated vertex as its own component.
+func (c *Components) OnAddNode(v NodeID) {
+	if _, ok := c.comp[v]; ok {
+		return
+	}
+	c.comp[v] = c.fresh()
+	c.count++
+}
+
+// OnRemoveNode unregisters a vertex. The caller must have removed its
+// incident edges first (reporting each via OnRemoveEdge), so the vertex
+// is an isolated singleton component at this point.
+func (c *Components) OnRemoveNode(v NodeID) {
+	l, ok := c.comp[v]
+	if !ok {
+		return
+	}
+	c.Unmark(v)
+	delete(c.comp, v)
+	delete(c.parent, l)
+	c.count--
+}
+
+// OnAddEdge merges the endpoints' components (union of the label
+// roots). Call it only after g.AddEdge reported a new edge.
+func (c *Components) OnAddEdge(u, v NodeID) {
+	ru, rv := c.rootOf(u), c.rootOf(v)
+	if ru == rv {
+		return
+	}
+	if ru > rv {
+		ru, rv = rv, ru
+	}
+	c.parent[rv] = ru
+	if mv := c.markedCnt[rv]; mv > 0 {
+		if c.markedCnt[ru] > 0 {
+			c.markedComps--
+		}
+		c.markedCnt[ru] += mv
+		delete(c.markedCnt, rv)
+	}
+	c.count--
+}
+
+// OnRemoveEdge reconciles the certificate after the edge {u, v} was
+// removed from g. It runs an interleaved bidirectional BFS from both
+// endpoints on the post-removal graph: meeting proves the component
+// survived; one side exhausting proves a split, and that side (the
+// smaller, up to interleaving) is relabeled fresh. Cost is O(min side)
+// on a split and O(shortest alternative path) otherwise.
+func (c *Components) OnRemoveEdge(u, v NodeID) {
+	ru, rv := c.rootOf(u), c.rootOf(v)
+	if ru != rv {
+		// An edge that existed joined one component; differing labels
+		// mean the certificate no longer matches the graph.
+		c.damaged = true
+		return
+	}
+	c.genA++
+	c.genB++
+	qa, qb := c.queueA[:0], c.queueB[:0]
+	c.visitA[u] = c.genA
+	qa = append(qa, u)
+	c.visitB[v] = c.genB
+	qb = append(qb, v)
+	ia, ib := 0, 0
+	met := false
+	for !met {
+		if ia == len(qa) {
+			c.splitOff(qa, ru)
+			break
+		}
+		if ib == len(qb) {
+			c.splitOff(qb, ru)
+			break
+		}
+		x := qa[ia]
+		ia++
+		c.g.EachNeighbor(x, func(y NodeID) {
+			if c.visitB[y] == c.genB {
+				met = true
+			}
+			if c.visitA[y] != c.genA {
+				c.visitA[y] = c.genA
+				qa = append(qa, y)
+			}
+		})
+		if met {
+			break
+		}
+		x = qb[ib]
+		ib++
+		c.g.EachNeighbor(x, func(y NodeID) {
+			if c.visitA[y] == c.genA {
+				met = true
+			}
+			if c.visitB[y] != c.genB {
+				c.visitB[y] = c.genB
+				qb = append(qb, y)
+			}
+		})
+	}
+	c.queueA, c.queueB = qa[:0], qb[:0]
+}
+
+// splitOff relabels one enumerated side of a split as a fresh
+// component and adjusts the counts. oldRoot is the root label the
+// component carried before the split.
+func (c *Components) splitOff(side []NodeID, oldRoot int64) {
+	f := c.fresh()
+	mcnt := 0
+	for _, w := range side {
+		c.comp[w] = f
+		if _, ok := c.marked[w]; ok {
+			mcnt++
+		}
+	}
+	c.count++
+	if mcnt > 0 || c.markedCnt[oldRoot] > 0 {
+		before := c.markedCnt[oldRoot] > 0
+		c.markedCnt[oldRoot] -= mcnt
+		oldHas := c.markedCnt[oldRoot] > 0
+		if !oldHas {
+			delete(c.markedCnt, oldRoot)
+		}
+		if mcnt > 0 {
+			c.markedCnt[f] = mcnt
+		}
+		c.markedComps += b2i(oldHas) + b2i(mcnt > 0) - b2i(before)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Mark sets the mark bit on v (idempotent).
+func (c *Components) Mark(v NodeID) {
+	if _, ok := c.marked[v]; ok {
+		return
+	}
+	c.marked[v] = struct{}{}
+	r := c.rootOf(v)
+	c.markedCnt[r]++
+	if c.markedCnt[r] == 1 {
+		c.markedComps++
+	}
+}
+
+// Unmark clears the mark bit on v (idempotent).
+func (c *Components) Unmark(v NodeID) {
+	if _, ok := c.marked[v]; !ok {
+		return
+	}
+	delete(c.marked, v)
+	r := c.rootOf(v)
+	c.markedCnt[r]--
+	if c.markedCnt[r] == 0 {
+		delete(c.markedCnt, r)
+		c.markedComps--
+	}
+}
+
+// ForgeLabel is a fault-injection hook: it silently assigns v a fresh
+// label with no count or mark bookkeeping, returning the bogus label.
+// Used by the corruption campaign; never called in correct operation.
+func (c *Components) ForgeLabel(v NodeID) int64 {
+	f := c.fresh()
+	c.comp[v] = f
+	return f
+}
+
+// SkewCount is a fault-injection hook: it silently offsets the
+// component counter and the marked-component counter by d with no
+// bookkeeping. Never called in correct operation.
+func (c *Components) SkewCount(d int) {
+	c.count += d
+	c.markedComps += d
+}
+
+// Relabel rebuilds the certificate from the graph, discarding all label
+// state but preserving the set of marked nodes (restricted to nodes
+// still present). This is the heal action after detected corruption.
+func (c *Components) Relabel() {
+	clear(c.comp)
+	clear(c.parent)
+	clear(c.markedCnt)
+	c.relabel()
+}
+
+// relabel performs the full BFS labeling shared by NewComponents and
+// Relabel, recomputing count, markedCnt and markedComps.
+func (c *Components) relabel() {
+	c.count = 0
+	c.markedComps = 0
+	c.damaged = false
+	c.genA++
+	q := c.queueA[:0]
+	for _, src := range c.g.Nodes() {
+		if c.visitA[src] == c.genA {
+			continue
+		}
+		l := c.fresh()
+		c.count++
+		mcnt := 0
+		c.visitA[src] = c.genA
+		q = append(q[:0], src)
+		for i := 0; i < len(q); i++ {
+			w := q[i]
+			c.comp[w] = l
+			if _, ok := c.marked[w]; ok {
+				mcnt++
+			}
+			c.g.EachNeighbor(w, func(y NodeID) {
+				if c.visitA[y] != c.genA {
+					c.visitA[y] = c.genA
+					q = append(q, y)
+				}
+			})
+		}
+		if mcnt > 0 {
+			c.markedCnt[l] = mcnt
+			c.markedComps++
+		}
+	}
+	c.queueA = q[:0]
+	// Drop marks on nodes no longer in the graph.
+	for v := range c.marked {
+		if !c.g.HasNode(v) {
+			delete(c.marked, v)
+		}
+	}
+}
+
+// Check recomputes the partition of g by BFS and verifies the
+// certificate is a bijective relabeling of it: every node carries a
+// label, nodes share a find-root exactly when they share a BFS
+// component, and the cached counters match. O(n + m) — the authority
+// the incremental state is audited against.
+func (c *Components) Check() error {
+	if c.damaged {
+		return fmt.Errorf("components: damaged flag set (inconsistent update observed)")
+	}
+	if len(c.comp) != c.g.NumNodes() {
+		return fmt.Errorf("components: %d labels for %d nodes", len(c.comp), c.g.NumNodes())
+	}
+	seen := make(map[NodeID]bool, c.g.NumNodes())
+	certToBFS := make(map[int64]NodeID) // cert root -> BFS source (bijection check)
+	comps, markedComps := 0, 0
+	var q []NodeID
+	for _, src := range c.g.Nodes() {
+		if seen[src] {
+			continue
+		}
+		comps++
+		l, ok := c.comp[src]
+		if !ok {
+			return fmt.Errorf("components: node %d has no label", src)
+		}
+		root := c.find(l)
+		if prev, dup := certToBFS[root]; dup {
+			return fmt.Errorf("components: label root %d spans BFS components of %d and %d", root, prev, src)
+		}
+		certToBFS[root] = src
+		mcnt := 0
+		seen[src] = true
+		q = append(q[:0], src)
+		for i := 0; i < len(q); i++ {
+			w := q[i]
+			lw, ok := c.comp[w]
+			if !ok {
+				return fmt.Errorf("components: node %d has no label", w)
+			}
+			if c.find(lw) != root {
+				return fmt.Errorf("components: node %d (root %d) disagrees with BFS component of %d (root %d)",
+					w, c.find(lw), src, root)
+			}
+			if _, ok := c.marked[w]; ok {
+				mcnt++
+			}
+			c.g.EachNeighbor(w, func(y NodeID) {
+				if !seen[y] {
+					seen[y] = true
+					q = append(q, y)
+				}
+			})
+		}
+		if got := c.markedCnt[root]; got != mcnt {
+			return fmt.Errorf("components: component of %d has %d marked nodes, counter says %d", src, mcnt, got)
+		}
+		if mcnt > 0 {
+			markedComps++
+		}
+	}
+	if comps != c.count {
+		return fmt.Errorf("components: %d components, counter says %d", comps, c.count)
+	}
+	if markedComps != c.markedComps {
+		return fmt.Errorf("components: %d marked components, counter says %d", markedComps, c.markedComps)
+	}
+	for v := range c.marked {
+		if !c.g.HasNode(v) {
+			return fmt.Errorf("components: marked node %d not in graph", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestComponentsIncremental drives a random mutation campaign and
+// cross-checks the incremental certificate against the BFS authority
+// after every single operation (the PR 2/PR 4 differential pattern).
+func TestComponentsIncremental(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		c := NewComponents(g)
+		var nodes []NodeID
+		next := NodeID(0)
+		for op := 0; op < 800; op++ {
+			switch k := rng.Intn(10); {
+			case k < 3 || len(nodes) < 2: // add node
+				next++
+				g.AddNode(next)
+				c.OnAddNode(next)
+				if rng.Intn(2) == 0 {
+					c.Mark(next)
+				}
+				nodes = append(nodes, next)
+			case k < 7: // add edge
+				u := nodes[rng.Intn(len(nodes))]
+				v := nodes[rng.Intn(len(nodes))]
+				if g.AddEdge(u, v) {
+					c.OnAddEdge(u, v)
+				}
+			case k < 9: // remove a random existing edge
+				u := nodes[rng.Intn(len(nodes))]
+				nbrs := g.Neighbors(u)
+				if len(nbrs) == 0 {
+					continue
+				}
+				v := nbrs[rng.Intn(len(nbrs))]
+				if g.RemoveEdge(u, v) {
+					c.OnRemoveEdge(u, v)
+				}
+			default: // remove an isolated node, or toggle a mark
+				removed := false
+				for _, i := range rng.Perm(len(nodes)) {
+					if g.Degree(nodes[i]) == 0 {
+						v := nodes[i]
+						g.RemoveNode(v)
+						c.OnRemoveNode(v)
+						nodes[i] = nodes[len(nodes)-1]
+						nodes = nodes[:len(nodes)-1]
+						removed = true
+						break
+					}
+				}
+				if !removed {
+					v := nodes[rng.Intn(len(nodes))]
+					if rng.Intn(2) == 0 {
+						c.Mark(v)
+					} else {
+						c.Unmark(v)
+					}
+				}
+			}
+			if err := c.Check(); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, op, err)
+			}
+		}
+	}
+}
+
+// TestComponentsSplitMerge exercises the split/merge choreography on a
+// hand-built topology where the answers are known.
+func TestComponentsSplitMerge(t *testing.T) {
+	g := New()
+	c := NewComponents(g)
+	// Path 1-2-3-4 plus isolated 5.
+	for v := NodeID(1); v <= 5; v++ {
+		g.AddNode(v)
+		c.OnAddNode(v)
+		c.Mark(v)
+	}
+	for v := NodeID(1); v < 4; v++ {
+		g.AddEdge(v, v+1)
+		c.OnAddEdge(v, v+1)
+	}
+	if c.Count() != 2 || c.MarkedCount() != 2 {
+		t.Fatalf("path+isolated: count=%d marked=%d, want 2/2", c.Count(), c.MarkedCount())
+	}
+	if !c.Same(1, 4) || c.Same(1, 5) {
+		t.Fatalf("Same answers wrong on path+isolated")
+	}
+	// Cycle closure: removing one cycle edge must NOT split.
+	g.AddEdge(4, 1)
+	c.OnAddEdge(4, 1)
+	g.RemoveEdge(2, 3)
+	c.OnRemoveEdge(2, 3)
+	if c.Count() != 2 || !c.Same(2, 3) {
+		t.Fatalf("cycle edge removal split: count=%d", c.Count())
+	}
+	// Now a real split: cut the path 2-1-4-3 between 1 and 4.
+	g.RemoveEdge(1, 4)
+	c.OnRemoveEdge(1, 4)
+	if c.Count() != 3 || c.Same(1, 3) || !c.Same(1, 2) || !c.Same(3, 4) {
+		t.Fatalf("real split wrong: count=%d", c.Count())
+	}
+	if c.MarkedCount() != 3 {
+		t.Fatalf("marked count after split = %d, want 3", c.MarkedCount())
+	}
+	// Unmark one whole side: its component stops counting.
+	c.Unmark(3)
+	c.Unmark(4)
+	if c.MarkedCount() != 2 {
+		t.Fatalf("marked count after unmark = %d, want 2", c.MarkedCount())
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComponentsCorruptionHooks verifies the fault-injection hooks are
+// detected by Check and healed by Relabel.
+func TestComponentsCorruptionHooks(t *testing.T) {
+	g := New()
+	c := NewComponents(g)
+	for v := NodeID(1); v <= 4; v++ {
+		g.AddNode(v)
+		c.OnAddNode(v)
+		c.Mark(v)
+	}
+	g.AddEdge(1, 2)
+	c.OnAddEdge(1, 2)
+	g.AddEdge(3, 4)
+	c.OnAddEdge(3, 4)
+
+	c.ForgeLabel(2)
+	if err := c.Check(); err == nil {
+		t.Fatal("Check missed a forged label")
+	}
+	c.Relabel()
+	if err := c.Check(); err != nil {
+		t.Fatalf("Relabel did not heal forged label: %v", err)
+	}
+	if c.Count() != 2 || c.MarkedCount() != 2 {
+		t.Fatalf("post-heal counts wrong: %d/%d", c.Count(), c.MarkedCount())
+	}
+
+	c.SkewCount(1)
+	if err := c.Check(); err == nil {
+		t.Fatal("Check missed a skewed counter")
+	}
+	c.Relabel()
+	if err := c.Check(); err != nil {
+		t.Fatalf("Relabel did not heal skewed counter: %v", err)
+	}
+}
+
+// TestComponentsSteadyStateAllocs pins the zero-allocation property of
+// the hot update path: once the search scratch is warm, removing and
+// re-adding a cycle edge (the no-split case — the common one under
+// protocol churn, where the graph stays connected) allocates nothing.
+// Splits mint one fresh label each, which amortizes into rare map
+// growth, so only the surviving-component path is pinned at zero.
+func TestComponentsSteadyStateAllocs(t *testing.T) {
+	g := New()
+	for v := NodeID(1); v <= 64; v++ {
+		g.AddNode(v)
+	}
+	for v := NodeID(1); v < 64; v++ {
+		g.AddEdge(v, v+1)
+	}
+	g.AddEdge(64, 1) // close the cycle
+	c := NewComponents(g)
+	// Warm the bidirectional-search scratch once.
+	g.RemoveEdge(32, 33)
+	c.OnRemoveEdge(32, 33)
+	g.AddEdge(32, 33)
+	c.OnAddEdge(32, 33)
+	avg := testing.AllocsPerRun(100, func() {
+		g.RemoveEdge(32, 33)
+		c.OnRemoveEdge(32, 33)
+		g.AddEdge(32, 33)
+		c.OnAddEdge(32, 33)
+	})
+	if avg > 0 {
+		t.Fatalf("non-split remove/add cycle allocates %.1f per run, want 0", avg)
+	}
+}
