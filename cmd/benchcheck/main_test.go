@@ -10,14 +10,15 @@ const baseline = `{
     {"name": "BenchmarkBatchedDelete/k=1", "ns_per_op": 40000, "msgs_per_batch": 20.0, "rounds_per_batch": 6.0},
     {"name": "BenchmarkBandwidthRepair/B=1", "ns_per_op": 300000, "msgs_per_repair": 400.0},
     {"name": "BenchmarkPhysicalSnapshot/incremental", "ns_per_op": 1000000},
-    {"name": "BenchmarkTickSteadyState", "ns_per_op": 20000, "msgs_per_tick": 3.0, "allocs_per_op": 15, "bytes_per_op": 2200}
+    {"name": "BenchmarkTickSteadyState", "ns_per_op": 20000, "msgs_per_tick": 3.0, "allocs_per_op": 15, "bytes_per_op": 2200},
+    {"name": "BenchmarkCoalescedChurn/on", "ns_per_op": 20000000, "msgs_per_drain": 5500.0, "coalcancelled_per_drain": 30.0}
   ]
 }`
 
 func run(t *testing.T, input string) (string, error) {
 	t.Helper()
 	var out strings.Builder
-	err := check([]byte(baseline), strings.NewReader(input), 0.30, 0.05, 0.15, &out)
+	err := check([]byte(baseline), strings.NewReader(input), 0.30, 0.05, 0.10, &out)
 	return out.String(), err
 }
 
@@ -140,6 +141,21 @@ BenchmarkTickSteadyState-8    50    21000 ns/op    3.050 msgs/tick    2300 B/op 
 `)
 	if err != nil {
 		t.Fatalf("in-tolerance alloc metrics flagged: %v\n%s", err, out)
+	}
+}
+
+func TestGatesCoalesceCounters(t *testing.T) {
+	// The coalescer's decision counters are deterministic like message
+	// counts: 30 * 0.95 = 28.5 cancellations, so 20 means the admission
+	// queue stopped eliding work the baseline records.
+	out, err := run(t, `
+BenchmarkCoalescedChurn/on-8    50    20000000 ns/op    5500.0 msgs/drain    20.0 coalcancelled/drain
+`)
+	if err == nil {
+		t.Fatalf("coalesce counter fell 33%% and passed:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "coalcancelled_per_drain deviates below baseline") {
+		t.Fatalf("wrong failure: %v", err)
 	}
 }
 

@@ -47,6 +47,14 @@
 // the pipeline's throughput, completion-latency distribution, and peak
 // concurrent-repair depth at the end.
 //
+// With -async -coalesce, submissions pass through the coalescing
+// admission queue (insert/delete flap pairs annihilate before reaching
+// the wire; overlapping pending deletions merge into chained repair
+// waves with pre-appointed leaders), the churn is biased toward flap
+// pairs so the cancel path is exercised, and the campaign reports the
+// queue's decision counters at the end. -coalesce-window sets the hold
+// window in driver ticks.
+//
 // Usage:
 //
 //	soak [-n N] [-topology NAME] [-steps K] [-seed S] [-insert-p P]
@@ -54,6 +62,7 @@
 //	     [-batch K] [-batch-strategy random|disjoint|colliding]
 //	     [-delete STRATEGY] [-bandwidth B] [-no-spread] [-slow-frac F]
 //	     [-async] [-async-gap G] [-transport sim|chan|wire]
+//	     [-coalesce] [-coalesce-window W]
 package main
 
 import (
@@ -108,6 +117,8 @@ func run() error {
 		transp    = flag.String("transport", "sim", "with -dist: message substrate: sim (round simulator, congestion model), chan (goroutine-per-processor channels, logical clocks), or wire (processor shards in worker OS processes over loopback TCP)")
 		corruptP  = flag.Float64("corrupt-rate", 0, "with -dist: probability per step of silently corrupting one processor's state (random mode); enables the self-stabilizing audit layer, and checkpoints assert the corruption healed via the full Verify")
 		auditPrd  = flag.Int("audit-period", 128, "with -corrupt-rate: audit pulse interval in rounds")
+		coalesce  = flag.Bool("coalesce", false, "with -async: enable the coalescing admission queue (cancel insert/delete pairs, merge overlapping deletions) and bias the churn toward flap pairs")
+		coalWin   = flag.Int("coalesce-window", 4, "with -coalesce: hold window in driver ticks before a held op launches (0 = admit immediately)")
 	)
 	flag.Parse()
 
@@ -178,11 +189,21 @@ func run() error {
 	if *auditPrd < 1 {
 		return fmt.Errorf("-audit-period must be >= 1, got %d", *auditPrd)
 	}
+	// The coalescer sits on the open-loop Submit path; its decisions
+	// read only driver-side state, so any transport backend is fine
+	// (the differential tests pin sim/chan identity), but the blocking
+	// and batch paths never hold ops and have nothing to coalesce.
+	if *coalesce && !*async {
+		return fmt.Errorf("-coalesce gates the open-loop admission queue; add -dist -async")
+	}
+	if *coalWin < 0 {
+		return fmt.Errorf("-coalesce-window must be >= 0, got %d", *coalWin)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	g0 := gen(*n, rng)
-	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v transport=%s parallel=%v batch=%d strategy=%s delete=%s bandwidth=%d spread=%v slow-frac=%v async=%v\n",
+	fmt.Printf("soak: topology=%s n=%d steps=%d seed=%d dist=%v transport=%s parallel=%v batch=%d strategy=%s delete=%s bandwidth=%d spread=%v slow-frac=%v async=%v coalesce=%v\n",
 		*topology, g0.NumNodes(), *steps, *seed, *useDist, *transp, *parallel, *batchK, batchStrat.Name(),
-		deleter.Name(), *bandwidth, !*noSpread, *slowFrac, *async)
+		deleter.Name(), *bandwidth, !*noSpread, *slowFrac, *async, *coalesce)
 
 	var (
 		target soakTarget
@@ -210,6 +231,9 @@ func run() error {
 				return err
 			}
 		}
+		if *coalesce {
+			s.SetCoalescing(dist.CoalesceConfig{Window: *coalWin})
+		}
 		sim = s
 		target = distTarget{s}
 	} else {
@@ -224,7 +248,7 @@ func run() error {
 	}
 	if *async {
 		dt := target.(distTarget)
-		return soakAsync(dt.s, churn, rng, *steps, *asyncGap, *checkEvy, *fullCheck, *slowFrac, *corruptP, *auditPrd)
+		return soakAsync(dt.s, churn, rng, *steps, *asyncGap, *checkEvy, *fullCheck, *slowFrac, *corruptP, *auditPrd, *coalesce)
 	}
 	// In batch mode the insert-vs-burst decision is drawn by the soak
 	// loop itself, so the insert branch must always insert: InsertP 1
@@ -335,13 +359,10 @@ func run() error {
 				return fmt.Errorf("step %d: INVARIANT VIOLATION: %w", step, err)
 			}
 			cost.observe(time.Since(ckStart))
-			net := target.Network()
-			gp := target.GPrime()
-			live := target.LiveNodes()
-			deg := metrics.Degrees(net, gp, live)
-			degRatios.Observe(deg.Max)
-			if deg.Max > 4 {
-				return fmt.Errorf("step %d: degree ratio %v > 4", step, deg.Max)
+			maxRatio := checkpointDegreeRatio(target)
+			degRatios.Observe(maxRatio)
+			if maxRatio > 4 {
+				return fmt.Errorf("step %d: degree ratio %v > 4", step, maxRatio)
 			}
 		}
 	}
@@ -451,7 +472,7 @@ func printAuditSummary(s *dist.Simulation, corruptions int) {
 // engine bug and fails the soak. Checkpoints drain the engine first,
 // then run the usual (incremental) validation.
 func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
-	steps, maxGap, checkEvery int, fullCheck bool, slowFrac, corruptP float64, auditPeriod int) error {
+	steps, maxGap, checkEvery int, fullCheck bool, slowFrac, corruptP float64, auditPeriod int, coalesce bool) error {
 
 	nextID := graph.NodeID(1 << 20)
 	alloc := func() graph.NodeID { nextID++; return nextID }
@@ -484,6 +505,11 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 				delete(outstanding, ev.V)
 				pipe.ObserveLatency(ev.Latency)
 				latencies.Observe(float64(ev.Latency))
+			case dist.EventOpCancelled:
+				// A coalesced insert/delete pair: both ops name the same
+				// node and neither will complete. No latency sample — the
+				// work never went to the wire, which is the point.
+				delete(outstanding, ev.V)
 			case dist.EventOpRejected:
 				return fmt.Errorf("engine rejected %v: %w", ev.Op, ev.Err)
 			}
@@ -536,6 +562,18 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 		outstanding[op.V] = struct{}{}
 		pipe.Submitted++
 		pipe.ObserveInFlight(s.InFlight())
+		if coalesce && op.Insert && rng.Float64() < 0.35 {
+			// Flap bait: the node leaves right after joining — classic
+			// membership churn, and exactly the pair the admission queue
+			// exists to annihilate. (The adversary's own moves never
+			// target an outstanding node, so without this bias the
+			// cancel path would go unexercised.)
+			if err := s.Submit(dist.Op{Kind: dist.OpDelete, V: op.V}); err != nil {
+				return fmt.Errorf("step %d: flap delete %d: %w", step, op.V, err)
+			}
+			deletions++
+			pipe.Submitted++
+		}
 		if op.Insert && slowFrac > 0 && rng.Float64() < slowFrac {
 			// The node cap is registered up front; it bites as soon as
 			// the (possibly deferred) insert applies.
@@ -589,10 +627,12 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 				return fmt.Errorf("step %d: INVARIANT VIOLATION: %w", step, err)
 			}
 			cost.observe(time.Since(ckStart))
-			deg := metrics.Degrees(s.Physical(), s.GPrime(), s.LiveNodes())
-			degRatios.Observe(deg.Max)
-			if deg.Max > 4 {
-				return fmt.Errorf("step %d: degree ratio %v > 4", step, deg.Max)
+			// Incrementally maintained max ratio: the last O(n) sweep
+			// (plus two graph clones) is gone from the checkpoint loop.
+			maxRatio, _ := s.MaxDegreeRatio()
+			degRatios.Observe(maxRatio)
+			if maxRatio > 4 {
+				return fmt.Errorf("step %d: degree ratio %v > 4", step, maxRatio)
 			}
 		}
 	}
@@ -626,6 +666,12 @@ func soakAsync(s *dist.Simulation, churn adversary.Churn, rng *rand.Rand,
 	fmt.Println(latencies.Render(40))
 	fmt.Println("max degree ratio at checkpoints:")
 	fmt.Println(degRatios.Render(40))
+	if coalesce {
+		st := s.CoalesceStats()
+		co := metrics.Coalesce{}.Add(st.Submitted, st.Cancelled, st.Merged, st.Admitted, st.MessagesSaved)
+		fmt.Printf("coalescing: %d submitted, %d cancelled (%.1f%%), %d merged, %d admitted; >= %d protocol messages never sent\n",
+			co.Submitted, co.Cancelled, 100*co.CancelledFrac(), co.Merged, co.Admitted, co.MessagesSaved)
+	}
 	if corruptP > 0 {
 		printAuditSummary(s, corruptions)
 	}
@@ -659,6 +705,19 @@ type soakTarget interface {
 	// (election/sync rounds and messages) the same way; zero for the
 	// engine, which has no protocol.
 	LastCoordination(batch bool) metrics.Coordination
+}
+
+// checkpointDegreeRatio reads the maximum physical/G′ degree ratio:
+// O(1) amortized from the incremental tracker when the target exposes
+// one (dist), falling back to the O(n) metrics.Degrees sweep (engine).
+func checkpointDegreeRatio(target soakTarget) float64 {
+	if tr, ok := target.(interface {
+		MaxDegreeRatio() (float64, graph.NodeID)
+	}); ok {
+		r, _ := tr.MaxDegreeRatio()
+		return r
+	}
+	return metrics.Degrees(target.Network(), target.GPrime(), target.LiveNodes()).Max
 }
 
 type engineTarget struct{ e *core.Engine }
@@ -703,7 +762,18 @@ func (t distTarget) MarkSlow(v graph.NodeID)             { t.s.SetNodeBandwidth(
 func (t distTarget) EdgeCapacity(from, to graph.NodeID) int {
 	return t.s.EdgeCapacity(from, to)
 }
-func (t distTarget) LastRepairMessages() int { return t.s.LastRecovery().Messages }
+
+// StubCount / StubAt make distTarget an adversary.StubView, so
+// preferential-attachment churn samples the simulation's incremental
+// stub index in O(log n) instead of materializing the O(n+m) stub
+// slice per insert.
+func (t distTarget) StubCount() int            { return t.s.StubCount() }
+func (t distTarget) StubAt(i int) graph.NodeID { return t.s.StubAt(i) }
+
+// MaxDegreeRatio forwards the incremental degree tracker, sparing the
+// checkpoint loop the O(n) metrics.Degrees sweep.
+func (t distTarget) MaxDegreeRatio() (float64, graph.NodeID) { return t.s.MaxDegreeRatio() }
+func (t distTarget) LastRepairMessages() int                 { return t.s.LastRecovery().Messages }
 func (t distTarget) LastBatchCost() (int, int) {
 	bs := t.s.LastBatch()
 	return bs.Messages, bs.Waves

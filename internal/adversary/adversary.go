@@ -184,6 +184,25 @@ func (HubBacklogDelete) Next(v View, _ *rand.Rand, _ func() NodeID) (Op, bool) {
 	return Op{V: best}, true
 }
 
+// StubView extends View with O(log n) access to the preferential-
+// attachment stub multiset: live nodes in ascending order, each
+// repeated (degree in the actual network)+1 times. A target exposing
+// it lets Churn's preferential branch sample without materializing the
+// O(n+m) stub slice per insert (the cost that dominated million-node
+// soak wall time). The indexing contract is exact — StubAt(i) names
+// the same node the materialized slice's element i would — so the
+// fast path consumes the identical rng stream and picks the identical
+// neighbors, which TestChurnStubViewEquivalence asserts pointwise
+// under a fixed seed.
+type StubView interface {
+	View
+	// StubCount is the multiset's size: sum over live nodes of
+	// (actual-network degree + 1).
+	StubCount() int
+	// StubAt returns the node owning stub index i, 0 <= i < StubCount.
+	StubAt(i int) NodeID
+}
+
 // CapacityView extends View with link-capacity knowledge: the
 // effective words-per-round cap of a directed edge (0 = unlimited).
 // The bandwidth-aware adversaries use it to aim at the network's
@@ -360,16 +379,26 @@ func (c Churn) Next(v View, rng *rand.Rand, nextID func() NodeID) (Op, bool) {
 	}
 	var nbrs []NodeID
 	if c.Preferential {
-		net := v.Network()
-		var stubs []NodeID
-		for _, u := range live {
-			for i := 0; i <= net.Degree(u); i++ { // +1 smooths zero degrees
-				stubs = append(stubs, u)
-			}
-		}
 		chosen := make(map[NodeID]struct{}, k)
-		for len(chosen) < k {
-			chosen[stubs[rng.Intn(len(stubs))]] = struct{}{}
+		if sv, ok := v.(StubView); ok {
+			// O(k log n): the target maintains the stub multiset
+			// incrementally. Same indexing, same rng stream, same picks
+			// as the materialized slice below.
+			n := sv.StubCount()
+			for len(chosen) < k {
+				chosen[sv.StubAt(rng.Intn(n))] = struct{}{}
+			}
+		} else {
+			net := v.Network()
+			var stubs []NodeID
+			for _, u := range live {
+				for i := 0; i <= net.Degree(u); i++ { // +1 smooths zero degrees
+					stubs = append(stubs, u)
+				}
+			}
+			for len(chosen) < k {
+				chosen[stubs[rng.Intn(len(stubs))]] = struct{}{}
+			}
 		}
 		for u := range chosen {
 			nbrs = append(nbrs, u)

@@ -1,0 +1,100 @@
+package adversary
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fakeStubView wraps fakeView with an index-faithful stub multiset,
+// materialized once: live nodes ascending, each repeated degree+1
+// times — the exact contract StubView demands. Churn's fast path must
+// produce identical ops through it as through the legacy slice.
+type fakeStubView struct {
+	fakeView
+	stubs []NodeID
+}
+
+func stubViewOf(net *graph.Graph) fakeStubView {
+	v := fakeStubView{fakeView: viewOf(net)}
+	for _, u := range net.Nodes() {
+		for i := 0; i <= net.Degree(u); i++ {
+			v.stubs = append(v.stubs, u)
+		}
+	}
+	return v
+}
+
+func (f fakeStubView) StubCount() int      { return len(f.stubs) }
+func (f fakeStubView) StubAt(i int) NodeID { return f.stubs[i] }
+
+// TestChurnStubViewEquivalence drives the preferential churn adversary
+// through a plain View (legacy materialized stub slice) and a StubView
+// (incremental index fast path) with identically seeded rngs and
+// asserts the op streams are pointwise identical: same inserts, same
+// neighbors, same deletes, in the same order. This is the contract
+// that lets dist.Simulation expose its Fenwick stub index without
+// changing any seeded run's history.
+func TestChurnStubViewEquivalence(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"star":    graph.Star(40),
+		"cycle":   graph.Cycle(25),
+		"ba":      graph.PreferentialAttachment(64, 3, rand.New(rand.NewSource(9))),
+		"lonely":  graph.New(),
+		"isolate": func() *graph.Graph { g := graph.New(); g.AddNode(7); return g }(),
+	}
+	for name, g := range graphs {
+		for _, k := range []int{1, 2, 5} {
+			c := Churn{InsertP: 0.7, AttachK: k, Preferential: true}
+			slowRng := rand.New(rand.NewSource(42))
+			fastRng := rand.New(rand.NewSource(42))
+			slowV := viewOf(g)
+			fastV := stubViewOf(g)
+			nextSlow, nextFast := NodeID(1000), NodeID(1000)
+			for step := 0; step < 200; step++ {
+				a, okA := c.Next(slowV, slowRng, func() NodeID { nextSlow++; return nextSlow })
+				b, okB := c.Next(fastV, fastRng, func() NodeID { nextFast++; return nextFast })
+				if okA != okB {
+					t.Fatalf("%s k=%d step %d: ok %v vs %v", name, k, step, okA, okB)
+				}
+				if !okA {
+					break
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%s k=%d step %d: legacy %v, stubview %v", name, k, step, a, b)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkChurnPreferential pins the cost of one preferential-
+// attachment sample: the legacy path materializes the O(n+m) stub
+// slice per insert, the StubView path samples the maintained index.
+func BenchmarkChurnPreferential(b *testing.B) {
+	g := graph.PreferentialAttachment(4096, 3, rand.New(rand.NewSource(1)))
+	c := Churn{InsertP: 1.0, AttachK: 3, Preferential: true}
+	alloc := func() NodeID { return 1 << 30 } // static view: ID unused
+	b.Run("materialized", func(b *testing.B) {
+		v := viewOf(g)
+		rng := rand.New(rand.NewSource(2))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.Next(v, rng, alloc); !ok {
+				b.Fatal("no move")
+			}
+		}
+	})
+	b.Run("stubview", func(b *testing.B) {
+		v := stubViewOf(g)
+		rng := rand.New(rand.NewSource(2))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.Next(v, rng, alloc); !ok {
+				b.Fatal("no move")
+			}
+		}
+	})
+}

@@ -16,13 +16,21 @@ import (
 // engine must reject exactly the ops the blocking twin errors on, and
 // the healed graphs must stay bit-identical. The first seed byte picks
 // a per-edge bandwidth cap, so congested interleavings — where far
-// more traffic is mid-flight per submission — are fuzzed too.
+// more traffic is mid-flight per submission — are fuzzed too, and a
+// hold window for a fourth engine with the coalescing admission queue
+// on: its drained graph must match the blocking replay of its
+// EFFECTIVE sequence (submission order minus the insert/delete pairs
+// it reports cancelled).
 func FuzzAsyncChurn(f *testing.F) {
 	f.Add([]byte{0x00, 0x10, 0x02, 0x81, 0x05, 0x00})
 	f.Add([]byte{0x01, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05})
 	f.Add([]byte{0x03, 0x90, 0x91, 0x92, 0x00, 0x93, 0x01})
 	f.Add([]byte{0x00, 0x05, 0x05, 0x45, 0xc5})       // double deletes + inserts
 	f.Add([]byte{0x02, 0x81, 0x82, 0x83, 0x00, 0x01}) // inserts then deletes under B=2
+	// Coalescing-targeted seeds (window bits set in byte 0):
+	f.Add([]byte{0x1c, 0x02, 0x81, 0x0b})             // cancel pair racing the first repair
+	f.Add([]byte{0x10, 0x00, 0x01, 0x02, 0x03})       // adjacent deletes: merge chains
+	f.Add([]byte{0x08, 0x81, 0x05, 0x06, 0x85, 0x0c}) // merged region conflicting with a pending insert
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 2 {
 			return
@@ -30,7 +38,8 @@ func FuzzAsyncChurn(f *testing.F) {
 		if len(data) > 64 {
 			data = data[:64]
 		}
-		bandwidth := int(data[0] & 0x03) // 0 = unlimited, else 1..3 words/round
+		bandwidth := int(data[0] & 0x03)   // 0 = unlimited, else 1..3 words/round
+		window := int(data[0] >> 2 & 0x07) // coalescing twin's hold window in ticks
 		data = data[1:]
 
 		g0 := graph.Grid(3, 4) // 12 nodes, ids 0..11
@@ -39,6 +48,9 @@ func FuzzAsyncChurn(f *testing.F) {
 		blocking := NewSimulation(g0)
 		blocking.SetBandwidth(bandwidth)
 		ref := core.NewEngine(g0)
+		coal := NewSimulation(g0)
+		coal.SetBandwidth(bandwidth)
+		coal.SetCoalescing(CoalesceConfig{Window: window})
 
 		// The schedule is decoded against the BLOCKING twin's state (the
 		// serialized replay defines each op's meaning), so both replicas
@@ -47,6 +59,8 @@ func FuzzAsyncChurn(f *testing.F) {
 		nextID := NodeID(100)
 		submitted := 0
 		wantRejected := make(map[NodeID]bool)
+		var ops []Op
+		var opInvalid []bool
 		for _, b := range data {
 			live := blocking.LiveNodes()
 			if len(live) == 0 {
@@ -96,9 +110,15 @@ func FuzzAsyncChurn(f *testing.F) {
 			if err := async.Submit(op); err != nil {
 				t.Fatalf("submit %v: %v", op, err)
 			}
+			if err := coal.Submit(op); err != nil {
+				t.Fatalf("coalesced submit %v: %v", op, err)
+			}
+			ops = append(ops, op)
+			opInvalid = append(opInvalid, wantRejected[op.V] && op.Kind == OpDelete)
 			submitted++
 			for r := 0; r < int(b>>4&0x03); r++ {
 				async.Tick()
+				coal.Tick()
 			}
 		}
 		if err := async.Drain(); err != nil {
@@ -141,6 +161,67 @@ func FuzzAsyncChurn(f *testing.F) {
 		}
 		if err := async.Verify(); err != nil {
 			t.Fatal(err)
+		}
+
+		// Coalescing twin: exact event accounting, then bit-identity with
+		// the blocking replay of the effective sequence (the cancelled
+		// pairs removed; every other op keeps its serialized verdict).
+		if err := coal.Drain(); err != nil {
+			t.Fatalf("coalesced drain: %v", err)
+		}
+		cancelled := make(map[int]bool)
+		coalCompleted, coalRejections := 0, 0
+		coalRejected := make(map[NodeID]bool)
+		for _, ev := range coal.Poll() {
+			switch ev.Kind {
+			case EventRepairDone, EventInsertApplied:
+				coalCompleted++
+			case EventOpCancelled:
+				if cancelled[ev.Seq] {
+					t.Fatalf("duplicate cancel event for seq %d", ev.Seq)
+				}
+				cancelled[ev.Seq] = true
+			case EventOpRejected:
+				coalRejections++
+				coalRejected[ev.V] = true
+			}
+		}
+		if coalCompleted+coalRejections+len(cancelled) != submitted {
+			t.Fatalf("coalesced: %d submitted != %d completed + %d rejected + %d cancelled",
+				submitted, coalCompleted, coalRejections, len(cancelled))
+		}
+		for v := range coalRejected {
+			if !wantRejected[v] {
+				t.Fatalf("coalescing changed a verdict: valid op on %d rejected", v)
+			}
+		}
+		eff := NewSimulation(g0)
+		for i, op := range ops {
+			if cancelled[i+1] { // Seq counts from 1
+				if opInvalid[i] {
+					t.Fatalf("invalid op %v reported cancelled", op)
+				}
+				continue
+			}
+			var err error
+			switch op.Kind {
+			case OpInsert:
+				err = eff.Insert(op.V, op.Nbrs)
+			case OpDelete:
+				err = eff.Delete(op.V)
+			}
+			if (err != nil) != opInvalid[i] {
+				t.Fatalf("effective replay op %d (%v): err=%v, want invalid=%v", i+1, op, err, opInvalid[i])
+			}
+		}
+		if !coal.Physical().Equal(eff.Physical()) {
+			t.Fatal("coalesced healed graph diverges from the effective-sequence replay")
+		}
+		if !coal.GPrime().Equal(eff.GPrime()) {
+			t.Fatal("coalesced G' diverged")
+		}
+		if err := coal.Verify(); err != nil {
+			t.Fatalf("coalesced verify: %v", err)
 		}
 	})
 }

@@ -190,6 +190,77 @@ func BenchmarkAsyncChurn(b *testing.B) {
 	b.ReportMetric(inflight/n, "peakinflight/drain")
 }
 
+// BenchmarkCoalescedChurn is the coalescing admission queue's headline:
+// the same churn-heavy schedule (cancel and merge bait mixed with plain
+// ops, from genCoalesceSchedule) drained with the coalescer off and on.
+// Logical throughput is ops/drain over ns/op; the wire cost is
+// msgs/drain from the network's own counter. The schedule is seeded by
+// the iteration index, so at a pinned -benchtime every count is
+// deterministic and the CI gate holds msgs/drain and the coal* decision
+// counters to the tight message tolerance — the on/off msgs gap is the
+// recorded saving, and EXP-COALESCE asserts the ≥30% reduction on the
+// same workload shape.
+func BenchmarkCoalescedChurn(b *testing.B) {
+	base := graph.PreferentialAttachment(1024, 3, rand.New(rand.NewSource(42)))
+	const ops = 48
+	for _, mode := range []struct {
+		name string
+		cfg  *CoalesceConfig
+	}{
+		{"off", nil},
+		{"on", &CoalesceConfig{Window: 4}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var msgs, logical, cancelled, merged, saved float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				schedule := genCoalesceSchedule(base, ops, int64(i))
+				s := NewSimulation(base)
+				if mode.cfg != nil {
+					s.SetCoalescing(*mode.cfg)
+				}
+				s.net.ResetStats()
+				b.StartTimer()
+				for _, so := range schedule {
+					if err := s.Submit(so.op); err != nil {
+						b.Fatal(err)
+					}
+					for r := 0; r < so.delay; r++ {
+						s.Tick()
+					}
+				}
+				if err := s.Drain(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				msgs += float64(s.net.Stats().Messages)
+				logical += float64(len(schedule))
+				for _, ev := range s.Poll() {
+					if ev.Kind == EventOpRejected {
+						b.Fatalf("rejected: %v", ev.Err)
+					}
+				}
+				if mode.cfg != nil {
+					st := s.CoalesceStats()
+					cancelled += float64(st.Cancelled)
+					merged += float64(st.Merged)
+					saved += float64(st.MessagesSaved)
+				}
+				b.StartTimer()
+			}
+			n := float64(b.N)
+			b.ReportMetric(msgs/n, "msgs/drain")
+			b.ReportMetric(logical/n, "ops/drain")
+			if mode.cfg != nil {
+				b.ReportMetric(cancelled/n, "coalcancelled/drain")
+				b.ReportMetric(merged/n, "coalmerged/drain")
+				b.ReportMetric(saved/n, "coalsaved/drain")
+			}
+		})
+	}
+}
+
 // BenchmarkPhysicalSnapshot pins the win of the incrementally
 // maintained physical graph: snapshotting it versus reconstructing it
 // from every record of every processor, on a churned network.

@@ -1,0 +1,448 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/channet"
+	"repro/internal/graph"
+	"repro/internal/transport"
+)
+
+// Differential equivalence for the coalescing admission queue: a
+// coalescing-on schedule must heal bit-identically to the serialized
+// blocking replay of the EFFECTIVE sequence — the submission order with
+// the cancelled insert/delete pairs removed — with exact per-op event
+// accounting, on every transport backend.
+
+// genCoalesceSchedule derives a valid schedule biased toward the
+// coalescer's opportunities: insert/delete pairs on the same fresh node
+// submitted back to back (cancellation bait) and deletions of physical
+// neighbors submitted back to back (merge bait), mixed with plain
+// churn. Validity comes from running every op on a scratch blocking
+// twin, exactly like genSchedule.
+func genCoalesceSchedule(g0 *graph.Graph, ops int, seed int64) []asyncOp {
+	twin := NewSimulation(g0)
+	rng := rand.New(rand.NewSource(seed))
+	nextID := NodeID(50_000)
+	var schedule []asyncOp
+	emit := func(op Op, delay int) { schedule = append(schedule, asyncOp{op: op, delay: delay}) }
+	insert := func(delay int) {
+		live := twin.LiveNodes()
+		v := nextID
+		nextID++
+		k := 1 + rng.Intn(2)
+		if k > len(live) {
+			k = len(live)
+		}
+		var nbrs []NodeID
+		for _, idx := range rng.Perm(len(live))[:k] {
+			nbrs = append(nbrs, live[idx])
+		}
+		if err := twin.Insert(v, nbrs); err != nil {
+			panic(err)
+		}
+		emit(Op{Kind: OpInsert, V: v, Nbrs: nbrs}, delay)
+	}
+	for i := 0; i < ops; i++ {
+		live := twin.LiveNodes()
+		if len(live) == 0 {
+			break
+		}
+		switch r := rng.Float64(); {
+		case r < 0.3: // cancellation bait: insert then delete the same node
+			insert(rng.Intn(2))
+			v := schedule[len(schedule)-1].op.V
+			if err := twin.Delete(v); err != nil {
+				panic(err)
+			}
+			emit(Op{Kind: OpDelete, V: v}, rng.Intn(3))
+		case r < 0.55: // merge bait: delete a node, then a former neighbor
+			v := live[rng.Intn(len(live))]
+			nb := twin.Physical().Neighbors(v)
+			if err := twin.Delete(v); err != nil {
+				panic(err)
+			}
+			emit(Op{Kind: OpDelete, V: v}, rng.Intn(2))
+			for _, w := range nb {
+				if twin.Alive(w) {
+					if err := twin.Delete(w); err != nil {
+						panic(err)
+					}
+					emit(Op{Kind: OpDelete, V: w}, rng.Intn(3))
+					break
+				}
+			}
+		case r < 0.75:
+			insert(rng.Intn(4))
+		default:
+			v := live[rng.Intn(len(live))]
+			if err := twin.Delete(v); err != nil {
+				panic(err)
+			}
+			emit(Op{Kind: OpDelete, V: v}, rng.Intn(4))
+		}
+	}
+	return schedule
+}
+
+// replayCoalesced drives one valid schedule through a coalescing-on
+// engine, checks the event accounting exactly (every submitted op
+// completes, cancels, and never rejects; the CoalesceStats counters
+// reconcile), and asserts the healed graph is bit-identical to the
+// serialized blocking replay of the effective sequence. Returns the
+// drained engine for further cross-checks.
+func replayCoalesced(t *testing.T, g0 *graph.Graph, schedule []asyncOp, cfg CoalesceConfig, net transport.Transport) *Simulation {
+	t.Helper()
+	var coal *Simulation
+	if net != nil {
+		coal = NewSimulationOn(g0, net)
+	} else {
+		coal = NewSimulation(g0)
+	}
+	coal.SetCoalescing(cfg)
+	for _, so := range schedule {
+		if err := coal.Submit(so.op); err != nil {
+			t.Fatalf("submit %v: %v", so.op, err)
+		}
+		for r := 0; r < so.delay; r++ {
+			coal.Tick()
+		}
+	}
+	if err := coal.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	cancelled := make(map[int]bool) // seq -> elided
+	completed := 0
+	for _, ev := range coal.Poll() {
+		switch ev.Kind {
+		case EventRepairDone, EventInsertApplied:
+			completed++
+		case EventOpCancelled:
+			if cancelled[ev.Seq] {
+				t.Fatalf("duplicate cancel event for seq %d", ev.Seq)
+			}
+			cancelled[ev.Seq] = true
+		case EventOpRejected:
+			t.Fatalf("valid op rejected: %v: %v", ev.Op, ev.Err)
+		}
+	}
+	if len(cancelled)%2 != 0 {
+		t.Fatalf("cancellations come in pairs; got %d", len(cancelled))
+	}
+	if completed+len(cancelled) != len(schedule) {
+		t.Fatalf("%d submitted, %d completed + %d cancelled", len(schedule), completed, len(cancelled))
+	}
+	st := coal.CoalesceStats()
+	if st.Submitted != len(schedule) || st.Cancelled != len(cancelled) || st.Admitted != completed {
+		t.Fatalf("stats %+v disagree with %d submitted / %d cancelled / %d completed",
+			st, len(schedule), len(cancelled), completed)
+	}
+
+	// Serialized blocking replay of the effective sequence.
+	eff := NewSimulation(g0)
+	for i, so := range schedule {
+		if cancelled[i+1] { // Seq counts from 1 in submission order
+			continue
+		}
+		var err error
+		switch so.op.Kind {
+		case OpInsert:
+			err = eff.Insert(so.op.V, so.op.Nbrs)
+		case OpDelete:
+			err = eff.Delete(so.op.V)
+		}
+		if err != nil {
+			t.Fatalf("effective replay op %d (%v): %v", i+1, so.op, err)
+		}
+	}
+	if !coal.Physical().Equal(eff.Physical()) {
+		t.Fatal("coalesced healed graph diverges from the effective-sequence blocking replay")
+	}
+	if !coal.GPrime().Equal(eff.GPrime()) {
+		t.Fatal("G' diverged")
+	}
+	if err := coal.Verify(); err != nil {
+		t.Fatalf("coalesced verify: %v", err)
+	}
+	if err := eff.Verify(); err != nil {
+		t.Fatalf("effective replay verify: %v", err)
+	}
+	return coal
+}
+
+// TestAsyncEquivalenceCoalescing is the coalescing-on twin of
+// TestAsyncEquivalenceWithBlocking: across the five topology families,
+// schedules biased toward cancel and merge opportunities, and both a
+// zero and a positive hold window, the healed graph must match the
+// blocking replay of the effective sequence exactly. The aggregate
+// counters prove the machinery actually fired.
+func TestAsyncEquivalenceCoalescing(t *testing.T) {
+	topologies := []struct {
+		name string
+		gen  func(rng *rand.Rand) *graph.Graph
+		ops  int
+	}{
+		{"star", func(*rand.Rand) *graph.Graph { return graph.Star(24) }, 22},
+		{"path", func(*rand.Rand) *graph.Graph { return graph.Path(20) }, 20},
+		{"grid", func(*rand.Rand) *graph.Graph { return graph.Grid(5, 5) }, 24},
+		{"gnp", func(rng *rand.Rand) *graph.Graph { return graph.GNP(32, 0.15, rng) }, 26},
+		{"powerlaw", func(rng *rand.Rand) *graph.Graph { return graph.PreferentialAttachment(28, 2, rng) }, 26},
+	}
+	var total CoalesceStats
+	for _, topo := range topologies {
+		topo := topo
+		t.Run(topo.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				g0 := topo.gen(rand.New(rand.NewSource(800 + seed)))
+				schedule := genCoalesceSchedule(g0, topo.ops, 41*seed+7)
+				for _, window := range []int{0, 4} {
+					s := replayCoalesced(t, g0, schedule, CoalesceConfig{Window: window}, nil)
+					st := s.CoalesceStats()
+					total.Submitted += st.Submitted
+					total.Cancelled += st.Cancelled
+					total.Merged += st.Merged
+					total.MessagesSaved += st.MessagesSaved
+				}
+			}
+		})
+	}
+	if total.Cancelled == 0 {
+		t.Error("no cancellations across the whole sweep: the bait never fired")
+	}
+	if total.Merged == 0 {
+		t.Error("no merges across the whole sweep: the bait never fired")
+	}
+	if total.MessagesSaved == 0 {
+		t.Error("nothing saved across the whole sweep")
+	}
+}
+
+// TestCoalescingTransportIdentity: coalescing decisions read only
+// driver-side state, so the same schedule on simnet and on a seeded
+// channet must elide the same pairs and heal to the bit-identical
+// graph. Merge counts are NOT asserted equal: whether a delete is
+// still pending when the next one arrives depends on how many driver
+// ticks its repair spans, which the transports may pace differently —
+// merging is a pure optimization, invisible in the healed graph, while
+// a cancellation changes the effective sequence and so must agree.
+func TestCoalescingTransportIdentity(t *testing.T) {
+	g0 := graph.PreferentialAttachment(24, 2, rand.New(rand.NewSource(123)))
+	schedule := genCoalesceSchedule(g0, 28, 99)
+	cfg := CoalesceConfig{Window: 3}
+	sim := replayCoalesced(t, g0, schedule, cfg, nil)
+	ch := replayCoalesced(t, g0, schedule, cfg, channet.NewSeeded(5))
+	defer ch.Close()
+	if !sim.Physical().Equal(ch.Physical()) {
+		t.Fatal("healed graphs diverge between simnet and seeded channet")
+	}
+	simSt, chSt := sim.CoalesceStats(), ch.CoalesceStats()
+	if simSt.Submitted != chSt.Submitted || simSt.Cancelled != chSt.Cancelled {
+		t.Fatalf("cancellation decisions diverge across transports: sim %+v, chan %+v", simSt, chSt)
+	}
+}
+
+// TestCoalesceMergeSavesElection pins the merge mechanism's exact
+// saving: the merged repair launches with a pre-appointed leader
+// (reporting zero election messages), and the run's total election
+// traffic drops versus the uncoalesced twin by exactly the
+// MessagesSaved counter — with the identical healed graph.
+func TestCoalesceMergeSavesElection(t *testing.T) {
+	run := func(coalesce bool) (*Simulation, int) {
+		s := NewSimulation(graph.Star(16))
+		if coalesce {
+			s.SetCoalescing(CoalesceConfig{})
+		}
+		// Delete a ray, then the hub: the regions overlap, so with
+		// coalescing on the hub's deletion merges behind the ray's.
+		if err := s.Submit(Op{Kind: OpDelete, V: 5}, Op{Kind: OpDelete, V: 0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		election := 0
+		for _, ev := range s.Poll() {
+			if ev.Kind == EventRepairDone {
+				election += ev.Repair.ElectionMessages
+				if coalesce && ev.V == 0 && ev.Repair.ElectionMessages != 0 {
+					t.Errorf("merged repair of %d reports %d election messages, want 0",
+						ev.V, ev.Repair.ElectionMessages)
+				}
+			}
+		}
+		return s, election
+	}
+	off, offElection := run(false)
+	on, onElection := run(true)
+	st := on.CoalesceStats()
+	if st.Merged != 1 {
+		t.Fatalf("Merged = %d, want 1", st.Merged)
+	}
+	if st.MessagesSaved <= 0 {
+		t.Fatalf("MessagesSaved = %d, want > 0", st.MessagesSaved)
+	}
+	if offElection-onElection != st.MessagesSaved {
+		t.Fatalf("election traffic dropped by %d, MessagesSaved counts %d",
+			offElection-onElection, st.MessagesSaved)
+	}
+	if !on.Physical().Equal(off.Physical()) {
+		t.Fatal("merged launch healed differently from the elected launch")
+	}
+	if err := on.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalesceCancelRacingRepair: an insert deferred inside an
+// in-flight repair's region annihilates with a delete submitted while
+// that repair is still running — the cancellation must not disturb the
+// repair, and the healed graph equals the replay without the pair.
+func TestCoalesceCancelRacingRepair(t *testing.T) {
+	s := NewSimulation(graph.Star(16))
+	s.SetCoalescing(CoalesceConfig{})
+	if err := s.Submit(Op{Kind: OpDelete, V: 0}); err != nil { // hub: big repair
+		t.Fatal(err)
+	}
+	if s.InFlight() != 1 {
+		t.Fatal("repair not launched")
+	}
+	// The insert attaches inside the damaged region, so it defers; the
+	// delete lands while the repair is mid-flight and cancels it.
+	if err := s.Submit(Op{Kind: OpInsert, V: 900, Nbrs: []NodeID{5, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	if err := s.Submit(Op{Kind: OpDelete, V: 900}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CoalesceStats()
+	if st.Cancelled != 2 {
+		t.Fatalf("Cancelled = %d, want 2 (the pair annihilated mid-repair)", st.Cancelled)
+	}
+	if s.PendingOps() != 0 {
+		t.Fatalf("%d ops still pending after the pair annihilated", s.PendingOps())
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	blocking := NewSimulation(graph.Star(16))
+	if err := blocking.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Physical().Equal(blocking.Physical()) {
+		t.Fatal("cancellation mid-repair changed the healed graph")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalesceHoldExpiresMidRepair: a hold window that runs out while
+// an overlapping repair is still in flight must leave the op blocked on
+// the region, not force a launch; an op in a disjoint region launches
+// the moment its window expires, overlapping the ongoing repair.
+func TestCoalesceHoldExpiresMidRepair(t *testing.T) {
+	g, hubs := disjointStars(2, 8)
+	s := NewSimulation(g)
+	s.SetBandwidth(1) // stretch the repair across many driver ticks
+	s.SetCoalescing(CoalesceConfig{Window: 2})
+	if err := s.Submit(Op{Kind: OpDelete, V: hubs[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("%d in flight, want 0 (the first delete is held too)", got)
+	}
+	s.Tick()
+	s.Tick() // window expires -> the hub repair launches
+	if got := s.InFlight(); got != 1 {
+		t.Fatalf("%d in flight after the first window expired, want 1", got)
+	}
+	// A ray of the same star (region conflicts with the running repair)
+	// and the other star's hub (disjoint), both held for 2 ticks.
+	ray := hubs[0] + 1
+	if err := s.Submit(Op{Kind: OpDelete, V: ray}, Op{Kind: OpDelete, V: hubs[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.InFlight(); got != 1 {
+		t.Fatalf("%d in flight, want 1 (both new deletes held)", got)
+	}
+	s.Tick()
+	s.Tick() // windows expire here, mid-repair
+	if got := s.InFlight(); got != 2 {
+		t.Fatalf("%d in flight after expiry, want 2 (disjoint launched, conflicting blocked)", got)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	blocking := NewSimulation(g)
+	for _, v := range []NodeID{hubs[0], ray, hubs[1]} {
+		if err := blocking.Delete(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Physical().Equal(blocking.Physical()) {
+		t.Fatal("held launches healed differently from the serialized replay")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalesceMergeBehindPendingInsert: a merged chain whose region
+// conflicts with an earlier pending (deferred) insert must still
+// serialize in submission order — the insert applies when the first
+// repair completes, before the merged deletes run. On a 4x4 grid
+// (row-major ids), deleting 5 damages its neighbors {1,4,6,9}; the
+// insert attaches inside that region (node 6) and defers; deletes of
+// 10 and 9 — physical neighbors of each other and of 6 — conflict with
+// the running repair, stay pending, and merge with each other.
+func TestCoalesceMergeBehindPendingInsert(t *testing.T) {
+	g0 := graph.Grid(4, 4)
+	s := NewSimulation(g0)
+	s.SetCoalescing(CoalesceConfig{})
+	if err := s.Submit(Op{Kind: OpDelete, V: 5}); err != nil { // repair in flight
+		t.Fatal(err)
+	}
+	if s.InFlight() != 1 {
+		t.Fatal("repair not launched")
+	}
+	if err := s.Submit(Op{Kind: OpInsert, V: 900, Nbrs: []NodeID{6}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Alive(900) {
+		t.Fatal("insert into damaged region applied mid-repair")
+	}
+	if err := s.Submit(Op{Kind: OpDelete, V: 10}, Op{Kind: OpDelete, V: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CoalesceStats(); st.Merged != 1 {
+		t.Fatalf("Merged = %d, want 1 (delete 9 chained behind delete 10)", st.Merged)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Alive(900) {
+		t.Fatal("deferred insert never applied")
+	}
+	blocking := NewSimulation(g0)
+	if err := blocking.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := blocking.Insert(900, []NodeID{6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := blocking.Delete(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := blocking.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Physical().Equal(blocking.Physical()) {
+		t.Fatal("merged chain jumped the pending insert's serialization point")
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

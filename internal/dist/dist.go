@@ -211,6 +211,18 @@ type Simulation struct {
 
 	// btOrder is layBT's reusable scratch (driver-side only).
 	btOrder []NodeID
+
+	// Incremental degree indexes (see stubs.go): the Fenwick-weighted
+	// preferential-attachment stub multiset the adversary samples in
+	// O(log n), and the lazy max-heap over physical/G′ degree ratios
+	// that replaced the soak checkpoints' O(n) metrics.Degrees sweep.
+	stubs *stubIndex
+	degs  *degTracker
+
+	// Coalescing admission queue (see coalesce.go): policy and counters.
+	coalesceOn bool
+	coalCfg    CoalesceConfig
+	coalStats  CoalesceStats
 }
 
 // NewSimulation builds the distributed network over an initial
@@ -302,6 +314,12 @@ func (s *Simulation) addProcessor(v NodeID) {
 	s.procs[v] = p
 	s.alive[v] = struct{}{}
 	s.sweepSeq = append(s.sweepSeq, v)
+	s.stubs.addNode(v)
+	if d := s.phys.Degree(v); d > 0 {
+		// Initial topology: the physical graph already carries v's edges.
+		s.stubs.adjust(v, d)
+	}
+	s.degChanged(v)
 	s.gpCC.OnAddNode(v) // no-op for initial nodes, labeled at construction
 	s.gpCC.Mark(v)
 	s.net.AddNode(v, p.handle)
@@ -472,6 +490,9 @@ func (s *Simulation) insertNow(v NodeID, nbrs []NodeID) error {
 		s.procs[x].nbrs[v] = struct{}{}
 		s.procs[x].markTouched()
 		s.physAdd(v, x)
+		// physAdd refreshed the physical side; the G′ degrees moved too.
+		s.degChanged(v)
+		s.degChanged(x)
 	}
 	return nil
 }
@@ -565,11 +586,15 @@ func (s *Simulation) removeProcessor(v NodeID) {
 	for _, x := range s.nbrScratch {
 		if s.phys.RemoveEdge(v, x) {
 			s.physCC.OnRemoveEdge(v, x)
+			s.stubs.adjust(x, -1)
+			s.degChanged(x)
 		}
 	}
 	s.phys.RemoveNode(v)
 	s.physCC.OnRemoveNode(v)
 	s.gpCC.Unmark(v)
+	s.stubs.removeNode(v)
+	s.degs.remove(v)
 }
 
 // prepareRepair removes v from the network, returning nil when v was

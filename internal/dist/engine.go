@@ -95,6 +95,11 @@ const (
 	// neighbor that a previously submitted deletion removed, a reused
 	// ID). Err holds the same error the blocking call would return.
 	EventOpRejected
+	// EventOpCancelled: the coalescing queue annihilated this operation
+	// with its pending partner — a delete(v) arriving while insert(v)
+	// was still pending elides both (see coalesce.go). Fired for each
+	// half of the pair, insert first; neither op touches the network.
+	EventOpCancelled
 )
 
 // Event is one typed completion notification from the engine.
@@ -110,7 +115,8 @@ type Event struct {
 	Seq int
 	// V is the node the event is about (the deleted or inserted node).
 	V NodeID
-	// Op is the rejected operation (EventOpRejected).
+	// Op is the rejected or cancelled operation (EventOpRejected,
+	// EventOpCancelled).
 	Op Op
 	// Repair is the completed repair's cost (EventRepairDone).
 	Repair RecoveryStats
@@ -143,6 +149,14 @@ type pendingOp struct {
 	// the launch sends the death notifications leader-to-leader.
 	from     NodeID
 	haveFrom bool
+	// hold is the coalescing window: the number of engine Ticks this op
+	// must stay pending (and coalescible) before it may launch. merged
+	// marks a delete chained behind an overlapping pending delete by the
+	// coalescing queue; it waits on after like a chain op but re-enters
+	// the normal admission path on release, and its launch pre-appoints
+	// the repair leader (see coalesce.go).
+	hold   int
+	merged bool
 }
 
 // flight is one repair in progress.
@@ -185,9 +199,16 @@ func (s *Simulation) Submit(ops ...Op) error {
 	for _, op := range ops {
 		op.Nbrs = append([]NodeID(nil), op.Nbrs...)
 		s.opSeq++
+		if s.coalesceOn {
+			s.submitCoalesced(op, s.opSeq)
+			continue
+		}
 		s.pending = append(s.pending, &pendingOp{
 			op: op, seq: s.opSeq, submitRound: s.net.Round(), after: noNode,
 		})
+	}
+	if s.coalesceOn {
+		s.flushHeldIfFull()
 	}
 	s.admit()
 	s.flushObserver()
@@ -202,6 +223,9 @@ func (s *Simulation) Submit(ops ...Op) error {
 func (s *Simulation) Tick() bool {
 	s.step()
 	s.afterRound()
+	if s.coalesceOn && len(s.pending) > 0 {
+		s.tickHolds()
+	}
 	s.auditEngineSweep()
 	s.flushObserver()
 	if s.Idle() {
@@ -358,7 +382,7 @@ func (s *Simulation) afterRound() {
 // successor's notified set.
 func (s *Simulation) releaseChains(freed map[NodeID]NodeID) {
 	for _, po := range s.pending {
-		if po.chain {
+		if po.chain || (po.merged && po.after != noNode) {
 			if l, ok := freed[po.after]; ok {
 				po.after = noNode
 				if l != noNode {
@@ -448,6 +472,17 @@ func (s *Simulation) admitPass() (instant []NodeID) {
 			}
 			continue
 		}
+		if po.merged && po.after != noNode {
+			// Coalesced merge waiting on its predecessor epoch. Refresh
+			// the tentative footprint (in-flight repairs may have moved
+			// the trees) so later ops in this sweep serialize against it
+			// exactly as they would against an unheld pending delete.
+			if s.Alive(po.op.V) {
+				po.region = s.deleteRegion(po.op.V)
+			}
+			block(po)
+			continue
+		}
 		switch po.op.Kind {
 		case OpDelete:
 			v := po.op.V
@@ -466,6 +501,12 @@ func (s *Simulation) admitPass() (instant []NodeID) {
 				// repair frees the op last.
 				po.blockers = blockers
 				po.from, po.haveFrom = noNode, false
+				block(po)
+				continue
+			}
+			if po.hold > 0 {
+				// Coalescing window still open: admissible, but held so a
+				// later submission can still cancel or merge with it.
 				block(po)
 				continue
 			}
@@ -510,9 +551,16 @@ func (s *Simulation) admitPass() (instant []NodeID) {
 				block(po)
 				continue
 			}
+			if po.hold > 0 {
+				block(po)
+				continue
+			}
 			if err := s.insertNow(v, nbrs); err != nil {
 				reject(po, err)
 				continue
+			}
+			if s.coalesceOn && po.seq != 0 {
+				s.coalStats.Admitted++
 			}
 			s.emit(Event{
 				Kind: EventInsertApplied, Seq: po.seq, V: v,
@@ -576,6 +624,9 @@ func overlap(a, b map[NodeID]struct{}) bool {
 func (s *Simulation) launchDelete(po *pendingOp) (instantlyDone bool) {
 	v := po.op.V
 	degree := s.gprime.Degree(v)
+	if s.coalesceOn && po.seq != 0 {
+		s.coalStats.Admitted++
+	}
 	// Fold the handlers' pending physical-edit logs in first:
 	// removeProcessor updates the maintained physical graph directly
 	// and needs the multiplicity index current.
@@ -601,7 +652,7 @@ func (s *Simulation) launchDelete(po *pendingOp) (instantlyDone bool) {
 	// Hand off from the releasing leader if it is still alive (a later
 	// deletion may have removed it since); otherwise the members detect
 	// the deletion themselves, as in a fresh launch.
-	s.sendDeathNotifications(rep, po.from, po.haveFrom && s.Alive(po.from))
+	s.sendDeathNotifications(rep, po.from, po.haveFrom && s.Alive(po.from), po.merged)
 	return false
 }
 
@@ -630,15 +681,26 @@ func (s *Simulation) beginBlocking() func() {
 // BT_v — a heap-shaped complete binary tree over the notified set in
 // DESCENDING ID order, so the eventual winner (the smallest ID)
 // genuinely has to win log d knockout matches on its way up.
-func (s *Simulation) sendDeathNotifications(r *pendingRepair, from NodeID, handoff bool) {
+//
+// A coalesced merge launch (led) pre-appoints the leader instead: the
+// tournament's winner is always the smallest notified ID, which the
+// driver already knows, so the notification carries it (one extra
+// word) and the participants skip the election — 2(k-1) messages
+// saved, counted in CoalesceStats.
+func (s *Simulation) sendDeathNotifications(r *pendingRepair, from NodeID, handoff, led bool) {
+	leader, words := noNode, wordsDeath
+	if led {
+		leader, words = r.notify[0], wordsDeathLed
+		s.coalStats.MessagesSaved += 2 * (len(r.notify) - 1)
+	}
 	s.layBT(r.notify, func(x, parent, left, right NodeID) {
 		src := x
 		if handoff {
 			src = from
 		}
 		s.net.Send(src, x, msgDeath{
-			V: r.v, BTParent: parent, BTLeft: left, BTRight: right,
-		}, wordsDeath)
+			V: r.v, BTParent: parent, BTLeft: left, BTRight: right, Leader: leader,
+		}, words)
 	})
 }
 

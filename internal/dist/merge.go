@@ -2,7 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/haft"
 	"repro/internal/transport"
@@ -56,33 +55,50 @@ func pathLess(a, b msgDescriptor) bool {
 	return a.Depth < b.Depth
 }
 
+// compLess orders components in core's canonical order: keyed ones
+// first, ascending by key; keyless ones last, by root address.
+func compLess(a, b *component) bool {
+	if a.hasKey != b.hasKey {
+		return a.hasKey
+	}
+	if !a.hasKey {
+		return a.root.less(b.root)
+	}
+	return a.key.less(b.key)
+}
+
 // orderedDescriptors flattens the components into core's canonical
-// complete-tree order: components sorted by key (keyed ones first,
-// ascending; keyless ones last, by root address), descriptors within a
-// component in left-to-right strip order.
+// complete-tree order: components sorted by key, descriptors within a
+// component in left-to-right strip order. Both result slices are the
+// repairState's own scratch (valid until the next call), and the sorts
+// are insertion sorts — component and descriptor counts are small, and
+// this runs once per repair on the hot path, where sort.Slice's
+// reflection allocations add up.
 func (r *repairState) orderedDescriptors() []msgDescriptor {
-	comps := make([]*component, 0, len(r.comps))
+	comps := r.compScratch[:0]
 	for _, c := range r.comps {
 		if len(c.descs) == 0 {
 			continue // leafless fragment: contributed nothing
 		}
-		sort.Slice(c.descs, func(i, j int) bool { return pathLess(c.descs[i], c.descs[j]) })
+		descs := c.descs
+		for i := 1; i < len(descs); i++ {
+			for j := i; j > 0 && pathLess(descs[j], descs[j-1]); j-- {
+				descs[j], descs[j-1] = descs[j-1], descs[j]
+			}
+		}
 		comps = append(comps, c)
 	}
-	sort.Slice(comps, func(i, j int) bool {
-		a, b := comps[i], comps[j]
-		if a.hasKey != b.hasKey {
-			return a.hasKey
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && compLess(comps[j], comps[j-1]); j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
 		}
-		if !a.hasKey {
-			return a.root.less(b.root)
-		}
-		return a.key.less(b.key)
-	})
-	var out []msgDescriptor
+	}
+	r.compScratch = comps
+	out := r.descScratch[:0]
 	for _, c := range comps {
 		out = append(out, c.descs...)
 	}
+	r.descScratch = out
 	return out
 }
 

@@ -100,6 +100,12 @@ type msgDeath struct {
 	// BTParent, BTLeft, BTRight are the receiver's neighbors in BT_v
 	// (noNode where absent; the root has no parent).
 	BTParent, BTLeft, BTRight NodeID
+	// Leader pre-appoints the repair leader (noNode normally). Set only
+	// on a coalesced merge launch: the knockout tournament's winner is
+	// always the smallest notified ID, which the driver knows, so the
+	// participants skip the election entirely. BT_v is still carried —
+	// the termination-detection convergecasts run over it.
+	Leader NodeID
 }
 
 // Leader election. The notified processors run an O(log d)-round
@@ -512,6 +518,7 @@ type msgAuditVerdict struct {
 // accounting exists to expose.
 const (
 	wordsDeath        = 4 // V doubles as the epoch; 3 BT_v links
+	wordsDeathLed     = 5 // + the pre-appointed leader (coalesced merge)
 	wordsChampion     = 3
 	wordsLeader       = 3
 	wordsMarkDamaged  = 6

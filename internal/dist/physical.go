@@ -64,6 +64,10 @@ func (s *Simulation) initPhys(g0 *graph.Graph) {
 	// runs; its initial nodes are marked live by addProcessor.
 	s.physCC = graph.NewComponents(s.phys)
 	s.gpCC = graph.NewComponents(s.gprime)
+	// The degree indexes (see stubs.go) start empty; addProcessor seeds
+	// the initial nodes, folding in the degrees the clone already has.
+	s.stubs = newStubIndex()
+	s.degs = newDegTracker()
 }
 
 // physAdd records one more virtual-edge image mapping onto {a, b}.
@@ -76,6 +80,10 @@ func (s *Simulation) physAdd(a, b NodeID) {
 	if s.physMult[e] == 1 {
 		if s.phys.AddEdge(a, b) {
 			s.physCC.OnAddEdge(a, b)
+			s.stubs.adjust(a, 1)
+			s.stubs.adjust(b, 1)
+			s.degChanged(a)
+			s.degChanged(b)
 		}
 		// Refinement invariant: a physical edge only ever materializes
 		// between processors already connected in G′ (it is the image of
@@ -108,6 +116,10 @@ func (s *Simulation) physDel(a, b NodeID) {
 		delete(s.physMult, e)
 		if s.phys.RemoveEdge(a, b) {
 			s.physCC.OnRemoveEdge(a, b)
+			s.stubs.adjust(a, -1)
+			s.stubs.adjust(b, -1)
+			s.degChanged(a)
+			s.degChanged(b)
 		}
 	default:
 		panic(fmt.Sprintf("dist: physical edge %v-%v multiplicity went negative", a, b))

@@ -329,6 +329,15 @@ type repairState struct {
 	haveNotifyDone bool
 	descRecvd      int
 	descExpected   int
+
+	// Scratch retained across pool recycling so the per-repair leader
+	// work costs no steady-state allocations: rootScratch backs
+	// sortedRoots, compScratch/descScratch back orderedDescriptors, and
+	// compFree holds retired component objects for comp() to reuse.
+	rootScratch []addr
+	compScratch []*component
+	descScratch []msgDescriptor
+	compFree    []*component
 }
 
 // component mirrors one entry of core's components list: a fragment
@@ -490,8 +499,14 @@ func (p *processor) repair(epoch NodeID) *repairState {
 }
 
 // reset readies a recycled repairState for a new epoch, keeping its
-// map storage.
+// map storage and retiring its components to the freelist (their descs
+// capacity survives with them).
 func (r *repairState) reset() {
+	for _, c := range r.comps {
+		c.descs = c.descs[:0]
+		c.key, c.hasKey = slot{}, false
+		r.compFree = append(r.compFree, c)
+	}
 	clear(r.roots)
 	clear(r.comps)
 	r.phase, r.outstanding, r.maxRootHeight = 0, 0, 0
@@ -561,7 +576,13 @@ func (r *repairState) addRoot(a addr, height int) {
 func (r *repairState) comp(root addr) *component {
 	c, ok := r.comps[root]
 	if !ok {
-		c = &component{root: root}
+		if n := len(r.compFree); n > 0 {
+			c = r.compFree[n-1]
+			r.compFree = r.compFree[:n-1]
+			c.root = root
+		} else {
+			c = &component{root: root}
+		}
 		r.comps[root] = c
 	}
 	return c
@@ -765,6 +786,16 @@ func (p *processor) onDeath(n transport.Endpoint, m msgDeath) {
 			ps.waitChamps++
 			ps.waitDone++
 		}
+	}
+	if m.Leader != noNode {
+		// Pre-appointed leader (coalesced merge launch): no tournament.
+		// Repair work begins on receipt; under unlimited bandwidth every
+		// participant is notified in the same round, and congestion can
+		// only stagger the starts the way it staggers an elected
+		// launch's — which the damage walks tolerate.
+		ps.leader = m.Leader
+		p.beginRepair(n, m.V, m.Leader)
+		return
 	}
 	// Champions that raced ahead of a congested notification were
 	// already folded into champ/height; settle the count now.
@@ -1041,13 +1072,21 @@ func (p *processor) onMarkDamaged(n transport.Endpoint, m msgMarkDamaged) {
 }
 
 // sortedRoots returns the announced fragment roots in deterministic
-// order.
+// order. The slice is the repairState's own scratch (recycled with it
+// across epochs) and stays valid only until the next call; insertion
+// sort keeps the hot repair path clear of sort.Slice's reflection
+// allocations — fragment counts are small.
 func (r *repairState) sortedRoots() []addr {
-	roots := make([]addr, 0, len(r.roots))
+	roots := r.rootScratch[:0]
 	for a := range r.roots {
 		roots = append(roots, a)
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].less(roots[j]) })
+	for i := 1; i < len(roots); i++ {
+		for j := i; j > 0 && roots[j].less(roots[j-1]); j-- {
+			roots[j], roots[j-1] = roots[j-1], roots[j]
+		}
+	}
+	r.rootScratch = roots
 	return roots
 }
 

@@ -209,11 +209,24 @@ func (s *Simulation) Verify() error {
 		return err
 	}
 	phys := s.phys
+	wantMax := 0.0
 	for v := range s.alive {
 		dp := s.gprime.Degree(v)
 		if got := phys.Degree(v); got > 4*dp {
 			return fmt.Errorf("dist: degree bound: node %d has physical degree %d > 4×%d", v, got, dp)
 		}
+		if dp > 0 {
+			if r := float64(phys.Degree(v)) / float64(dp); r > wantMax {
+				wantMax = r
+			}
+		}
+	}
+	// The incremental max-degree-ratio tracker (stubs.go) audited
+	// against the O(n) rebuild it replaced at the soak checkpoints. The
+	// ratios are computed by the identical float division, so equality
+	// is exact (ties may be attained by different nodes).
+	if gotMax, at := s.MaxDegreeRatio(); gotMax != wantMax {
+		return fmt.Errorf("dist: degree tracker: incremental max ratio %v (node %d), rebuild %v", gotMax, at, wantMax)
 	}
 	return s.checkConnectivity(phys)
 }

@@ -99,3 +99,9 @@ type distBatchView struct{ s *dist.Simulation }
 func (v distBatchView) LiveNodes() []graph.NodeID { return v.s.LiveNodes() }
 func (v distBatchView) Network() *graph.Graph     { return v.s.Physical() }
 func (v distBatchView) GPrime() *graph.Graph      { return v.s.GPrime() }
+
+// StubCount / StubAt expose the simulation's incremental stub index,
+// making the view an adversary.StubView: preferential-attachment churn
+// samples in O(log n) instead of materializing the stub slice.
+func (v distBatchView) StubCount() int            { return v.s.StubCount() }
+func (v distBatchView) StubAt(i int) graph.NodeID { return v.s.StubAt(i) }

@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/channet"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// expCoalesce: the coalescing admission queue's headline experiment.
+// A churn-heavy schedule on a powerlaw network is drained twice with
+// identical submission pacing — coalescer off, then on — and the wire
+// cost is the network's own delivered-message counter. The schedule's
+// flap fraction sweeps from light to heavy: a flap is an insert whose
+// delete arrives within the hold window, so the pair annihilates in
+// the admission queue and neither the insert messages nor the repair
+// are ever sent. The claims under test: message traffic drops >= 30%
+// on the flap-heavy row at identical logical ops, the healed graph is
+// bit-identical to the serialized blocking replay of the effective
+// sequence (submission order minus the cancelled pairs), and the
+// cancellation decisions replicate exactly on a seeded channet.
+func expCoalesce(o Options) []metrics.Table {
+	n := 256
+	ops := 128
+	flaps := []float64{0.20, 0.45, 0.70}
+	if o.Quick {
+		n, ops = 64, 48
+		flaps = []float64{0.45, 0.70}
+	}
+	const window = 4
+	headline := flaps[len(flaps)-1]
+
+	t := metrics.Table{
+		Title: fmt.Sprintf("EXP-COALESCE: coalescing admission on powerlaw n=%d, %d submissions per row, window=%d", n, ops, window),
+		Columns: []string{"flap frac", "ops", "msgs off", "msgs on", "reduction",
+			"cancelled", "merged", "counter saved", "rounds off", "rounds on"},
+	}
+	var agg metrics.Coalesce
+	for _, flapP := range flaps {
+		rng := rand.New(rand.NewSource(o.Seed + int64(flapP*1000)))
+		base := graph.PreferentialAttachment(n, 3, rng)
+		sched := genFlapSchedule(base, ops, flapP, o.Seed+int64(flapP*100)+13)
+
+		off, offCancelled := runFlapSchedule(base, sched, nil, nil)
+		on, onCancelled := runFlapSchedule(base, sched, &dist.CoalesceConfig{Window: window}, nil)
+		defer off.Close()
+		defer on.Close()
+		if len(offCancelled) != 0 {
+			panic("EXP-COALESCE: the coalescer-off twin reported cancellations")
+		}
+
+		// The off twin is itself a correctness check: with nothing
+		// elided it must heal exactly like the blocking replay of the
+		// full sequence.
+		assertEffectiveReplay(base, sched, off, offCancelled)
+		// The on twin must heal exactly like the blocking replay of
+		// the effective sequence: submission order minus the pairs the
+		// admission queue annihilated.
+		assertEffectiveReplay(base, sched, on, onCancelled)
+
+		st := on.CoalesceStats()
+		agg = agg.Add(st.Submitted, st.Cancelled, st.Merged, st.Admitted, st.MessagesSaved)
+		msgsOff, msgsOn := off.NetMessages(), on.NetMessages()
+		reduction := 0.0
+		if msgsOff > 0 {
+			reduction = 1 - float64(msgsOn)/float64(msgsOff)
+		}
+		if flapP == headline && reduction < 0.30 {
+			panic(fmt.Sprintf("EXP-COALESCE: flap-heavy row saved only %.1f%% of messages, want >= 30%%",
+				100*reduction))
+		}
+
+		// The coalescing contract on a second backend: the same
+		// schedule on a seeded channet must also heal bit-identically
+		// to the blocking replay of ITS effective sequence. The
+		// cancellation set itself may legitimately differ — a delete
+		// annihilates an insert still deferred inside a damaged
+		// region, and how many driver ticks that deferral spans is
+		// transport-paced — which is exactly why the check replays
+		// each backend's own effective sequence.
+		if flapP == headline {
+			ch, chCancelled := runFlapSchedule(base, sched, &dist.CoalesceConfig{Window: window}, channet.NewSeeded(o.Seed+5))
+			defer ch.Close()
+			assertEffectiveReplay(base, sched, ch, chCancelled)
+			if ch.CoalesceStats().Cancelled == 0 {
+				panic("EXP-COALESCE: the channet twin never cancelled: the flap bait did not fire")
+			}
+		}
+
+		t.AddRow(metrics.F(flapP), metrics.D(len(sched)),
+			metrics.D(msgsOff), metrics.D(msgsOn),
+			fmt.Sprintf("%.1f%%", 100*reduction),
+			metrics.D(st.Cancelled), metrics.D(st.Merged), metrics.D(st.MessagesSaved),
+			metrics.D(off.Round()), metrics.D(on.Round()))
+	}
+	t.Notes = append(t.Notes,
+		"both twins submit the identical schedule with identical tick pacing — logical ops are equal by construction",
+		"msgs is the transport's delivered-message total for the whole drain; reduction = 1 - on/off",
+		"the flap-heavy row must save >= 30% of messages; the off twin and the effective replay pin correctness",
+		"healed graphs asserted bit-identical to the blocking replay of the effective sequence on every row (simnet), and again on a seeded channet on the flap-heavy row",
+		fmt.Sprintf("aggregate over the sweep: %d submitted, %d cancelled (%.1f%%), %d merged, counter claims %d messages never sent",
+			agg.Submitted, agg.Cancelled, 100*agg.CancelledFrac(), agg.Merged, agg.MessagesSaved))
+	return []metrics.Table{t}
+}
+
+// flapOp is one submission of an EXP-COALESCE schedule: the operation
+// plus the driver ticks to run before the next submission.
+type flapOp struct {
+	op    dist.Op
+	delay int
+}
+
+// genFlapSchedule derives a valid churn schedule in which a flapP
+// fraction of the moves are flap pairs: an insert of a fresh node with
+// 3-5 neighbors followed within the hold window by its deletion. The
+// rest is merge bait (neighboring deletions back to back), plain
+// inserts, and plain deletes. Validity comes from applying every op to
+// a scratch blocking twin; flap pairs leave node aliveness exactly as
+// if they never happened, so the schedule stays valid for the
+// coalescing engine that elides them.
+func genFlapSchedule(g0 *graph.Graph, ops int, flapP float64, seed int64) []flapOp {
+	twin := dist.NewSimulation(g0)
+	rng := rand.New(rand.NewSource(seed))
+	nextID := graph.NodeID(1 << 20)
+	var sched []flapOp
+	emit := func(op dist.Op, delay int) { sched = append(sched, flapOp{op: op, delay: delay}) }
+	insert := func(k, delay int) graph.NodeID {
+		live := twin.LiveNodes()
+		if k > len(live) {
+			k = len(live)
+		}
+		v := nextID
+		nextID++
+		var nbrs []graph.NodeID
+		for _, idx := range rng.Perm(len(live))[:k] {
+			nbrs = append(nbrs, live[idx])
+		}
+		if err := twin.Insert(v, nbrs); err != nil {
+			panic(err)
+		}
+		emit(dist.Op{Kind: dist.OpInsert, V: v, Nbrs: nbrs}, delay)
+		return v
+	}
+	del := func(v graph.NodeID, delay int) {
+		if err := twin.Delete(v); err != nil {
+			panic(err)
+		}
+		emit(dist.Op{Kind: dist.OpDelete, V: v}, delay)
+	}
+	for len(sched) < ops {
+		live := twin.LiveNodes()
+		if len(live) < 8 {
+			break
+		}
+		switch r := rng.Float64(); {
+		case r < flapP:
+			// Flap: the delete lands 0-1 ticks after the insert, well
+			// inside the window, so the pair annihilates. Degree 4-6
+			// makes the elided repair comparable to a typical
+			// powerlaw deletion, so the saving tracks the flap
+			// fraction rather than vanishing into hub repairs.
+			v := insert(4+rng.Intn(3), rng.Intn(2))
+			del(v, rng.Intn(2))
+		case r < flapP+0.15:
+			// Merge bait: delete a node, then one of its former
+			// physical neighbors — the second repair chains behind the
+			// first with a pre-appointed leader.
+			v := live[rng.Intn(len(live))]
+			nb := twin.Physical().Neighbors(v)
+			del(v, rng.Intn(2))
+			for _, w := range nb {
+				if twin.Alive(w) {
+					del(w, rng.Intn(3))
+					break
+				}
+			}
+		case r < flapP+0.25:
+			insert(1+rng.Intn(2), rng.Intn(3))
+		default:
+			del(live[rng.Intn(len(live))], rng.Intn(3))
+		}
+	}
+	return sched
+}
+
+// runFlapSchedule drives one schedule through a fresh engine (on the
+// given transport; nil = simnet), drains it, and returns the engine
+// plus the set of cancelled sequence numbers (Seq counts from 1 in
+// submission order). Any rejection panics: the schedule is valid by
+// construction.
+func runFlapSchedule(g0 *graph.Graph, sched []flapOp, cfg *dist.CoalesceConfig, net transport.Transport) (*dist.Simulation, map[int]bool) {
+	var s *dist.Simulation
+	if net != nil {
+		s = dist.NewSimulationOn(g0, net)
+	} else {
+		s = dist.NewSimulation(g0)
+	}
+	if cfg != nil {
+		s.SetCoalescing(*cfg)
+	}
+	for _, so := range sched {
+		if err := s.Submit(so.op); err != nil {
+			panic(err)
+		}
+		for r := 0; r < so.delay; r++ {
+			s.Tick()
+		}
+	}
+	if err := s.Drain(); err != nil {
+		panic(err)
+	}
+	cancelled := make(map[int]bool)
+	completed := 0
+	for _, ev := range s.Poll() {
+		switch ev.Kind {
+		case dist.EventRepairDone, dist.EventInsertApplied:
+			completed++
+		case dist.EventOpCancelled:
+			cancelled[ev.Seq] = true
+		case dist.EventOpRejected:
+			panic(fmt.Sprintf("EXP-COALESCE: valid op rejected: %v: %v", ev.Op, ev.Err))
+		}
+	}
+	if completed+len(cancelled) != len(sched) {
+		panic(fmt.Sprintf("EXP-COALESCE: %d submitted but %d completed + %d cancelled",
+			len(sched), completed, len(cancelled)))
+	}
+	return s, cancelled
+}
+
+// assertEffectiveReplay checks the coalescing contract: the engine's
+// healed graph and G' must be bit-identical to a serialized blocking
+// replay of the effective sequence — submission order with the
+// cancelled pairs removed.
+func assertEffectiveReplay(g0 *graph.Graph, sched []flapOp, s *dist.Simulation, cancelled map[int]bool) {
+	eff := dist.NewSimulation(g0)
+	for i, so := range sched {
+		if cancelled[i+1] {
+			continue
+		}
+		var err error
+		switch so.op.Kind {
+		case dist.OpInsert:
+			err = eff.Insert(so.op.V, so.op.Nbrs)
+		case dist.OpDelete:
+			err = eff.Delete(so.op.V)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("EXP-COALESCE: effective replay op %d (%v): %v", i+1, so.op, err))
+		}
+	}
+	if !s.Physical().Equal(eff.Physical()) {
+		panic("EXP-COALESCE: healed graph diverges from the effective-sequence blocking replay")
+	}
+	if !s.GPrime().Equal(eff.GPrime()) {
+		panic("EXP-COALESCE: G' diverges from the effective-sequence blocking replay")
+	}
+	if err := s.Verify(); err != nil {
+		panic(err)
+	}
+}

@@ -100,6 +100,12 @@ func Experiments() []Experiment {
 			Run:   expOpenLoop,
 		},
 		{
+			ID:    "EXP-COALESCE",
+			Title: "Coalescing admission queue (cancel/merge churn before the wire)",
+			Claim: "annihilating flapped insert/delete pairs and merging overlapping deletions cuts wire traffic >= 30% on flap-heavy churn at identical logical ops; healed graph bit-identical to the effective-sequence replay on simnet and seeded channet",
+			Run:   expCoalesce,
+		},
+		{
 			ID:    "EXP-BW",
 			Title: "Bandwidth-limited repair (congestion model)",
 			Claim: "finite per-edge bandwidth changes rounds, never messages or the healed graph; leader pacing shrinks edge backlog",

@@ -267,6 +267,43 @@ func (c Coordination) SyncFrac() float64 {
 	return f
 }
 
+// Coalesce aggregates the coalescing admission queue's decisions
+// across one or more runs: ops submitted, ops elided by insert/delete
+// annihilation, deletes merged into chained repair waves, ops that
+// reached execution, and the static floor of protocol messages
+// provably avoided. The zero value is an empty sample.
+type Coalesce struct {
+	Submitted     int
+	Cancelled     int
+	Merged        int
+	Admitted      int
+	MessagesSaved int
+}
+
+// Add folds one run's counters into the aggregate.
+func (c Coalesce) Add(submitted, cancelled, merged, admitted, messagesSaved int) Coalesce {
+	c.Submitted += submitted
+	c.Cancelled += cancelled
+	c.Merged += merged
+	c.Admitted += admitted
+	c.MessagesSaved += messagesSaved
+	return c
+}
+
+// Merge folds another aggregate in.
+func (c Coalesce) Merge(o Coalesce) Coalesce {
+	return c.Add(o.Submitted, o.Cancelled, o.Merged, o.Admitted, o.MessagesSaved)
+}
+
+// CancelledFrac returns the fraction of submitted ops elided by
+// cancellation (0 for an empty sample).
+func (c Coalesce) CancelledFrac() float64 {
+	if c.Submitted == 0 {
+		return 0
+	}
+	return float64(c.Cancelled) / float64(c.Submitted)
+}
+
 // LargestComponentFrac returns the fraction of live nodes in the largest
 // connected component of the actual network (1.0 when connected, 0 for
 // an empty network). Used to quantify how badly no-heal shatters.

@@ -110,6 +110,31 @@ type Network struct {
 	stats   Stats
 	sentBy  map[NodeID]int
 	dropped int
+
+	// spare recycles the delivered batch's backing array into the next
+	// round's queue, and sorter wraps the batch for sort.Sort — both
+	// keep the steady-state Step free of per-round allocations.
+	spare  []Message
+	sorter batchSorter
+}
+
+// batchSorter sorts one round's batch into the deterministic delivery
+// order (receiver, then sender, then send sequence). A pointer to it
+// satisfies sort.Interface without the per-call allocations of
+// sort.Slice.
+type batchSorter struct{ msgs []Message }
+
+func (b *batchSorter) Len() int      { return len(b.msgs) }
+func (b *batchSorter) Swap(i, j int) { b.msgs[i], b.msgs[j] = b.msgs[j], b.msgs[i] }
+func (b *batchSorter) Less(i, j int) bool {
+	x, y := b.msgs[i], b.msgs[j]
+	if x.To != y.To {
+		return x.To < y.To
+	}
+	if x.From != y.From {
+		return x.From < y.From
+	}
+	return x.Seq < y.Seq
 }
 
 // New returns an empty network at round 0.
@@ -349,9 +374,13 @@ func (n *Network) SendTimer(node NodeID, payload any, delay int) {
 func (n *Network) Step() int {
 	n.round++
 	batch := n.queue
-	n.queue = nil
-	// Move due timers into the batch.
-	var keep []futureMsg
+	// Hand the spare backing array to the new queue and recycle the
+	// batch's when the round is over: sends during delivery grow an
+	// already-sized array instead of reallocating from nil every round.
+	n.queue = n.spare[:0]
+	n.spare = nil
+	// Move due timers into the batch; survivors are compacted in place.
+	keep := n.future[:0]
 	for _, t := range n.future {
 		if t.due <= n.round {
 			batch = append(batch, t.msg)
@@ -362,18 +391,12 @@ func (n *Network) Step() int {
 	n.future = keep
 
 	if len(batch) == 0 {
+		n.spare = batch
 		return 0
 	}
-	sort.Slice(batch, func(i, j int) bool {
-		a, b := batch[i], batch[j]
-		if a.To != b.To {
-			return a.To < b.To
-		}
-		if a.From != b.From {
-			return a.From < b.From
-		}
-		return a.Seq < b.Seq
-	})
+	n.sorter.msgs = batch
+	sort.Sort(&n.sorter)
+	n.sorter.msgs = nil
 	batch = n.applyBandwidth(batch)
 	delivered := 0
 	n.stats.Rounds++
@@ -396,6 +419,7 @@ func (n *Network) Step() int {
 		h(n, m)
 	}
 	classes.book(&n.stats)
+	n.spare = batch[:0]
 	return delivered
 }
 

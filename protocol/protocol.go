@@ -160,6 +160,7 @@ type options struct {
 	bandwidth int
 	spread    *bool
 	audit     *AuditConfig
+	coalesce  *CoalesceConfig
 	observer  func(Event)
 }
 
@@ -192,6 +193,12 @@ func WithSpread(on bool) Option {
 // the start (see EnableAudit).
 func WithAudit(cfg AuditConfig) Option {
 	return func(o *options) { o.audit = &cfg }
+}
+
+// WithCoalescing enables the coalescing admission queue from the start
+// (see SetCoalescing).
+func WithCoalescing(cfg CoalesceConfig) Option {
+	return func(o *options) { o.coalesce = &cfg }
 }
 
 // WithObserver streams completion events to fn from the first
@@ -247,6 +254,9 @@ func New(edges []Edge, opts ...Option) (*Network, error) {
 			n.Close()
 			return nil, err
 		}
+	}
+	if o.coalesce != nil {
+		n.SetCoalescing(*o.coalesce)
 	}
 	if o.observer != nil {
 		n.SetObserver(o.observer)
@@ -474,6 +484,11 @@ const (
 	// serialization point; Err carries the same error the blocking call
 	// would have returned.
 	EventOpRejected EventKind = EventKind(dist.EventOpRejected)
+	// EventOpCancelled: under WithCoalescing, a submitted delete
+	// annihilated with a still-pending insert of the same node; neither
+	// op touched the network. One event fires per elided op, in
+	// submission order, with Op carrying the elided operation.
+	EventOpCancelled EventKind = EventKind(dist.EventOpCancelled)
 )
 
 // Event is one typed completion notification.
@@ -481,7 +496,8 @@ type Event struct {
 	Kind EventKind
 	// V is the node the event concerns.
 	V NodeID
-	// Op is the rejected operation (EventOpRejected).
+	// Op is the rejected or cancelled operation (EventOpRejected,
+	// EventOpCancelled).
 	Op Op
 	// Repair is the completed repair's cost (EventRepairDone).
 	Repair RepairCost
@@ -552,6 +568,56 @@ func (n *Network) SetObserver(fn func(Event)) {
 		return
 	}
 	n.s.SetObserver(func(ev dist.Event) { fn(n.convEvent(ev)) })
+}
+
+// CoalesceConfig tunes the coalescing admission queue (see
+// SetCoalescing). Zero fields select the defaults.
+type CoalesceConfig struct {
+	// Window is the number of engine Ticks a submitted operation is
+	// held before it may launch, giving later submissions the chance to
+	// cancel or merge with it (0 = no hold).
+	Window int
+	// MaxHeld caps simultaneously held operations; when reached every
+	// hold flushes at once (<= 0 = default 64).
+	MaxHeld int
+}
+
+// CoalesceStats reports the coalescing queue's cumulative counters.
+type CoalesceStats struct {
+	// Submitted counts ops submitted while coalescing was on; Cancelled
+	// the ops elided by insert/delete annihilation (two per pair);
+	// Merged the deletes chained behind an overlapping pending delete
+	// (launched with a pre-appointed leader, skipping the election);
+	// Admitted the ops that reached execution.
+	Submitted, Cancelled, Merged, Admitted int
+	// MessagesSaved is the number of protocol messages provably avoided
+	// — a static floor: the skipped elections of merged launches and the
+	// notifications plus election of each cancelled pair's repair. The
+	// dynamic savings (walks, probes, strip traffic) are measured by the
+	// EXP-COALESCE experiment, not counted here.
+	MessagesSaved int
+}
+
+// SetCoalescing enables the coalescing admission queue for subsequent
+// Submit calls: pending insert/delete pairs on the same node annihilate
+// (EventOpCancelled), overlapping pending deletions merge into chained
+// repair waves with pre-appointed leaders, and each submitted op is
+// held Window ticks so later submissions can coalesce with it.
+// Operations still behave as if executed serially in submission order
+// with the cancelled pairs removed; the healed graph is bit-identical
+// to that replay on every transport. Blocking calls are never
+// coalesced. Enabling is one-way for the life of the network.
+func (n *Network) SetCoalescing(cfg CoalesceConfig) {
+	n.s.SetCoalescing(dist.CoalesceConfig{Window: cfg.Window, MaxHeld: cfg.MaxHeld})
+}
+
+// CoalesceStats returns the coalescing queue's counters so far.
+func (n *Network) CoalesceStats() CoalesceStats {
+	st := n.s.CoalesceStats()
+	return CoalesceStats{
+		Submitted: st.Submitted, Cancelled: st.Cancelled, Merged: st.Merged,
+		Admitted: st.Admitted, MessagesSaved: st.MessagesSaved,
+	}
 }
 
 // AuditConfig tunes the background self-stabilizing audit layer (see
@@ -676,7 +742,7 @@ func (n *Network) convEvent(ev dist.Event) Event {
 		out.Repair = convRecovery(ev.Repair)
 	case dist.EventBatchDone:
 		out.Batch = convBatch(ev.Batch)
-	case dist.EventOpRejected:
+	case dist.EventOpRejected, dist.EventOpCancelled:
 		nbrs := make([]NodeID, len(ev.Op.Nbrs))
 		for i, x := range ev.Op.Nbrs {
 			nbrs[i] = NodeID(x)
